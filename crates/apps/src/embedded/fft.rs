@@ -1,0 +1,185 @@
+//! Distributed radix-2 FFT — the paper's "8-point Fast Fourier
+//! Transform" embedded application (with size variations).
+//!
+//! `2^stages` points are scattered from a source core onto
+//! `2^(stages−1)` butterfly cores (two points each). Every stage whose
+//! butterfly span crosses cores triggers a pairwise exchange: each core
+//! of a partner pair sends both of its values to the other, computes its
+//! half of the butterflies, and proceeds. The final intra-core stage is
+//! local, after which all cores forward results to a sink core.
+//!
+//! For the paper's 8-point instance: 6 cores (source, 4 workers, sink)
+//! and `4 + 4 + 4 + 4 = 16` packets (scatter, two exchange stages, and a
+//! gather of one two-sample packet per worker each).
+
+use noc_model::{Cdcg, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FftConfig {
+    /// log2 of the transform size (3 → 8-point).
+    pub stages: usize,
+    /// Bits per complex sample (two 32-bit words by default).
+    pub sample_bits: u64,
+    /// Cycles per butterfly computation.
+    pub butterfly_cycles: u64,
+}
+
+impl FftConfig {
+    /// A `2^stages`-point transform with 64-bit complex samples.
+    pub fn new(stages: usize) -> Self {
+        Self {
+            stages,
+            sample_bits: 64,
+            butterfly_cycles: 8,
+        }
+    }
+}
+
+impl Default for FftConfig {
+    fn default() -> Self {
+        Self::new(3) // the paper's 8-point FFT
+    }
+}
+
+/// Builds the distributed FFT CDCG.
+///
+/// # Panics
+///
+/// Panics if `stages < 2` (a 2-point transform fits one core and never
+/// communicates).
+pub fn fft(config: &FftConfig) -> Cdcg {
+    assert!(config.stages >= 2, "need at least a 4-point transform");
+    let workers = 1usize << (config.stages - 1);
+    let mut g = Cdcg::new();
+    let source = g.add_core("source");
+    let worker: Vec<_> = (0..workers)
+        .map(|i| g.add_core(format!("bfly{i}")))
+        .collect();
+    let sink = g.add_core("sink");
+
+    // Scatter: each worker receives its two samples as one packet.
+    let scatter: Vec<PacketId> = (0..workers)
+        .map(|w| {
+            g.add_packet(
+                source,
+                worker[w],
+                config.butterfly_cycles,
+                2 * config.sample_bits,
+            )
+            .expect("valid packet")
+        })
+        .collect();
+
+    // Cross-core exchange stages: worker-bit b from high to low.
+    // `last_packet_into[w]` tracks the packets a worker's next send
+    // depends on.
+    let mut last_into: Vec<Vec<PacketId>> = scatter.iter().map(|&p| vec![p]).collect();
+    for bit in (0..config.stages - 1).rev() {
+        let mut new_last: Vec<Vec<PacketId>> = vec![Vec::new(); workers];
+        for w in 0..workers {
+            let partner = w ^ (1 << bit);
+            // w sends both of its current values to its partner.
+            let p = g
+                .add_packet(
+                    worker[w],
+                    worker[partner],
+                    config.butterfly_cycles,
+                    2 * config.sample_bits,
+                )
+                .expect("valid packet");
+            for &dep in &last_into[w] {
+                g.add_dependence(dep, p).expect("acyclic");
+            }
+            new_last[partner].push(p);
+        }
+        // Each worker's next send depends on what it just received *and*
+        // its own previous state (it still holds its local values).
+        for w in 0..workers {
+            let keep: Vec<PacketId> = last_into[w].clone();
+            new_last[w].extend(keep);
+        }
+        last_into = new_last;
+    }
+
+    // Gather: each worker forwards its two results to the sink.
+    for w in 0..workers {
+        let p = g
+            .add_packet(
+                worker[w],
+                sink,
+                config.butterfly_cycles,
+                2 * config.sample_bits,
+            )
+            .expect("valid packet");
+        for &dep in &last_into[w] {
+            let _ = g.add_dependence(dep, p);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_point_shape() {
+        let g = fft(&FftConfig::default());
+        // source + 4 workers + sink.
+        assert_eq!(g.core_count(), 6);
+        // 4 scatter + 2 exchange stages * 4 + 4 gather.
+        assert_eq!(g.packet_count(), 16);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn packet_count_scales_with_stages() {
+        // workers*(stages-1) exchange + 2*workers scatter/gather.
+        for stages in 2..=6 {
+            let g = fft(&FftConfig::new(stages));
+            let workers = 1 << (stages - 1);
+            assert_eq!(g.packet_count(), workers * (stages - 1) + 2 * workers);
+            assert_eq!(g.core_count(), workers + 2);
+        }
+    }
+
+    #[test]
+    fn depth_is_stage_count_plus_transfers() {
+        let g = fft(&FftConfig::new(3));
+        // scatter -> exchange -> exchange -> gather = 4 packet levels.
+        assert_eq!(g.depth(), 4);
+    }
+
+    #[test]
+    fn exchanges_are_symmetric() {
+        let g = fft(&FftConfig::new(3));
+        // For every cross-worker packet w->p there is one p->w.
+        let mut pairs = std::collections::HashMap::new();
+        for id in g.packet_ids() {
+            let p = g.packet(id);
+            let srcn = g.core_name(p.src).unwrap();
+            let dstn = g.core_name(p.dst).unwrap();
+            if srcn.starts_with("bfly") && dstn.starts_with("bfly") {
+                *pairs.entry((p.src, p.dst)).or_insert(0u32) += 1;
+            }
+        }
+        for (&(a, b), &count) in &pairs {
+            assert_eq!(pairs.get(&(b, a)), Some(&count), "{a}->{b} unbalanced");
+        }
+    }
+
+    #[test]
+    fn all_volume_is_uniform() {
+        let g = fft(&FftConfig::new(4));
+        let bits: Vec<u64> = g.packet_ids().map(|id| g.packet(id).bits).collect();
+        assert!(bits.iter().all(|&b| b == 128));
+    }
+
+    #[test]
+    #[should_panic(expected = "4-point")]
+    fn tiny_transform_panics() {
+        let _ = fft(&FftConfig::new(1));
+    }
+}

@@ -1,0 +1,156 @@
+//! Block-based image encoder — the paper's second "image application".
+//!
+//! A JPEG-style encoder pipeline: `source → dct → quantize → entropy →
+//! store`. The image is split into `blocks` macroblocks that stream
+//! through the stages; the entropy coder compresses, so volumes shrink
+//! stage by stage (the configured compression ratio models quality
+//! variations — the paper's "image encoding with some variations").
+
+use noc_model::{Cdcg, CoreId, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImageEncodingConfig {
+    /// Number of macroblocks streamed through the encoder.
+    pub blocks: usize,
+    /// Bits of one raw macroblock (8×8 pixels × 8 bits = 512 by default).
+    pub block_bits: u64,
+    /// Entropy-stage compression ratio in `(0, 1]`: output bits =
+    /// `block_bits × ratio` (at least 1).
+    pub compression_ratio: f64,
+    /// Cycles per stage per block.
+    pub stage_cycles: u64,
+}
+
+impl ImageEncodingConfig {
+    /// `blocks` 512-bit macroblocks at a 0.25 compression ratio.
+    pub fn new(blocks: usize) -> Self {
+        Self {
+            blocks,
+            block_bits: 512,
+            compression_ratio: 0.25,
+            stage_cycles: 20,
+        }
+    }
+}
+
+impl Default for ImageEncodingConfig {
+    fn default() -> Self {
+        Self::new(8)
+    }
+}
+
+/// Builds the encoder CDCG: 5 cores, `4 × blocks` packets.
+///
+/// # Panics
+///
+/// Panics if `blocks == 0` or `compression_ratio` is not in `(0, 1]`.
+pub fn image_encoding(config: &ImageEncodingConfig) -> Cdcg {
+    assert!(config.blocks > 0, "need at least one block");
+    assert!(
+        config.compression_ratio > 0.0 && config.compression_ratio <= 1.0,
+        "compression ratio must be in (0, 1]"
+    );
+    let mut g = Cdcg::new();
+    let source = g.add_core("source");
+    let dct = g.add_core("dct");
+    let quant = g.add_core("quantize");
+    let entropy = g.add_core("entropy");
+    let store = g.add_core("store");
+
+    let stages: [(CoreId, CoreId, u64); 4] = [
+        (source, dct, config.block_bits),
+        (dct, quant, config.block_bits), // DCT keeps size (coefficients)
+        (quant, entropy, config.block_bits / 2), // quantization zeroes half
+        (
+            entropy,
+            store,
+            ((config.block_bits as f64 * config.compression_ratio) as u64).max(1),
+        ),
+    ];
+
+    let mut prev_on_link: Vec<Option<PacketId>> = vec![None; stages.len()];
+    for _ in 0..config.blocks {
+        let mut upstream: Option<PacketId> = None;
+        for (s, &(src, dst, bits)) in stages.iter().enumerate() {
+            let id = g
+                .add_packet(src, dst, config.stage_cycles, bits)
+                .expect("valid packet");
+            if let Some(u) = upstream {
+                g.add_dependence(u, id).expect("acyclic");
+            }
+            if let Some(p) = prev_on_link[s] {
+                // Per-stage ordering between consecutive blocks.
+                let _ = g.add_dependence(p, id);
+            }
+            prev_on_link[s] = Some(id);
+            upstream = Some(id);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_five_cores_four_packets_per_block() {
+        for blocks in 1..=6 {
+            let g = image_encoding(&ImageEncodingConfig::new(blocks));
+            assert_eq!(g.core_count(), 5);
+            assert_eq!(g.packet_count(), 4 * blocks);
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn compression_shrinks_the_tail() {
+        let g = image_encoding(&ImageEncodingConfig::new(1));
+        let entropy = g.core_by_name("entropy").unwrap();
+        let store = g.core_by_name("store").unwrap();
+        let out = g.packets_between(entropy, store)[0];
+        assert_eq!(g.packet(out).bits, 128); // 512 * 0.25
+    }
+
+    #[test]
+    fn ratio_one_keeps_block_size() {
+        let mut config = ImageEncodingConfig::new(1);
+        config.compression_ratio = 1.0;
+        let g = image_encoding(&config);
+        let entropy = g.core_by_name("entropy").unwrap();
+        let store = g.core_by_name("store").unwrap();
+        let out = g.packets_between(entropy, store)[0];
+        assert_eq!(g.packet(out).bits, 512);
+    }
+
+    #[test]
+    fn blocks_pipeline_with_per_stage_ordering() {
+        let g = image_encoding(&ImageEncodingConfig::new(3));
+        let source = g.core_by_name("source").unwrap();
+        let dct = g.core_by_name("dct").unwrap();
+        let raws = g.packets_between(source, dct);
+        for w in raws.windows(2) {
+            assert!(g.predecessors(w[1]).contains(&w[0]));
+        }
+        // Depth: 4 stages + (blocks-1) pipeline offset.
+        assert_eq!(g.depth(), 4 + 2);
+    }
+
+    #[test]
+    fn total_volume_formula() {
+        let config = ImageEncodingConfig::new(10);
+        let g = image_encoding(&config);
+        let per_block = 512 + 512 + 256 + 128;
+        assert_eq!(g.total_volume(), 10 * per_block);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn bad_ratio_panics() {
+        let mut config = ImageEncodingConfig::new(1);
+        config.compression_ratio = 0.0;
+        let _ = image_encoding(&config);
+    }
+}

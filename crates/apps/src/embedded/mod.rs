@@ -1,0 +1,20 @@
+//! Structural generators for the paper's four embedded applications.
+//!
+//! The paper evaluates "a distributed Romberg integration, an 8-point
+//! Fast Fourier Transform, and 2 image applications for object
+//! recognition and image encoding", each with variations. The published
+//! table only gives aggregate sizes; these modules model the
+//! applications from their algorithmic structure (wavefront, butterfly
+//! exchange, fan-out pipeline, compression pipeline) so that examples
+//! and extension experiments can run named workloads with realistic
+//! dependence shapes.
+
+pub mod fft;
+pub mod image_encoding;
+pub mod object_recognition;
+pub mod romberg;
+
+pub use fft::{fft, FftConfig};
+pub use image_encoding::{image_encoding, ImageEncodingConfig};
+pub use object_recognition::{object_recognition, ObjectRecognitionConfig};
+pub use romberg::{romberg, RombergConfig};

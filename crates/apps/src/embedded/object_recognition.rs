@@ -1,0 +1,186 @@
+//! Object-recognition pipeline — one of the paper's two "image
+//! applications" (with variations).
+//!
+//! A camera streams frames through a classic detection pipeline:
+//! `camera → preprocess → segment → {feature extractors} → classify`.
+//! The feature-extraction stage fans out to `F` parallel workers (edges,
+//! corners, texture, …) whose descriptors the classifier joins. Volumes
+//! shrink along the pipeline: raw frames are big, segmented regions
+//! smaller, descriptors and labels tiny.
+//!
+//! Per frame the CDCG gains `3 + 2F` packets; per-core packet ordering is
+//! enforced with same-source dependences, so the pipeline overlaps frames
+//! exactly as real streaming hardware would.
+
+use noc_model::{Cdcg, CoreId, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectRecognitionConfig {
+    /// Number of frames streamed through the pipeline.
+    pub frames: usize,
+    /// Number of parallel feature-extraction cores.
+    pub feature_workers: usize,
+    /// Bits of one raw camera frame.
+    pub frame_bits: u64,
+    /// Cycles each stage computes per frame.
+    pub stage_cycles: u64,
+}
+
+impl ObjectRecognitionConfig {
+    /// `frames` through a pipeline with 2 feature workers and 4 KiB
+    /// frames.
+    pub fn new(frames: usize) -> Self {
+        Self {
+            frames,
+            feature_workers: 2,
+            frame_bits: 4096,
+            stage_cycles: 24,
+        }
+    }
+}
+
+impl Default for ObjectRecognitionConfig {
+    fn default() -> Self {
+        Self::new(4)
+    }
+}
+
+/// Builds the object-recognition CDCG.
+///
+/// Cores: camera, preprocess, segment, `feature_workers` extractors and a
+/// classifier — `4 + feature_workers` in total.
+///
+/// # Panics
+///
+/// Panics if `frames == 0` or `feature_workers == 0`.
+pub fn object_recognition(config: &ObjectRecognitionConfig) -> Cdcg {
+    assert!(config.frames > 0, "need at least one frame");
+    assert!(
+        config.feature_workers > 0,
+        "need at least one feature worker"
+    );
+    let mut g = Cdcg::new();
+    let camera = g.add_core("camera");
+    let pre = g.add_core("preprocess");
+    let seg = g.add_core("segment");
+    let features: Vec<CoreId> = (0..config.feature_workers)
+        .map(|i| g.add_core(format!("feature{i}")))
+        .collect();
+    let class = g.add_core("classify");
+
+    let comp = config.stage_cycles;
+    // Previous frame's packet per (src, dst) pair, to serialize per-core
+    // traffic like pEA1 -> pEA2 in the paper.
+    let mut prev: std::collections::HashMap<(CoreId, CoreId), PacketId> =
+        std::collections::HashMap::new();
+    let chain = |g: &mut Cdcg,
+                 prevs: &mut std::collections::HashMap<(CoreId, CoreId), PacketId>,
+                 src: CoreId,
+                 dst: CoreId,
+                 bits: u64,
+                 deps: &[PacketId]|
+     -> PacketId {
+        let id = g.add_packet(src, dst, comp, bits).expect("valid packet");
+        for &d in deps {
+            let _ = g.add_dependence(d, id);
+        }
+        if let Some(&p) = prevs.get(&(src, dst)) {
+            let _ = g.add_dependence(p, id);
+        }
+        prevs.insert((src, dst), id);
+        id
+    };
+
+    for _ in 0..config.frames {
+        let raw = chain(&mut g, &mut prev, camera, pre, config.frame_bits, &[]);
+        let cleaned = chain(&mut g, &mut prev, pre, seg, config.frame_bits / 2, &[raw]);
+        let mut descriptors = Vec::new();
+        for &f in &features {
+            let region = chain(&mut g, &mut prev, seg, f, config.frame_bits / 4, &[cleaned]);
+            let descriptor = chain(
+                &mut g,
+                &mut prev,
+                f,
+                class,
+                config.frame_bits / 32,
+                &[region],
+            );
+            descriptors.push(descriptor);
+        }
+        // The classifier emits a label back to the camera core (display
+        // overlay), joining all descriptors.
+        let _label = chain(&mut g, &mut prev, class, camera, 64, &descriptors);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_frame_packet_count() {
+        for frames in 1..=5 {
+            for workers in 1..=3 {
+                let mut config = ObjectRecognitionConfig::new(frames);
+                config.feature_workers = workers;
+                let g = object_recognition(&config);
+                assert_eq!(g.packet_count(), frames * (3 + 2 * workers));
+                assert_eq!(g.core_count(), 4 + workers);
+                g.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn volumes_shrink_along_pipeline() {
+        let g = object_recognition(&ObjectRecognitionConfig::new(1));
+        let camera = g.core_by_name("camera").unwrap();
+        let pre = g.core_by_name("preprocess").unwrap();
+        let class = g.core_by_name("classify").unwrap();
+        let raw = g.packets_between(camera, pre)[0];
+        let label = g.packets_between(class, camera)[0];
+        assert!(g.packet(raw).bits > 10 * g.packet(label).bits);
+    }
+
+    #[test]
+    fn frames_are_serialized_per_link() {
+        let mut config = ObjectRecognitionConfig::new(3);
+        config.feature_workers = 2;
+        let g = object_recognition(&config);
+        let camera = g.core_by_name("camera").unwrap();
+        let pre = g.core_by_name("preprocess").unwrap();
+        let raws = g.packets_between(camera, pre);
+        assert_eq!(raws.len(), 3);
+        // Frame f+1's camera packet depends on frame f's.
+        for w in raws.windows(2) {
+            assert!(g.predecessors(w[1]).contains(&w[0]));
+        }
+    }
+
+    #[test]
+    fn classifier_joins_all_descriptors() {
+        let mut config = ObjectRecognitionConfig::new(1);
+        config.feature_workers = 3;
+        let g = object_recognition(&config);
+        let class = g.core_by_name("classify").unwrap();
+        let camera = g.core_by_name("camera").unwrap();
+        let label = g.packets_between(class, camera)[0];
+        assert_eq!(g.predecessors(label).len(), 3);
+    }
+
+    #[test]
+    fn depth_grows_with_frames() {
+        let one = object_recognition(&ObjectRecognitionConfig::new(1));
+        let four = object_recognition(&ObjectRecognitionConfig::new(4));
+        assert!(four.depth() > one.depth());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frame")]
+    fn zero_frames_panics() {
+        let _ = object_recognition(&ObjectRecognitionConfig::new(0));
+    }
+}

@@ -1,0 +1,158 @@
+//! Distributed Romberg integration — one of the paper's four embedded
+//! applications.
+//!
+//! Romberg integration builds a triangular extrapolation tableau
+//! `T(i, j)`: row `i` starts from the composite trapezoid estimate at
+//! refinement level `i`, and `T(i, j) = f(T(i, j−1), T(i−1, j−1))`
+//! Richardson-extrapolates. Distributing row `i` to worker core `i`
+//! yields a classic wavefront: core `i` sends each tableau entry it
+//! produces to core `i+1`, which needs it for the next diagonal.
+//!
+//! The CDCG has one packet per produced-and-forwarded entry `T(i, j)`
+//! (`j ≤ i`, `i < levels`), with dependences on the same-core previous
+//! entry (local sequencing, like the paper's `pEA1 → pEA2`) and on the
+//! cross-core entry it extrapolates from.
+
+use noc_model::{Cdcg, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RombergConfig {
+    /// Number of refinement levels; the tableau has `levels + 1` rows and
+    /// the application `levels + 1` cores.
+    pub levels: usize,
+    /// Bits per forwarded tableau value (a double is 64).
+    pub value_bits: u64,
+    /// Computation cycles for a row-0 trapezoid evaluation at level `i`
+    /// (doubles per level: finer grids cost more).
+    pub base_comp_cycles: u64,
+}
+
+impl RombergConfig {
+    /// `levels` with 64-bit values and a 16-cycle base computation.
+    pub fn new(levels: usize) -> Self {
+        Self {
+            levels,
+            value_bits: 64,
+            base_comp_cycles: 16,
+        }
+    }
+}
+
+impl Default for RombergConfig {
+    fn default() -> Self {
+        Self::new(5)
+    }
+}
+
+/// Builds the distributed Romberg CDCG.
+///
+/// The graph has `levels + 1` cores and `levels·(levels+1)/2` packets.
+///
+/// # Panics
+///
+/// Panics if `levels == 0` (a single row never communicates).
+pub fn romberg(config: &RombergConfig) -> Cdcg {
+    assert!(
+        config.levels > 0,
+        "romberg needs at least one refinement level"
+    );
+    let mut g = Cdcg::new();
+    let cores: Vec<_> = (0..=config.levels)
+        .map(|i| g.add_core(format!("row{i}")))
+        .collect();
+
+    // packet_at[i][j] = the packet carrying T(i, j) from core i to i+1.
+    let mut packet_at: Vec<Vec<PacketId>> = Vec::new();
+    for i in 0..config.levels {
+        let mut row = Vec::new();
+        for j in 0..=i {
+            // T(i, 0) costs a trapezoid sweep (doubling per level);
+            // extrapolations are cheap.
+            let comp = if j == 0 {
+                config.base_comp_cycles << i.min(16)
+            } else {
+                config.base_comp_cycles / 2
+            };
+            let id = g
+                .add_packet(cores[i], cores[i + 1], comp, config.value_bits)
+                .expect("valid packet");
+            // Local sequencing: T(i, j) is produced after T(i, j-1).
+            if j > 0 {
+                g.add_dependence(row[j - 1], id).expect("acyclic");
+            }
+            // Cross-core data: T(i, j) extrapolates T(i-1, j-1), which
+            // arrived as a packet from core i-1.
+            if i > 0 && j > 0 {
+                g.add_dependence(packet_at[i - 1][j - 1], id)
+                    .expect("acyclic");
+            }
+            row.push(id);
+        }
+        packet_at.push(row);
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_tableau() {
+        for levels in 1..=8 {
+            let g = romberg(&RombergConfig::new(levels));
+            assert_eq!(g.core_count(), levels + 1);
+            assert_eq!(g.packet_count(), levels * (levels + 1) / 2);
+            g.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn five_levels_is_six_cores_fifteen_packets() {
+        let g = romberg(&RombergConfig::default());
+        assert_eq!(g.core_count(), 6);
+        assert_eq!(g.packet_count(), 15);
+        assert_eq!(g.total_volume(), 15 * 64);
+    }
+
+    #[test]
+    fn wavefront_depth() {
+        // The critical chain is the last row: levels packets deep plus
+        // the diagonal dependences; depth is exactly `levels`.
+        let g = romberg(&RombergConfig::new(5));
+        assert_eq!(g.depth(), 5);
+    }
+
+    #[test]
+    fn only_neighbor_cores_communicate() {
+        let g = romberg(&RombergConfig::new(6));
+        for id in g.packet_ids() {
+            let p = g.packet(id);
+            assert_eq!(p.dst.index(), p.src.index() + 1);
+        }
+    }
+
+    #[test]
+    fn trapezoid_cost_doubles_per_level() {
+        let g = romberg(&RombergConfig::new(4));
+        // First packet of each row i is T(i, 0).
+        let row_starts: Vec<u64> = g
+            .packet_ids()
+            .filter(|&id| {
+                g.predecessors(id)
+                    .iter()
+                    .all(|&p| g.packet(p).src != g.packet(id).src)
+            })
+            .map(|id| g.packet(id).comp_cycles)
+            .collect();
+        assert!(row_starts.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one refinement level")]
+    fn zero_levels_panics() {
+        let _ = romberg(&RombergConfig::new(0));
+    }
+}

@@ -1,0 +1,243 @@
+//! Classic synthetic NoC traffic patterns as CDCGs.
+//!
+//! The NoC literature evaluates interconnects with standard spatial
+//! patterns — uniform random, transpose, bit-complement, hotspot. They
+//! are not in the paper (its workloads are application task graphs), but
+//! a mapping library is routinely exercised with them, and they make
+//! sharp test cases: transpose and bit-complement have known good
+//! placements, and hotspot stresses exactly the contention machinery the
+//! CDCM model exists to expose.
+//!
+//! Each generator emits `rounds` waves of packets; within a wave every
+//! source sends one packet to its pattern destination, and a core's
+//! packet in wave `r+1` depends on its wave-`r` packet (steady-state
+//! streaming, like the paper's `pEA1 → pEA2` ordering).
+
+use noc_model::{Cdcg, CoreId, PacketId};
+use serde::{Deserialize, Serialize};
+
+/// The spatial traffic patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Every core sends to every other core in turn (round-robin over
+    /// destinations across waves).
+    UniformRoundRobin,
+    /// Core `i` of `n` sends to core `(n − 1) − i` (bit-complement-like
+    /// for any `n`; exact bit complement when `n` is a power of two).
+    Complement,
+    /// With cores viewed as a `side × side` matrix, core `(r, c)` sends
+    /// to core `(c, r)`.
+    Transpose {
+        /// Matrix side; the pattern needs `side²` cores.
+        side: usize,
+    },
+    /// Every core sends to one hotspot core.
+    Hotspot {
+        /// Index of the hotspot core.
+        hotspot: usize,
+    },
+}
+
+impl TrafficPattern {
+    /// Destination of core `src` in wave `round` under this pattern, or
+    /// `None` when the core stays silent (e.g. the hotspot itself).
+    pub fn destination(&self, src: usize, round: usize, cores: usize) -> Option<usize> {
+        match *self {
+            Self::UniformRoundRobin => {
+                let dst = (src + 1 + (round % (cores - 1))) % cores;
+                Some(dst)
+            }
+            Self::Complement => {
+                let dst = cores - 1 - src;
+                (dst != src).then_some(dst)
+            }
+            Self::Transpose { side } => {
+                let (r, c) = (src / side, src % side);
+                let dst = c * side + r;
+                (dst != src).then_some(dst)
+            }
+            Self::Hotspot { hotspot } => (src != hotspot).then_some(hotspot),
+        }
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// The spatial pattern.
+    pub pattern: TrafficPattern,
+    /// Number of waves.
+    pub rounds: usize,
+    /// Bits per packet.
+    pub packet_bits: u64,
+    /// Computation cycles between a core's consecutive sends.
+    pub comp_cycles: u64,
+}
+
+impl SyntheticConfig {
+    /// `cores` under `pattern`, 4 rounds of 256-bit packets.
+    pub fn new(cores: usize, pattern: TrafficPattern) -> Self {
+        Self {
+            cores,
+            pattern,
+            rounds: 4,
+            packet_bits: 256,
+            comp_cycles: 8,
+        }
+    }
+}
+
+/// Builds the synthetic CDCG.
+///
+/// # Panics
+///
+/// Panics if `cores < 2`, `rounds == 0`, or the pattern is inconsistent
+/// with the core count (`Transpose` needs `side² == cores`, `Hotspot`
+/// needs `hotspot < cores`).
+pub fn synthetic(config: &SyntheticConfig) -> Cdcg {
+    assert!(config.cores >= 2, "need at least two cores");
+    assert!(config.rounds > 0, "need at least one round");
+    match config.pattern {
+        TrafficPattern::Transpose { side } => {
+            assert_eq!(side * side, config.cores, "transpose needs side^2 cores");
+        }
+        TrafficPattern::Hotspot { hotspot } => {
+            assert!(hotspot < config.cores, "hotspot core out of range");
+        }
+        _ => {}
+    }
+
+    let mut g = Cdcg::new();
+    let cores: Vec<CoreId> = (0..config.cores)
+        .map(|i| g.add_core(format!("n{i}")))
+        .collect();
+    let mut prev_of_core: Vec<Option<PacketId>> = vec![None; config.cores];
+    for round in 0..config.rounds {
+        for src in 0..config.cores {
+            let Some(dst) = config.pattern.destination(src, round, config.cores) else {
+                continue;
+            };
+            let id = g
+                .add_packet(
+                    cores[src],
+                    cores[dst],
+                    config.comp_cycles,
+                    config.packet_bits,
+                )
+                .expect("pattern packets are valid");
+            if let Some(prev) = prev_of_core[src] {
+                g.add_dependence(prev, id)
+                    .expect("wave ordering is acyclic");
+            }
+            prev_of_core[src] = Some(id);
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_pairs_up() {
+        let g = synthetic(&SyntheticConfig::new(8, TrafficPattern::Complement));
+        assert_eq!(g.core_count(), 8);
+        assert_eq!(g.packet_count(), 8 * 4);
+        for id in g.packet_ids() {
+            let p = g.packet(id);
+            assert_eq!(p.dst.index(), 7 - p.src.index());
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose_matches_matrix_transpose() {
+        let g = synthetic(&SyntheticConfig::new(
+            9,
+            TrafficPattern::Transpose { side: 3 },
+        ));
+        // Diagonal cores (0,0),(1,1),(2,2) stay silent.
+        assert_eq!(g.packet_count(), (9 - 3) * 4);
+        for id in g.packet_ids() {
+            let p = g.packet(id);
+            let (r, c) = (p.src.index() / 3, p.src.index() % 3);
+            assert_eq!(p.dst.index(), c * 3 + r);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let g = synthetic(&SyntheticConfig::new(
+            6,
+            TrafficPattern::Hotspot { hotspot: 2 },
+        ));
+        assert_eq!(g.packet_count(), 5 * 4);
+        for id in g.packet_ids() {
+            assert_eq!(g.packet(id).dst.index(), 2);
+        }
+    }
+
+    #[test]
+    fn uniform_round_robin_covers_destinations() {
+        let cores = 5;
+        let mut config = SyntheticConfig::new(cores, TrafficPattern::UniformRoundRobin);
+        config.rounds = cores - 1;
+        let g = synthetic(&config);
+        // Over cores-1 rounds each source hits every other core once.
+        for src in 0..cores {
+            let mut dsts: Vec<usize> = g
+                .packet_ids()
+                .filter(|&id| g.packet(id).src.index() == src)
+                .map(|id| g.packet(id).dst.index())
+                .collect();
+            dsts.sort_unstable();
+            let expected: Vec<usize> = (0..cores).filter(|&d| d != src).collect();
+            assert_eq!(dsts, expected, "source {src}");
+        }
+    }
+
+    #[test]
+    fn waves_are_serialized_per_core() {
+        let g = synthetic(&SyntheticConfig::new(4, TrafficPattern::Complement));
+        for src in 0..4 {
+            let sends: Vec<PacketId> = g
+                .packet_ids()
+                .filter(|&id| g.packet(id).src.index() == src)
+                .collect();
+            for w in sends.windows(2) {
+                assert!(g.predecessors(w[1]).contains(&w[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_destinations_never_self() {
+        for (pattern, cores) in [
+            (TrafficPattern::UniformRoundRobin, 7),
+            (TrafficPattern::Complement, 8),
+            (TrafficPattern::Transpose { side: 3 }, 9),
+            (TrafficPattern::Hotspot { hotspot: 0 }, 5),
+        ] {
+            for round in 0..6 {
+                for src in 0..cores {
+                    if let Some(dst) = pattern.destination(src, round, cores) {
+                        assert_ne!(dst, src, "{pattern:?} src {src} round {round}");
+                        assert!(dst < cores);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "side^2")]
+    fn transpose_size_mismatch_panics() {
+        let _ = synthetic(&SyntheticConfig::new(
+            8,
+            TrafficPattern::Transpose { side: 3 },
+        ));
+    }
+}

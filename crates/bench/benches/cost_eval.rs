@@ -1,0 +1,43 @@
+//! Criterion bench E6: per-evaluation cost of the CWM vs CDCM objectives
+//! as the NDP/NCC ratio grows (paper §5: CDCM's complexity is
+//! proportional to NDP, CWM's to NCC, with CDCM staying within a small
+//! factor).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_apps::TgffConfig;
+use noc_energy::Technology;
+use noc_mapping::{CdcmObjective, CostFunction, CwmObjective};
+use noc_model::{Mapping, Mesh};
+use noc_sim::SimParams;
+
+fn bench_cost_eval(c: &mut Criterion) {
+    let mesh = Mesh::new(4, 4).expect("valid mesh");
+    let tech = Technology::t007();
+    let params = SimParams::new();
+    let mut group = c.benchmark_group("cost_eval");
+
+    for packets in [32usize, 128, 512] {
+        let cdcg = noc_apps::generate(&TgffConfig::new(
+            12,
+            packets,
+            64 * packets as u64,
+            packets as u64,
+        ));
+        let cwg = cdcg.to_cwg();
+        let mapping = Mapping::identity(&mesh, 12).expect("12 cores fit 16 tiles");
+
+        let cwm = CwmObjective::new(&cwg, &mesh, &tech);
+        group.bench_with_input(BenchmarkId::new("cwm", packets), &packets, |b, _| {
+            b.iter(|| std::hint::black_box(cwm.cost(&mapping)))
+        });
+
+        let cdcm = CdcmObjective::new(&cdcg, &mesh, &tech, params);
+        group.bench_with_input(BenchmarkId::new("cdcm", packets), &packets, |b, _| {
+            b.iter(|| std::hint::black_box(cdcm.cost(&mapping)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_eval);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: full simulated-annealing searches under both
+//! strategies on a small suite row (end-to-end search throughput).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_apps::suite::{Benchmark, TABLE1_ROWS};
+use noc_energy::Technology;
+use noc_mapping::{Explorer, SaConfig, SearchMethod, Strategy};
+use noc_sim::SimParams;
+
+fn bench_sa(c: &mut Criterion) {
+    let bench = Benchmark::from_spec(TABLE1_ROWS[1]); // fft8-a, 3x2
+    let explorer = Explorer::new(
+        &bench.cdcg,
+        bench.mesh,
+        Technology::t007(),
+        SimParams::new(),
+    );
+    let mut config = SaConfig::quick(3);
+    config.max_evaluations = 2_000;
+
+    let mut group = c.benchmark_group("sa_search");
+    group.sample_size(10);
+    group.bench_function("cwm", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                explorer.explore(Strategy::Cwm, SearchMethod::SimulatedAnnealing(config)),
+            )
+        })
+    });
+    group.bench_function("cdcm", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                explorer.explore(Strategy::Cdcm, SearchMethod::SimulatedAnnealing(config)),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sa);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: interval-scheduler throughput vs application size
+//! (packets) — the inner loop of every CDCM evaluation — plus the
+//! flit-level DES on the same instance for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_apps::TgffConfig;
+use noc_model::{Mapping, Mesh};
+use noc_sim::des::{simulate, DesParams};
+use noc_sim::{schedule, SimParams};
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_scaling");
+    for (cores, packets, width) in [(8usize, 64usize, 3usize), (16, 256, 4), (32, 1024, 6)] {
+        let cdcg = noc_apps::generate(&TgffConfig::new(cores, packets, 256 * packets as u64, 7));
+        let mesh = Mesh::new(width, width).expect("valid mesh");
+        let mapping = Mapping::identity(&mesh, cores).expect("cores fit");
+        let params = SimParams::new();
+        group.bench_with_input(BenchmarkId::new("interval", packets), &packets, |b, _| {
+            b.iter(|| std::hint::black_box(schedule(&cdcg, &mesh, &mapping, &params)))
+        });
+    }
+
+    // The DES requires serialized injection; compare on one instance.
+    let cdcg = noc_apps::generate(&TgffConfig::new(8, 64, 256 * 64, 7));
+    let mesh = Mesh::new(3, 3).expect("valid mesh");
+    let mapping = Mapping::identity(&mesh, 8).expect("cores fit");
+    let params = SimParams {
+        injection_serialization: true,
+        ..SimParams::new()
+    };
+    group.bench_function("interval_serialized_64", |b| {
+        b.iter(|| std::hint::black_box(schedule(&cdcg, &mesh, &mapping, &params)))
+    });
+    group.bench_function("des_64", |b| {
+        b.iter(|| std::hint::black_box(simulate(&cdcg, &mesh, &mapping, &DesParams::new(params))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

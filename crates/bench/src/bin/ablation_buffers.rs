@@ -1,0 +1,120 @@
+//! Ablation: router input-buffer sizing (flit-level DES).
+//!
+//! The paper motivates contention-aware mapping partly through buffers
+//! ("reducing the required buffers in the communication network, saving
+//! area, execution time and energy"). Its model assumes *unbounded*
+//! buffers; the flit-level DES lets us ask how small real buffers can get
+//! before backpressure hurts, and whether CDCM-optimized mappings need
+//! less buffering than CWM ones.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin ablation_buffers`
+
+use noc_apps::table1_suite;
+use noc_bench::{write_record, TextTable};
+use noc_energy::Technology;
+use noc_mapping::{Explorer, SaConfig, SearchMethod, Strategy};
+use noc_sim::des::{simulate, DesParams};
+use noc_sim::SimParams;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    strategy: String,
+    texec_unbounded: u64,
+    texec_by_buffer: Vec<(usize, u64)>,
+    /// Smallest tested buffer whose texec matches unbounded.
+    sufficient_buffer: Option<usize>,
+}
+
+fn main() {
+    // The DES needs serialized injection (physical core links).
+    let params = SimParams {
+        injection_serialization: true,
+        ..SimParams::new()
+    };
+    let tech = Technology::t007();
+    let caps = [1usize, 2, 4, 8, 16, 32, 64, 128];
+
+    let mut table = TextTable::new([
+        "benchmark",
+        "strategy",
+        "unbounded",
+        "b=1",
+        "b=4",
+        "b=16",
+        "b=64",
+        "sufficient",
+    ]);
+    let mut rows = Vec::new();
+    for bench in table1_suite().iter().take(6) {
+        let explorer = Explorer::new(&bench.cdcg, bench.mesh, tech.clone(), params);
+        for strategy in [Strategy::Cwm, Strategy::Cdcm] {
+            let best = explorer.explore(
+                strategy,
+                SearchMethod::SimulatedAnnealing(SaConfig::quick(11)),
+            );
+            let unbounded = simulate(
+                &bench.cdcg,
+                &bench.mesh,
+                &best.mapping,
+                &DesParams::new(params),
+            )
+            .expect("suite simulates")
+            .texec_cycles;
+            let mut by_buffer = Vec::new();
+            let mut sufficient = None;
+            for &cap in &caps {
+                let t = simulate(
+                    &bench.cdcg,
+                    &bench.mesh,
+                    &best.mapping,
+                    &DesParams::new(params).with_buffer(cap),
+                )
+                .expect("bounded run simulates")
+                .texec_cycles;
+                // Backpressure usually slows execution, but changing the
+                // arbitration order can occasionally *help* (classic
+                // scheduling anomalies), so no monotonicity is asserted.
+                if t <= unbounded && sufficient.is_none() {
+                    sufficient = Some(cap);
+                }
+                by_buffer.push((cap, t));
+            }
+            let find = |c: usize| {
+                by_buffer
+                    .iter()
+                    .find(|(cap, _)| *cap == c)
+                    .map(|(_, t)| t.to_string())
+                    .unwrap_or_default()
+            };
+            table.row([
+                bench.spec.name.to_owned(),
+                strategy.label().to_owned(),
+                unbounded.to_string(),
+                find(1),
+                find(4),
+                find(16),
+                find(64),
+                sufficient.map_or("-".into(), |c| c.to_string()),
+            ]);
+            rows.push(Row {
+                name: bench.spec.name.to_owned(),
+                strategy: strategy.label().to_owned(),
+                texec_unbounded: unbounded,
+                texec_by_buffer: by_buffer,
+                sufficient_buffer: sufficient,
+            });
+        }
+    }
+
+    println!("Buffer-sizing ablation (flit-level DES, texec in cycles):");
+    println!("{}", table.render());
+    println!(
+        "'sufficient' is the smallest tested buffer matching (or beating — \
+         scheduling anomalies are possible) the unbounded execution time, \
+         i.e. the area the paper's buffer argument is about."
+    );
+    let path = write_record("ablation_buffers", &rows);
+    eprintln!("record written to {}", path.display());
+}

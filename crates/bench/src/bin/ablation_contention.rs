@@ -1,0 +1,71 @@
+//! Ablation A1: what does contention modelling contribute?
+//!
+//! For each benchmark we compare, on the *same* CDCM-chosen mapping, the
+//! execution time predicted by Equation 8 alone (no contention, which is
+//! all a CWM-style timing estimate could do) against the full
+//! contention-aware schedule. The gap is the error a contention-blind
+//! model makes — the paper's §4 argument for tracking packet
+//! dependences and buffer waits.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin ablation_contention`
+
+use noc_apps::table1_suite;
+use noc_bench::{write_record, TextTable};
+use noc_energy::Technology;
+use noc_mapping::{Explorer, SaConfig, SearchMethod, Strategy};
+use noc_sim::{schedule, SimParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    texec_contended: u64,
+    contention_cycles: u64,
+    contention_events: usize,
+    underestimate: f64,
+}
+
+fn main() {
+    let params = SimParams::new();
+    let tech = Technology::t007();
+    let mut table = TextTable::new([
+        "benchmark",
+        "texec (cycles)",
+        "contention cycles",
+        "events",
+        "blind underestimate",
+    ]);
+    let mut rows = Vec::new();
+    for bench in table1_suite().iter().take(15) {
+        let explorer = Explorer::new(&bench.cdcg, bench.mesh, tech.clone(), params);
+        let best = explorer.explore(
+            Strategy::Cdcm,
+            SearchMethod::SimulatedAnnealing(SaConfig::quick(5)),
+        );
+        let sched =
+            schedule(&bench.cdcg, &bench.mesh, &best.mapping, &params).expect("suite schedules");
+        let texec = sched.texec_cycles();
+        let waits = sched.total_contention_cycles();
+        let row = Row {
+            name: bench.spec.name.to_owned(),
+            texec_contended: texec,
+            contention_cycles: waits,
+            contention_events: sched.contention_events().len(),
+            underestimate: waits as f64 / texec.max(1) as f64,
+        };
+        table.row([
+            row.name.clone(),
+            row.texec_contended.to_string(),
+            row.contention_cycles.to_string(),
+            row.contention_events.to_string(),
+            format!("{:.1} %", 100.0 * row.underestimate),
+        ]);
+        rows.push(row);
+    }
+    println!("Ablation A1 — contention volume on CDCM-optimized mappings");
+    println!("(even optimized mappings keep residual buffer waits; a");
+    println!("contention-blind timing model drops this entire volume):");
+    println!("{}", table.render());
+    let path = write_record("ablation_contention", &rows);
+    eprintln!("record written to {}", path.display());
+}

@@ -1,0 +1,124 @@
+//! Ablation A2: core-side port arbitration switches.
+//!
+//! The paper's model arbitrates only inter-router links; this ablation
+//! quantifies how execution times change when injection and/or ejection
+//! links also serialize packets (the physically strict model), on the
+//! paper example and a slice of the suite.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin ablation_ports`
+
+use noc_apps::paper_example::{figure1_cdcg, mapping_c, mesh_2x2};
+use noc_apps::table1_suite;
+use noc_bench::{write_record, TextTable};
+use noc_energy::Technology;
+use noc_mapping::{Explorer, SaConfig, SearchMethod, Strategy};
+use noc_sim::{schedule, SimParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    texec_paper_model: u64,
+    texec_inj_serialized: u64,
+    texec_fully_serialized: u64,
+}
+
+fn variants(base: SimParams) -> [(&'static str, SimParams); 3] {
+    let paper = SimParams {
+        injection_serialization: false,
+        ejection_contention: false,
+        ..base
+    };
+    let inj = SimParams {
+        injection_serialization: true,
+        ejection_contention: false,
+        ..base
+    };
+    let full = SimParams {
+        injection_serialization: true,
+        ejection_contention: true,
+        ..base
+    };
+    [("paper", paper), ("inj", inj), ("full", full)]
+}
+
+fn main() {
+    let mut table = TextTable::new([
+        "benchmark",
+        "texec paper-model",
+        "texec +inj-serial",
+        "texec +ej-serial",
+    ]);
+    let mut rows = Vec::new();
+
+    // Paper example first (uses its own parameter set).
+    {
+        let cdcg = figure1_cdcg();
+        let mesh = mesh_2x2();
+        let mapping = mapping_c();
+        let [p, i, f] = variants(SimParams::paper_example());
+        let t: Vec<u64> = [p, i, f]
+            .iter()
+            .map(|(_, params)| {
+                schedule(&cdcg, &mesh, &mapping, params)
+                    .expect("schedules")
+                    .texec_cycles()
+            })
+            .collect();
+        table.row([
+            "figure1(c)".to_owned(),
+            t[0].to_string(),
+            t[1].to_string(),
+            t[2].to_string(),
+        ]);
+        rows.push(Row {
+            name: "figure1(c)".to_owned(),
+            texec_paper_model: t[0],
+            texec_inj_serialized: t[1],
+            texec_fully_serialized: t[2],
+        });
+    }
+
+    let tech = Technology::t007();
+    for bench in table1_suite().iter().take(9) {
+        let base = SimParams::new();
+        let explorer = Explorer::new(&bench.cdcg, bench.mesh, tech.clone(), base);
+        let best = explorer.explore(
+            Strategy::Cdcm,
+            SearchMethod::SimulatedAnnealing(SaConfig::quick(31)),
+        );
+        let t: Vec<u64> = variants(base)
+            .iter()
+            .map(|(_, params)| {
+                schedule(&bench.cdcg, &bench.mesh, &best.mapping, params)
+                    .expect("suite schedules")
+                    .texec_cycles()
+            })
+            .collect();
+        table.row([
+            bench.spec.name.to_owned(),
+            t[0].to_string(),
+            t[1].to_string(),
+            t[2].to_string(),
+        ]);
+        rows.push(Row {
+            name: bench.spec.name.to_owned(),
+            texec_paper_model: t[0],
+            texec_inj_serialized: t[1],
+            texec_fully_serialized: t[2],
+        });
+    }
+
+    println!("Ablation A2 — core-side link arbitration (same mapping, three models):");
+    println!("{}", table.render());
+    println!(
+        "serializing core-side links can only slow execution; the paper's \
+         model is the leftmost column."
+    );
+    for r in &rows {
+        assert!(r.texec_inj_serialized >= r.texec_paper_model);
+        assert!(r.texec_fully_serialized >= r.texec_inj_serialized);
+    }
+    let path = write_record("ablation_ports", &rows);
+    eprintln!("record written to {}", path.display());
+}

@@ -1,0 +1,73 @@
+//! Reproduces Figure 2: CWM energy estimation for the two example
+//! mappings — both come out at exactly 390 pJ, demonstrating that the
+//! model cannot distinguish them.
+//!
+//! Usage: `cargo run -p noc-bench --bin figure2`
+
+use noc_apps::paper_example::{figure1_cwg, mapping_c, mapping_d, mesh_2x2};
+use noc_bench::{write_record, TextTable};
+use noc_energy::{dynamic::communication_energy, evaluate_cwm, Technology};
+use noc_model::{RoutingAlgorithm, XyRouting};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    mapping_c_pj: f64,
+    mapping_d_pj: f64,
+    per_communication_c: Vec<(String, f64)>,
+    per_communication_d: Vec<(String, f64)>,
+}
+
+fn main() {
+    let cwg = figure1_cwg();
+    let mesh = mesh_2x2();
+    let tech = Technology::paper_example();
+
+    let mut record = Record {
+        mapping_c_pj: 0.0,
+        mapping_d_pj: 0.0,
+        per_communication_c: Vec::new(),
+        per_communication_d: Vec::new(),
+    };
+
+    for (label, mapping) in [
+        ("(a) Figure 1(c)", mapping_c()),
+        ("(b) Figure 1(d)", mapping_d()),
+    ] {
+        let total = evaluate_cwm(&cwg, &mesh, &mapping, &tech);
+        let mut table = TextTable::new(["communication", "bits", "routers K", "energy"]);
+        let mut per_comm = Vec::new();
+        for comm in cwg.communications() {
+            let path = XyRouting.route(&mesh, mapping.tile_of(comm.src), mapping.tile_of(comm.dst));
+            let e = communication_energy(&comm, &mesh, &mapping, &tech, &XyRouting);
+            let name = format!(
+                "{}→{}",
+                cwg.core_name(comm.src).unwrap_or("?"),
+                cwg.core_name(comm.dst).unwrap_or("?")
+            );
+            table.row([
+                name.clone(),
+                comm.bits.to_string(),
+                path.router_count().to_string(),
+                format!("{e}"),
+            ]);
+            per_comm.push((name, e.picojoules()));
+        }
+        println!("Figure 2{label}: mapping {mapping}");
+        println!("{}", table.render());
+        println!("Energy consumption = {total}   (paper: 390 pJ)\n");
+        if label.starts_with("(a)") {
+            record.mapping_c_pj = total.picojoules();
+            record.per_communication_c = per_comm;
+        } else {
+            record.mapping_d_pj = total.picojoules();
+            record.per_communication_d = per_comm;
+        }
+    }
+
+    assert_eq!(record.mapping_c_pj, 390.0, "paper golden value");
+    assert_eq!(record.mapping_d_pj, 390.0, "paper golden value");
+    println!("CWM cannot distinguish the two mappings — the paper's point.");
+    let path = write_record("figure2", &record);
+    eprintln!("record written to {}", path.display());
+}

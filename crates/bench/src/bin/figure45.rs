@@ -1,0 +1,59 @@
+//! Reproduces Figures 4 and 5: the timing diagrams of the two example
+//! mappings, with the contention on the A→F packet visible in (a) and
+//! absent in (b), and the 11.1 % execution-time reduction.
+//!
+//! Usage: `cargo run -p noc-bench --bin figure45`
+
+use noc_apps::paper_example::{figure1_cdcg, mapping_c, mapping_d, mesh_2x2};
+use noc_bench::write_record;
+use noc_sim::gantt::GanttChart;
+use noc_sim::{schedule, SimParams};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    texec_a: u64,
+    texec_b: u64,
+    reduction_percent: f64,
+    contention_cycles_a: u64,
+    contention_cycles_b: u64,
+}
+
+fn main() {
+    let cdcg = figure1_cdcg();
+    let mesh = mesh_2x2();
+    let params = SimParams::paper_example();
+
+    let sched_a = schedule(&cdcg, &mesh, &mapping_c(), &params).expect("schedules");
+    let sched_b = schedule(&cdcg, &mesh, &mapping_d(), &params).expect("schedules");
+
+    let chart_a = GanttChart::from_schedule(&sched_a, &cdcg);
+    println!("Figure 4 — timing for the Figure 3(a) mapping:");
+    println!("{}", chart_a.render(100));
+
+    let chart_b = GanttChart::from_schedule(&sched_b, &cdcg);
+    println!("Figure 5 — timing for the Figure 3(b) mapping:");
+    println!("{}", chart_b.render(100));
+
+    let reduction = 100.0 * (sched_a.texec_cycles() - sched_b.texec_cycles()) as f64
+        / sched_a.texec_cycles() as f64;
+    println!(
+        "execution time: {} ns → {} ns, a reduction of {reduction:.1}% (paper: 11.1%)",
+        sched_a.texec_ns(),
+        sched_b.texec_ns()
+    );
+    assert_eq!(sched_a.texec_cycles(), 100);
+    assert_eq!(sched_b.texec_cycles(), 90);
+    assert!(!sched_a.is_contention_free());
+    assert!(sched_b.is_contention_free());
+
+    let record = Record {
+        texec_a: sched_a.texec_cycles(),
+        texec_b: sched_b.texec_cycles(),
+        reduction_percent: reduction,
+        contention_cycles_a: sched_a.total_contention_cycles(),
+        contention_cycles_b: sched_b.total_contention_cycles(),
+    };
+    let path = write_record("figure45", &record);
+    eprintln!("record written to {}", path.display());
+}

@@ -1,0 +1,51 @@
+//! Energy/time Pareto front for a benchmark — the multi-objective
+//! extension of the paper's objectives.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin pareto [-- <row-index>]`
+
+use noc_apps::suite::{Benchmark, TABLE1_ROWS};
+use noc_bench::{write_record, TextTable};
+use noc_energy::Technology;
+use noc_mapping::{pareto_front, SaConfig};
+use noc_sim::SimParams;
+
+fn main() {
+    let row: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0);
+    let bench = Benchmark::from_spec(TABLE1_ROWS[row.min(TABLE1_ROWS.len() - 1)]);
+    let params = SimParams::new();
+    let tech = Technology::t007();
+    eprintln!(
+        "computing the energy/time Pareto front of {} on its {} mesh…",
+        bench.spec.name, bench.spec.group
+    );
+    let front = pareto_front(
+        &bench.cdcg,
+        &bench.mesh,
+        &tech,
+        &params,
+        9,
+        &SaConfig::quick(5),
+    )
+    .expect("suite benchmarks evaluate");
+
+    let mut table = TextTable::new(["energy weight", "ENoC (pJ)", "texec (ns)", "mapping"]);
+    for p in &front {
+        table.row([
+            format!("{:.2}", p.energy_weight),
+            format!("{:.1}", p.energy_pj),
+            format!("{:.0}", p.texec_ns),
+            p.mapping.to_string(),
+        ]);
+    }
+    println!(
+        "Pareto front of {} ({} non-dominated of 9 blend points):",
+        bench.spec.name,
+        front.len()
+    );
+    println!("{}", table.render());
+    let path = write_record(&format!("pareto_{}", bench.spec.name), &front);
+    eprintln!("record written to {}", path.display());
+}

@@ -1,0 +1,77 @@
+//! Reproduces Table 1: the characteristics of the 18-benchmark suite.
+//!
+//! Usage: `cargo run -p noc-bench --bin table1`
+//!
+//! Prints NoC size, core count, packet count and total bit volume per
+//! benchmark (grouped like the paper) and verifies every generated
+//! application against the published numbers. A JSON record is written to
+//! `target/experiments/table1.json`.
+
+use noc_apps::suite::{rows_by_noc_size, table1_suite};
+use noc_bench::{write_record, TextTable};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    noc_size: String,
+    cores: usize,
+    packets: usize,
+    total_bits: u64,
+    dependences: usize,
+    depth: usize,
+    matches_spec: bool,
+}
+
+fn main() {
+    let suite = table1_suite();
+    let mut rows = Vec::new();
+    let mut table = TextTable::new([
+        "NoC size",
+        "benchmark",
+        "cores",
+        "packets",
+        "total bits",
+        "deps",
+        "depth",
+        "ok",
+    ]);
+    for (label, indices) in rows_by_noc_size() {
+        for &i in &indices {
+            let bench = &suite[i];
+            let row = Row {
+                name: bench.spec.name.to_owned(),
+                noc_size: label.to_owned(),
+                cores: bench.cdcg.core_count(),
+                packets: bench.cdcg.packet_count(),
+                total_bits: bench.cdcg.total_volume(),
+                dependences: bench.cdcg.dependence_count(),
+                depth: bench.cdcg.depth(),
+                matches_spec: bench.matches_spec(),
+            };
+            table.row([
+                row.noc_size.clone(),
+                row.name.clone(),
+                row.cores.to_string(),
+                row.packets.to_string(),
+                row.total_bits.to_string(),
+                row.dependences.to_string(),
+                row.depth.to_string(),
+                row.matches_spec.to_string(),
+            ]);
+            rows.push(row);
+        }
+    }
+    println!("Table 1 — NoC/application features (paper columns + generated-graph extras):");
+    println!("{}", table.render());
+
+    let all_ok = rows.iter().all(|r| r.matches_spec);
+    println!(
+        "all {} benchmarks match the published characteristics: {}",
+        rows.len(),
+        all_ok
+    );
+    let path = write_record("table1", &rows);
+    eprintln!("record written to {}", path.display());
+    assert!(all_ok, "suite drifted from Table 1");
+}

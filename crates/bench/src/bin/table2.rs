@@ -1,0 +1,73 @@
+//! Reproduces Table 2: average execution-time reduction (ETR) and energy
+//! consumption savings (ECS0.35, ECS0.07) of CDCM over CWM, per NoC size.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin table2 [-- --quick]`
+//!
+//! `--quick` runs a CI-sized configuration (single SA seed, small budgets);
+//! the default configuration takes a few minutes. A JSON record is written
+//! to `target/experiments/table2.json`.
+
+use noc_bench::table2::{run, Table2Config};
+use noc_bench::{write_record, TextTable};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let config = if quick {
+        Table2Config::quick()
+    } else {
+        Table2Config::full()
+    };
+    eprintln!(
+        "running Table 2 reproduction ({} mode)…",
+        if quick { "quick" } else { "full" }
+    );
+
+    let record = run(&config, None);
+
+    let mut per_bench = TextTable::new([
+        "benchmark",
+        "NoC",
+        "method",
+        "texec CWM",
+        "texec CDCM",
+        "ETR",
+        "ECS0.35",
+        "ECS0.07",
+        "SA=ES",
+    ]);
+    for r in &record.rows {
+        per_bench.row([
+            r.name.clone(),
+            r.group.clone(),
+            r.method.clone(),
+            format!("{:.0} ns", r.texec_cwm_ns),
+            format!("{:.0} ns", r.texec_cdcm_ns),
+            format!("{:.1} %", 100.0 * r.etr),
+            format!("{:.2} %", 100.0 * r.ecs_035),
+            format!("{:.1} %", 100.0 * r.ecs_007),
+            r.sa_matches_es.map_or("-".to_owned(), |b| b.to_string()),
+        ]);
+    }
+    println!("Per-benchmark results:\n{}", per_bench.render());
+
+    let mut table2 = TextTable::new(["NoC size", "ETR", "ECS0.35", "ECS0.07"]);
+    for g in &record.groups {
+        table2.row([
+            g.group.clone(),
+            format!("{:.0} %", 100.0 * g.etr),
+            format!("{:.2} %", 100.0 * g.ecs_035),
+            format!("{:.0} %", 100.0 * g.ecs_007),
+        ]);
+    }
+    table2.row([
+        record.average.group.clone(),
+        format!("{:.0} %", 100.0 * record.average.etr),
+        format!("{:.2} %", 100.0 * record.average.ecs_035),
+        format!("{:.0} %", 100.0 * record.average.ecs_007),
+    ]);
+    println!("Table 2 (paper: ETR 40 %, ECS0.35 0.65 %, ECS0.07 20 % on average):");
+    println!("{}", table2.render());
+
+    let path = write_record("table2", &record);
+    eprintln!("record written to {}", path.display());
+}

@@ -1,0 +1,700 @@
+//! # noc-cli
+//!
+//! Command-line front end for the CDCM NoC-mapping reproduction. The
+//! binary (`noc-cli`) wraps the library crates behind five subcommands:
+//!
+//! ```text
+//! noc-cli generate --cores 8 --packets 40 --bits 20000 --out app.json
+//! noc-cli info     --app app.json
+//! noc-cli map      --app app.json --mesh 3x3 --strategy cdcm --method sa
+//! noc-cli evaluate --app app.json --mesh 3x3 --mapping 0,1,2,4,5,6,7,8 --gantt
+//! noc-cli dot      --app app.json --graph cdcg
+//! ```
+//!
+//! Applications are exchanged as JSON-serialized CDCGs (the same format
+//! `serde_json` produces for [`noc_model::Cdcg`]), so generated
+//! benchmarks, hand-written graphs and downstream tooling interoperate.
+//!
+//! All argument parsing and command logic lives in this library so it is
+//! unit-testable; `main.rs` is a thin shell.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use noc_energy::{evaluate_cdcm, evaluate_cwm, Technology};
+use noc_mapping::{
+    anneal_constrained, CdcmObjective, Constraints, CwmObjective, Explorer, SaConfig, SearchMethod,
+    Strategy,
+};
+use noc_model::{Cdcg, Mapping, Mesh, TileId};
+use noc_sim::gantt::GanttChart;
+use noc_sim::{schedule, SimParams};
+use std::error::Error;
+use std::fmt::Write as _;
+
+/// Boxed error type used across the CLI.
+pub type CliError = Box<dyn Error + Send + Sync>;
+
+/// A parsed option bag: `--key value` pairs plus bare flags.
+#[derive(Debug, Clone, Default)]
+pub struct Options {
+    pairs: Vec<(String, String)>,
+    flags: Vec<String>,
+}
+
+impl Options {
+    /// Parses `args` (without the program and subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a dangling `--key` without a value when the
+    /// key is not a known flag.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        const FLAGS: [&str; 3] = ["--gantt", "--quick", "--cwg"];
+        let mut options = Options::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            if !arg.starts_with("--") {
+                return Err(format!("unexpected positional argument `{arg}`").into());
+            }
+            if FLAGS.contains(&arg.as_str()) {
+                options.flags.push(arg.clone());
+                i += 1;
+                continue;
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("missing value for `{arg}`"))?;
+            options.pairs.push((arg.clone(), value.clone()));
+            i += 2;
+        }
+        Ok(options)
+    }
+
+    /// Value of `--key`, if present.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Required value of `--key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error naming the missing option.
+    pub fn require(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key)
+            .ok_or_else(|| format!("missing required option `{key}`").into())
+    }
+
+    /// Parsed value of `--key` with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the value does not parse as `T`.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for `{key}`").into()),
+        }
+    }
+
+    /// True if the bare flag was passed.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+/// Parses `WxH` mesh syntax (e.g. `3x2`).
+///
+/// # Errors
+///
+/// Returns an error for malformed syntax or zero dimensions.
+pub fn parse_mesh(spec: &str) -> Result<Mesh, CliError> {
+    let (w, h) = spec
+        .split_once(['x', 'X'])
+        .ok_or_else(|| format!("mesh must be WxH, got `{spec}`"))?;
+    let width: usize = w
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad mesh width `{w}`"))?;
+    let height: usize = h
+        .trim()
+        .parse()
+        .map_err(|_| format!("bad mesh height `{h}`"))?;
+    Ok(Mesh::new(width, height)?)
+}
+
+/// Parses a comma-separated tile list into a mapping on `mesh`.
+///
+/// # Errors
+///
+/// Returns an error for unparsable indices or invalid (non-injective /
+/// out-of-mesh) placements.
+pub fn parse_mapping(spec: &str, mesh: &Mesh) -> Result<Mapping, CliError> {
+    let tiles: Result<Vec<TileId>, CliError> = spec
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .map(TileId::new)
+                .map_err(|_| format!("bad tile index `{part}`").into())
+        })
+        .collect();
+    Ok(Mapping::from_tiles(mesh, tiles?)?)
+}
+
+/// Resolves a technology name (`paper`, `0.35`, `0.07`, `0.35um`, …).
+///
+/// # Errors
+///
+/// Returns an error for unknown names.
+pub fn parse_technology(name: &str) -> Result<Technology, CliError> {
+    match name.trim().trim_end_matches("um") {
+        "paper" | "paper-example" => Ok(Technology::paper_example()),
+        "0.35" | "350" => Ok(Technology::t035()),
+        "0.07" | "70" => Ok(Technology::t007()),
+        other => Err(format!("unknown technology `{other}` (paper|0.35|0.07)").into()),
+    }
+}
+
+fn load_app(options: &Options) -> Result<Cdcg, CliError> {
+    let path = options.require("--app")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let cdcg: Cdcg =
+        serde_json::from_str(&json).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    cdcg.validate()?;
+    Ok(cdcg)
+}
+
+fn emit(options: &Options, content: &str) -> Result<String, CliError> {
+    match options.get("--out") {
+        Some(path) => {
+            std::fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            Ok(format!("written to {path}\n"))
+        }
+        None => Ok(content.to_owned()),
+    }
+}
+
+/// `generate`: produce a TGFF-style application (or the paper example).
+///
+/// # Errors
+///
+/// Returns an error on bad options or IO failures.
+pub fn cmd_generate(options: &Options) -> Result<String, CliError> {
+    let app = if options.get("--paper-example").is_some_and(|v| v == "true")
+        || options.get("--cores").is_none()
+    {
+        noc_apps::paper_example::figure1_cdcg()
+    } else {
+        let cores: usize = options.get_parsed("--cores", 6)?;
+        let packets: usize = options.get_parsed("--packets", 20)?;
+        let bits: u64 = options.get_parsed("--bits", 10_000)?;
+        let seed: u64 = options.get_parsed("--seed", 0)?;
+        noc_apps::generate(&noc_apps::TgffConfig::new(cores, packets, bits, seed))
+    };
+    let json = serde_json::to_string_pretty(&app)?;
+    emit(options, &json)
+}
+
+/// `info`: summarize an application graph.
+///
+/// # Errors
+///
+/// Returns an error on load failures.
+pub fn cmd_info(options: &Options) -> Result<String, CliError> {
+    let app = load_app(options)?;
+    let cwg = app.to_cwg();
+    let mut out = String::new();
+    let _ = writeln!(out, "cores:        {}", app.core_count());
+    let _ = writeln!(out, "packets:      {}", app.packet_count());
+    let _ = writeln!(out, "dependences:  {}", app.dependence_count());
+    let _ = writeln!(out, "depth:        {}", app.depth());
+    let _ = writeln!(out, "total bits:   {}", app.total_volume());
+    let _ = writeln!(out, "NCC (flows):  {}", cwg.communication_count());
+    let _ = writeln!(out, "NDP:          {}", app.ndp());
+    let _ = writeln!(
+        out,
+        "start/end:    {} / {}",
+        app.start_packets().count(),
+        app.end_packets().count()
+    );
+    Ok(out)
+}
+
+/// Parses `--pin c0:t3,c2:t0` syntax into [`Constraints`].
+///
+/// # Errors
+///
+/// Returns an error for malformed entries or conflicting pins.
+pub fn parse_pins(spec: &str) -> Result<Constraints, CliError> {
+    let mut constraints = Constraints::new();
+    for entry in spec.split(',') {
+        let (core, tile) = entry
+            .split_once(':')
+            .ok_or_else(|| format!("pin must be core:tile, got `{entry}`"))?;
+        let core: usize = core
+            .trim()
+            .trim_start_matches('c')
+            .parse()
+            .map_err(|_| format!("bad core in pin `{entry}`"))?;
+        let tile: usize = tile
+            .trim()
+            .trim_start_matches('t')
+            .parse()
+            .map_err(|_| format!("bad tile in pin `{entry}`"))?;
+        constraints = constraints.pin(noc_model::CoreId::new(core), TileId::new(tile))?;
+    }
+    Ok(constraints)
+}
+
+/// `map`: search the best mapping for an application.
+///
+/// # Errors
+///
+/// Returns an error on bad options, load failures, or infeasible
+/// instances (more cores than tiles).
+pub fn cmd_map(options: &Options) -> Result<String, CliError> {
+    let app = load_app(options)?;
+    let mesh = parse_mesh(options.require("--mesh")?)?;
+    if app.core_count() > mesh.tile_count() {
+        return Err(format!(
+            "{} cores cannot map onto {} tiles",
+            app.core_count(),
+            mesh.tile_count()
+        )
+        .into());
+    }
+    let tech = parse_technology(options.get("--tech").unwrap_or("0.07"))?;
+    let strategy = match options.get("--strategy").unwrap_or("cdcm") {
+        "cwm" | "CWM" => Strategy::Cwm,
+        "cdcm" | "CDCM" => Strategy::Cdcm,
+        other => return Err(format!("unknown strategy `{other}` (cwm|cdcm)").into()),
+    };
+    let seed: u64 = options.get_parsed("--seed", 0)?;
+    let method = match options.get("--method").unwrap_or("sa") {
+        "sa" | "SA" => SearchMethod::SimulatedAnnealing(if options.flag("--quick") {
+            SaConfig::quick(seed)
+        } else {
+            SaConfig::new(seed)
+        }),
+        "exhaustive" | "es" | "ES" => SearchMethod::Exhaustive,
+        "random" => SearchMethod::Random {
+            samples: 10_000,
+            seed,
+        },
+        "greedy" => SearchMethod::Greedy { restarts: 8, seed },
+        other => return Err(format!("unknown method `{other}` (sa|es|random|greedy)").into()),
+    };
+
+    let params = SimParams::new();
+    let explorer = Explorer::new(&app, mesh, tech.clone(), params);
+    let outcome = match options.get("--pin") {
+        Some(pin_spec) => {
+            // Constrained search: pinned cores stay on their tiles.
+            let pins = parse_pins(pin_spec)?;
+            pins.validate(&mesh, app.core_count())?;
+            let sa = if options.flag("--quick") {
+                SaConfig::quick(seed)
+            } else {
+                SaConfig::new(seed)
+            };
+            match strategy {
+                Strategy::Cwm => {
+                    let cwg = explorer.cwg().clone();
+                    let objective = CwmObjective::new(&cwg, &mesh, &tech);
+                    anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
+                }
+                Strategy::Cdcm => {
+                    let objective = CdcmObjective::new(&app, &mesh, &tech, params);
+                    anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
+                }
+            }
+        }
+        None => explorer.explore(strategy, method),
+    };
+    let eval = evaluate_cdcm(&app, &mesh, &outcome.mapping, &tech, &params)?;
+    let cwm_view = evaluate_cwm(&explorer.cwg().clone(), &mesh, &outcome.mapping, &tech);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "strategy:     {} ({})",
+        outcome.objective, outcome.method
+    );
+    let _ = writeln!(out, "mapping:      {}", outcome.mapping);
+    let tiles: Vec<String> = outcome
+        .mapping
+        .assignments()
+        .map(|(_, t)| t.index().to_string())
+        .collect();
+    let _ = writeln!(out, "tile list:    {}", tiles.join(","));
+    let _ = writeln!(out, "objective:    {:.3} pJ", outcome.cost);
+    let _ = writeln!(out, "texec:        {} ns", eval.texec_ns);
+    let _ = writeln!(out, "energy:       {}", eval.breakdown);
+    let _ = writeln!(out, "dynamic-only: {cwm_view} (the CWM view)");
+    let _ = writeln!(out, "evaluations:  {}", outcome.evaluations);
+    let _ = writeln!(out, "elapsed:      {:.3} s", outcome.elapsed.as_secs_f64());
+    Ok(out)
+}
+
+/// `evaluate`: score one explicit mapping (optionally with a Gantt chart).
+///
+/// # Errors
+///
+/// Returns an error on bad options or an invalid mapping.
+pub fn cmd_evaluate(options: &Options) -> Result<String, CliError> {
+    let app = load_app(options)?;
+    let mesh = parse_mesh(options.require("--mesh")?)?;
+    let mapping = parse_mapping(options.require("--mapping")?, &mesh)?;
+    if mapping.core_count() != app.core_count() {
+        return Err(format!(
+            "mapping covers {} cores but the application has {}",
+            mapping.core_count(),
+            app.core_count()
+        )
+        .into());
+    }
+    let tech = parse_technology(options.get("--tech").unwrap_or("0.07"))?;
+    let params = SimParams::new();
+    let eval = evaluate_cdcm(&app, &mesh, &mapping, &tech, &params)?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "mapping:    {mapping}");
+    let _ = writeln!(out, "texec:      {} ns", eval.texec_ns);
+    let _ = writeln!(out, "energy:     {}", eval.breakdown);
+    let _ = writeln!(
+        out,
+        "contention: {} events, {} cycles",
+        eval.schedule.contention_events().len(),
+        eval.schedule.total_contention_cycles()
+    );
+    if options.flag("--gantt") {
+        let sched = schedule(&app, &mesh, &mapping, &params)?;
+        let _ = writeln!(
+            out,
+            "{}",
+            GanttChart::from_schedule(&sched, &app).render(100)
+        );
+    }
+    Ok(out)
+}
+
+/// `suite`: list the Table 1 benchmarks or export one as JSON.
+///
+/// # Errors
+///
+/// Returns an error for out-of-range rows or IO failures.
+pub fn cmd_suite(options: &Options) -> Result<String, CliError> {
+    match options.get("--row") {
+        None => {
+            let mut out = String::new();
+            let _ = writeln!(out, "row  name       NoC    cores  packets  total bits");
+            for (i, row) in noc_apps::TABLE1_ROWS.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{:3}  {:9}  {:5}  {:5}  {:7}  {}",
+                    i, row.name, row.group, row.cores, row.packets, row.total_bits
+                );
+            }
+            let _ = writeln!(out, "export one with: noc-cli suite --row N --out app.json");
+            Ok(out)
+        }
+        Some(row) => {
+            let index: usize = row.parse().map_err(|_| format!("bad row `{row}`"))?;
+            let spec = noc_apps::TABLE1_ROWS
+                .get(index)
+                .ok_or_else(|| format!("row {index} out of range (0..18)"))?;
+            let bench = noc_apps::Benchmark::from_spec(*spec);
+            let json = serde_json::to_string_pretty(&bench.cdcg)?;
+            emit(options, &json)
+        }
+    }
+}
+
+/// `dot`: Graphviz export of the CDCG (default) or collapsed CWG.
+///
+/// # Errors
+///
+/// Returns an error on load failures.
+pub fn cmd_dot(options: &Options) -> Result<String, CliError> {
+    let app = load_app(options)?;
+    let dot = if options.flag("--cwg") || options.get("--graph") == Some("cwg") {
+        noc_model::dot::cwg_to_dot(&app.to_cwg())
+    } else {
+        noc_model::dot::cdcg_to_dot(&app)
+    };
+    emit(options, &dot)
+}
+
+/// Usage text.
+pub fn usage() -> String {
+    "noc-cli — energy- and timing-aware NoC mapping (DATE'05 CDCM reproduction)
+
+USAGE:
+  noc-cli generate [--cores N --packets N --bits N --seed S] [--out app.json]
+  noc-cli info     --app app.json
+  noc-cli map      --app app.json --mesh WxH [--strategy cwm|cdcm]
+                   [--method sa|es|random|greedy] [--tech paper|0.35|0.07]
+                   [--seed S] [--quick] [--pin c0:t3,c2:t0]
+  noc-cli evaluate --app app.json --mesh WxH --mapping t0,t1,...
+                   [--tech paper|0.35|0.07] [--gantt]
+  noc-cli suite    [--row N] [--out app.json]
+  noc-cli dot      --app app.json [--graph cdcg|cwg] [--out graph.dot]
+
+`generate` without --cores emits the paper's Figure 1 example.
+"
+    .to_owned()
+}
+
+/// Dispatches a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns an error for unknown commands or any command failure.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(usage());
+    };
+    let options = Options::parse(&args[1..])?;
+    match command.as_str() {
+        "generate" => cmd_generate(&options),
+        "info" => cmd_info(&options),
+        "map" => cmd_map(&options),
+        "evaluate" => cmd_evaluate(&options),
+        "suite" => cmd_suite(&options),
+        "dot" => cmd_dot(&options),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command `{other}`; try `noc-cli help`").into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_example_app() -> tempfile::TempPath {
+        let app = noc_apps::paper_example::figure1_cdcg();
+        let json = serde_json::to_string(&app).expect("serializes");
+        let dir = std::env::temp_dir().join(format!("noc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!(
+            "app-{}.json",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("time")
+                .as_nanos()
+        ));
+        std::fs::write(&path, json).expect("write");
+        tempfile::TempPath(path)
+    }
+
+    /// Minimal owned temp path (avoids a tempfile dependency).
+    mod tempfile {
+        pub struct TempPath(pub std::path::PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().expect("utf8 path")
+            }
+        }
+    }
+
+    #[test]
+    fn options_parse_pairs_and_flags() {
+        let o = Options::parse(&strs(&["--cores", "5", "--gantt", "--seed", "7"])).unwrap();
+        assert_eq!(o.get("--cores"), Some("5"));
+        assert_eq!(o.get("--seed"), Some("7"));
+        assert!(o.flag("--gantt"));
+        assert!(!o.flag("--quick"));
+        assert!(Options::parse(&strs(&["--cores"])).is_err());
+        assert!(Options::parse(&strs(&["positional"])).is_err());
+    }
+
+    #[test]
+    fn mesh_and_mapping_parsing() {
+        let mesh = parse_mesh("3x2").unwrap();
+        assert_eq!(mesh.tile_count(), 6);
+        assert!(parse_mesh("3*2").is_err());
+        assert!(parse_mesh("0x2").is_err());
+        let mapping = parse_mapping("1, 0, 3", &parse_mesh("2x2").unwrap()).unwrap();
+        assert_eq!(mapping.core_count(), 3);
+        assert!(parse_mapping("1,1", &parse_mesh("2x2").unwrap()).is_err());
+        assert!(parse_mapping("9", &parse_mesh("2x2").unwrap()).is_err());
+    }
+
+    #[test]
+    fn technology_names() {
+        assert_eq!(parse_technology("paper").unwrap().name, "paper-example");
+        assert_eq!(parse_technology("0.35").unwrap().feature_nm, 350);
+        assert_eq!(parse_technology("0.07um").unwrap().feature_nm, 70);
+        assert!(parse_technology("5nm").is_err());
+    }
+
+    #[test]
+    fn generate_and_info_roundtrip() {
+        let o = Options::parse(&strs(&[
+            "--cores",
+            "5",
+            "--packets",
+            "12",
+            "--bits",
+            "600",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        let json = cmd_generate(&o).unwrap();
+        let app: Cdcg = serde_json::from_str(&json).unwrap();
+        assert_eq!(app.core_count(), 5);
+        assert_eq!(app.packet_count(), 12);
+        assert_eq!(app.total_volume(), 600);
+    }
+
+    #[test]
+    fn generate_default_is_paper_example() {
+        let json = cmd_generate(&Options::default()).unwrap();
+        let app: Cdcg = serde_json::from_str(&json).unwrap();
+        assert_eq!(app.packet_count(), 6);
+        assert_eq!(app.total_volume(), 120);
+    }
+
+    #[test]
+    fn map_and_evaluate_the_paper_example() {
+        let path = write_example_app();
+        let map_out = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "es",
+            "--tech",
+            "paper",
+        ]))
+        .unwrap();
+        assert!(map_out.contains("texec:"), "{map_out}");
+        assert!(map_out.contains("CDCM"));
+
+        let eval_out = run(&strs(&[
+            "evaluate",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--mapping",
+            "1,0,3,2",
+            "--tech",
+            "paper",
+            "--gantt",
+        ]))
+        .unwrap();
+        // Figure 3(a): the paper mapping evaluates to 100 ns / 400 pJ...
+        // with SimParams::new() (no injection serialization) the numbers
+        // match the paper's example exactly because dependences already
+        // serialize each core's packets there.
+        assert!(eval_out.contains("texec:      100 ns"), "{eval_out}");
+        assert!(eval_out.contains("400.000 pJ"), "{eval_out}");
+        assert!(eval_out.contains("legend:"), "gantt requested");
+    }
+
+    #[test]
+    fn dot_exports_both_graphs() {
+        let path = write_example_app();
+        let cdcg = run(&strs(&["dot", "--app", path.as_str()])).unwrap();
+        assert!(cdcg.contains("digraph cdcg"));
+        let cwg = run(&strs(&["dot", "--app", path.as_str(), "--cwg"])).unwrap();
+        assert!(cwg.contains("digraph cwg"));
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        let err = run(&strs(&[
+            "map",
+            "--app",
+            "/nonexistent.json",
+            "--mesh",
+            "2x2",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("/nonexistent.json"));
+        let usage_text = run(&[]).unwrap();
+        assert!(usage_text.contains("USAGE"));
+    }
+
+    #[test]
+    fn suite_lists_and_exports() {
+        let listing = run(&strs(&["suite"])).unwrap();
+        assert!(listing.contains("tgff-i"));
+        assert!(listing.contains("12x10"));
+        let json = run(&strs(&["suite", "--row", "1"])).unwrap();
+        let app: Cdcg = serde_json::from_str(&json).unwrap();
+        assert_eq!(app.packet_count(), 17); // fft8-a
+        assert_eq!(app.total_volume(), 174);
+        assert!(run(&strs(&["suite", "--row", "99"])).is_err());
+    }
+
+    #[test]
+    fn pins_parse_and_constrain_the_search() {
+        let pins = parse_pins("c0:t3, c1:0").unwrap();
+        assert_eq!(pins.len(), 2);
+        assert!(parse_pins("c0").is_err());
+        assert!(parse_pins("c0:t0,c1:t0").is_err());
+
+        let path = write_example_app();
+        let out = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--pin",
+            "c0:t0",
+            "--tech",
+            "paper",
+            "--quick",
+        ]))
+        .unwrap();
+        // Core 0 (A) must sit on tile 0 in the reported tile list.
+        let tile_line = out
+            .lines()
+            .find(|l| l.starts_with("tile list:"))
+            .expect("tile list printed");
+        let first = tile_line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split(',')
+            .next()
+            .unwrap();
+        assert_eq!(first, "0", "{out}");
+    }
+
+    #[test]
+    fn map_rejects_oversubscribed_mesh() {
+        let path = write_example_app();
+        let err = run(&strs(&["map", "--app", path.as_str(), "--mesh", "3x1"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("cannot map"), "{err}");
+    }
+}

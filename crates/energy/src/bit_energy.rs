@@ -1,0 +1,99 @@
+//! Bit-energy model (paper Equations 1 and 2, after Ye et al. [6]).
+//!
+//! `EBit` is the dynamic energy one bit dissipates when it flips polarity
+//! while traversing the NoC. It splits into the router component `ERbit`,
+//! the inter-tile link component `ELbit` (the paper argues horizontal and
+//! vertical links are equal for square tiles) and the core-link component
+//! `ECbit` (negligible for large tiles, and dropped from Equation 2).
+
+use crate::units::Energy;
+use serde::{Deserialize, Serialize};
+
+/// Per-bit dynamic energy components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BitEnergy {
+    /// `ERbit`: energy per bit inside a router (wires, buffers, logic), pJ.
+    pub router_pj: f64,
+    /// `ELbit`: energy per bit on an inter-tile link, pJ.
+    pub link_pj: f64,
+    /// `ECbit`: energy per bit on a core↔router link, pJ (normally 0 to
+    /// follow Equation 2 exactly).
+    pub core_link_pj: f64,
+}
+
+impl BitEnergy {
+    /// The illustrative values of the paper's §4.1 example:
+    /// `ERbit = ELbit = 1 pJ/bit`, `ECbit` neglected.
+    pub fn paper_example() -> Self {
+        Self {
+            router_pj: 1.0,
+            link_pj: 1.0,
+            core_link_pj: 0.0,
+        }
+    }
+
+    /// Energy of one bit traversing `k` routers (Equation 2):
+    /// `EBit_ij = K·ERbit + (K−1)·ELbit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`; every route visits at least one router.
+    pub fn per_bit(&self, k: usize) -> Energy {
+        assert!(k > 0, "a route visits at least one router");
+        Energy::from_picojoules(k as f64 * self.router_pj + (k - 1) as f64 * self.link_pj)
+    }
+
+    /// Equation 2 extended with the two core links (injection and
+    /// ejection) for users who do not want to neglect `ECbit`.
+    pub fn per_bit_with_core_links(&self, k: usize) -> Energy {
+        self.per_bit(k) + Energy::from_picojoules(2.0 * self.core_link_pj)
+    }
+
+    /// Energy of a whole `bits`-bit transfer across `k` routers
+    /// (`EBit_ab = w_ab × EBit_ij`).
+    pub fn per_transfer(&self, k: usize, bits: u64) -> Energy {
+        self.per_bit(k) * bits as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_worked_values() {
+        let be = BitEnergy::paper_example();
+        // K=2: 2·1 + 1·1 = 3 pJ/bit; the E→A communication of Figure 2
+        // moves 35 bits across 2 routers: 105 pJ... the paper quotes the
+        // full 35 pJ per resource; the per-transfer total is 35*3.
+        assert_eq!(be.per_bit(2).picojoules(), 3.0);
+        assert_eq!(be.per_bit(3).picojoules(), 5.0);
+        assert_eq!(be.per_transfer(2, 35).picojoules(), 105.0);
+    }
+
+    #[test]
+    fn single_router_has_no_link_energy() {
+        let be = BitEnergy {
+            router_pj: 2.0,
+            link_pj: 7.0,
+            core_link_pj: 0.0,
+        };
+        assert_eq!(be.per_bit(1).picojoules(), 2.0);
+    }
+
+    #[test]
+    fn core_links_add_twice_ecbit() {
+        let be = BitEnergy {
+            router_pj: 1.0,
+            link_pj: 1.0,
+            core_link_pj: 0.25,
+        };
+        assert_eq!(be.per_bit_with_core_links(2).picojoules(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one router")]
+    fn zero_router_path_panics() {
+        let _ = BitEnergy::paper_example().per_bit(0);
+    }
+}

@@ -1,0 +1,58 @@
+//! # noc-energy
+//!
+//! NoC energy models for the DATE 2005 CDCM reproduction (paper §3.2):
+//!
+//! * [`BitEnergy`] — per-bit dynamic energy components `ERbit`, `ELbit`,
+//!   `ECbit` and Equation 2 (`EBit_ij = K·ERbit + (K−1)·ELbit`);
+//! * [`dynamic`] — `EDyNoC` for CWG (Eq. 3) and CDCG (Eq. 4);
+//! * [`statics`] — `PStNoC = n·PSRouter` (Eq. 5) and
+//!   `EStNoC = PStNoC·texec` (Eq. 9);
+//! * [`total`] — `ENoC = EStNoC + EDyNoC` (Eq. 10), wired to the
+//!   contention-aware scheduler of `noc-sim`;
+//! * [`Technology`] — the 0.35 µ / 0.07 µ operating points of Table 2.
+//!
+//! # Examples
+//!
+//! The paper's worked example end to end (Figure 3):
+//!
+//! ```
+//! use noc_energy::{evaluate_cdcm, Technology};
+//! use noc_model::{Cdcg, Mapping, Mesh, TileId};
+//! use noc_sim::SimParams;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut app = Cdcg::new();
+//! let a = app.add_core("A");
+//! let b = app.add_core("B");
+//! app.add_packet(a, b, 6, 15)?;
+//! let mesh = Mesh::new(2, 2)?;
+//! let mapping = Mapping::identity(&mesh, 2)?;
+//! let eval = evaluate_cdcm(
+//!     &app,
+//!     &mesh,
+//!     &mapping,
+//!     &Technology::paper_example(),
+//!     &SimParams::paper_example(),
+//! )?;
+//! // 15 bits over 2 routers: 15·3 = 45 pJ dynamic.
+//! assert_eq!(eval.breakdown.dynamic.picojoules(), 45.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bit_energy;
+pub mod dynamic;
+pub mod statics;
+pub mod technology;
+pub mod total;
+pub mod units;
+
+pub use bit_energy::BitEnergy;
+pub use dynamic::{cdcg_dynamic_energy, cwg_dynamic_energy};
+pub use statics::{noc_static_energy, noc_static_power};
+pub use technology::Technology;
+pub use total::{evaluate_cdcm, evaluate_cwm, CdcmEvaluation, EnergyBreakdown};
+pub use units::{Energy, Power};

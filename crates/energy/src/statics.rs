@@ -1,0 +1,62 @@
+//! Static (leakage) NoC power and energy (paper Equations 5 and 9).
+//!
+//! Static power is proportional to the gate count, hence to the number of
+//! routers: `PStNoC = n × PSRouter` (Eq. 5). Static *energy* additionally
+//! needs the application execution time, which only the CDCM model can
+//! estimate: `EStNoC = PStNoC × texec` (Eq. 9). This is exactly why the
+//! paper argues CWM "is inappropriate to compute static energy
+//! consumption".
+
+use crate::technology::Technology;
+use crate::units::{Energy, Power};
+use noc_model::Mesh;
+
+/// `PStNoC` of Equation 5: total leakage power of all `n` routers.
+pub fn noc_static_power(mesh: &Mesh, tech: &Technology) -> Power {
+    tech.router_static_power * mesh.tile_count() as f64
+}
+
+/// `EStNoC` of Equation 9: leakage energy over an execution of
+/// `texec_ns` nanoseconds.
+pub fn noc_static_energy(mesh: &Mesh, tech: &Technology, texec_ns: f64) -> Energy {
+    noc_static_power(mesh, tech).energy_over_ns(texec_ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_static_power() {
+        // 2x2 NoC at the example operating point: PstNoC = 0.1 pJ/ns.
+        let mesh = Mesh::new(2, 2).unwrap();
+        let p = noc_static_power(&mesh, &Technology::paper_example());
+        assert!((p.pj_per_ns() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_static_energy() {
+        // 100 ns -> 10 pJ, 90 ns -> 9 pJ (Figure 3 totals 400 vs 399).
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        assert!((noc_static_energy(&mesh, &tech, 100.0).picojoules() - 10.0).abs() < 1e-12);
+        assert!((noc_static_energy(&mesh, &tech, 90.0).picojoules() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_scales_with_tile_count() {
+        let tech = Technology::t007();
+        let small = noc_static_power(&Mesh::new(2, 2).unwrap(), &tech);
+        let large = noc_static_power(&Mesh::new(10, 10).unwrap(), &tech);
+        assert!((large.pj_per_ns() - 25.0 * small.pj_per_ns()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_time_means_zero_static_energy() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        assert_eq!(
+            noc_static_energy(&mesh, &Technology::t007(), 0.0).picojoules(),
+            0.0
+        );
+    }
+}

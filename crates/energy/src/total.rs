@@ -1,0 +1,241 @@
+//! Total NoC energy (paper Equation 10) and the two model evaluations.
+//!
+//! * [`evaluate_cwm`] — what the CWM strategy can see: dynamic energy only
+//!   (Equation 3). The paper stresses that `ENoC(CWM) = EDyNoC(CWM)`
+//!   because the model carries no timing.
+//! * [`evaluate_cdcm`] — the full CDCM evaluation: run the CDCG on the
+//!   mapped mesh (contention-aware schedule), then
+//!   `ENoC = EStNoC + EDyNoC` (Equation 10).
+
+use crate::dynamic::{cdcg_dynamic_energy_with, cwg_dynamic_energy_with};
+use crate::statics::noc_static_energy;
+use crate::technology::Technology;
+use crate::units::Energy;
+use noc_model::{Cdcg, Cwg, Mapping, Mesh, RoutingAlgorithm, XyRouting};
+use noc_sim::{schedule_with, Schedule, SimError, SimParams};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Static + dynamic energy split of one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// `EDyNoC`: switching energy of all packet traffic.
+    pub dynamic: Energy,
+    /// `EStNoC`: leakage energy over the execution time.
+    pub static_energy: Energy,
+}
+
+impl EnergyBreakdown {
+    /// `ENoC = EStNoC + EDyNoC` (Equation 10).
+    pub fn total(&self) -> Energy {
+        self.dynamic + self.static_energy
+    }
+
+    /// Static share of the total, in `[0, 1]`.
+    pub fn static_share(&self) -> f64 {
+        let total = self.total().picojoules();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.static_energy.picojoules() / total
+        }
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (dynamic {} + static {})",
+            self.total(),
+            self.dynamic,
+            self.static_energy
+        )
+    }
+}
+
+/// Result of a full CDCM evaluation of one mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CdcmEvaluation {
+    /// Energy split; `breakdown.total()` is the Equation 10 objective.
+    pub breakdown: EnergyBreakdown,
+    /// Execution time in cycles.
+    pub texec_cycles: u64,
+    /// Execution time in nanoseconds.
+    pub texec_ns: f64,
+    /// The underlying contention-aware schedule.
+    pub schedule: Schedule,
+}
+
+impl CdcmEvaluation {
+    /// The CDCM objective value `ENoC` in picojoules.
+    pub fn objective_pj(&self) -> f64 {
+        self.breakdown.total().picojoules()
+    }
+}
+
+/// Evaluates a mapping the CWM way (Equation 3, XY routing): dynamic
+/// energy only.
+pub fn evaluate_cwm(cwg: &Cwg, mesh: &Mesh, mapping: &Mapping, tech: &Technology) -> Energy {
+    evaluate_cwm_with(cwg, mesh, mapping, tech, &XyRouting)
+}
+
+/// [`evaluate_cwm`] with an explicit routing algorithm.
+pub fn evaluate_cwm_with(
+    cwg: &Cwg,
+    mesh: &Mesh,
+    mapping: &Mapping,
+    tech: &Technology,
+    routing: &dyn RoutingAlgorithm,
+) -> Energy {
+    cwg_dynamic_energy_with(cwg, mesh, mapping, tech, routing)
+}
+
+/// Evaluates a mapping the CDCM way (Equation 10, XY routing): schedules
+/// the CDCG with contention and sums static and dynamic energy.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (core/mapping mismatch, invalid model).
+pub fn evaluate_cdcm(
+    cdcg: &Cdcg,
+    mesh: &Mesh,
+    mapping: &Mapping,
+    tech: &Technology,
+    params: &SimParams,
+) -> Result<CdcmEvaluation, SimError> {
+    evaluate_cdcm_with(cdcg, mesh, mapping, tech, params, &XyRouting)
+}
+
+/// [`evaluate_cdcm`] with an explicit routing algorithm.
+///
+/// # Errors
+///
+/// Propagates scheduling errors (core/mapping mismatch, invalid model).
+pub fn evaluate_cdcm_with(
+    cdcg: &Cdcg,
+    mesh: &Mesh,
+    mapping: &Mapping,
+    tech: &Technology,
+    params: &SimParams,
+    routing: &dyn RoutingAlgorithm,
+) -> Result<CdcmEvaluation, SimError> {
+    let schedule = schedule_with(cdcg, mesh, mapping, params, routing)?;
+    let dynamic = cdcg_dynamic_energy_with(cdcg, mesh, mapping, tech, routing);
+    let texec_ns = schedule.texec_ns();
+    let static_energy = noc_static_energy(mesh, tech, texec_ns);
+    Ok(CdcmEvaluation {
+        breakdown: EnergyBreakdown {
+            dynamic,
+            static_energy,
+        },
+        texec_cycles: schedule.texec_cycles(),
+        texec_ns,
+        schedule,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::TileId;
+
+    fn figure1_cdcg() -> Cdcg {
+        let mut g = Cdcg::new();
+        let a = g.add_core("A");
+        let b = g.add_core("B");
+        let e = g.add_core("E");
+        let f = g.add_core("F");
+        let pab1 = g.add_packet(a, b, 6, 15).unwrap();
+        let pbf1 = g.add_packet(b, f, 10, 40).unwrap();
+        let pea1 = g.add_packet(e, a, 10, 20).unwrap();
+        let pea2 = g.add_packet(e, a, 20, 15).unwrap();
+        let paf1 = g.add_packet(a, f, 6, 15).unwrap();
+        let pfb1 = g.add_packet(f, b, 6, 15).unwrap();
+        g.add_dependence(pea1, pea2).unwrap();
+        g.add_dependence(pab1, paf1).unwrap();
+        g.add_dependence(pea1, paf1).unwrap();
+        g.add_dependence(pbf1, pfb1).unwrap();
+        g.add_dependence(paf1, pfb1).unwrap();
+        g
+    }
+
+    /// The headline golden test: Figure 3's ENoC values, 400 pJ vs 399 pJ.
+    #[test]
+    fn figure3_total_energy_400_vs_399() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let params = SimParams::paper_example();
+
+        let map_c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let eval_c = evaluate_cdcm(&cdcg, &mesh, &map_c, &tech, &params).unwrap();
+        assert_eq!(eval_c.texec_ns, 100.0);
+        assert!((eval_c.breakdown.dynamic.picojoules() - 390.0).abs() < 1e-9);
+        assert!((eval_c.breakdown.static_energy.picojoules() - 10.0).abs() < 1e-9);
+        assert!((eval_c.objective_pj() - 400.0).abs() < 1e-9);
+
+        let map_d = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        let eval_d = evaluate_cdcm(&cdcg, &mesh, &map_d, &tech, &params).unwrap();
+        assert_eq!(eval_d.texec_ns, 90.0);
+        assert!((eval_d.objective_pj() - 399.0).abs() < 1e-9);
+
+        // "Mapping (a) consumes ~1% more energy than (b)."
+        let ratio = eval_c.objective_pj() / eval_d.objective_pj();
+        assert!(ratio > 1.002 && ratio < 1.01);
+    }
+
+    /// Figure 2: CWM sees both mappings as identical (390 pJ), which is
+    /// the paper's core criticism of the model.
+    #[test]
+    fn cwm_cannot_distinguish_the_mappings() {
+        let cdcg = figure1_cdcg();
+        let cwg = cdcg.to_cwg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let map_c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let map_d = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        let e_c = evaluate_cwm(&cwg, &mesh, &map_c, &tech);
+        let e_d = evaluate_cwm(&cwg, &mesh, &map_d, &tech);
+        assert_eq!(e_c.picojoules(), 390.0);
+        assert_eq!(e_d.picojoules(), 390.0);
+    }
+
+    #[test]
+    fn breakdown_total_and_share() {
+        let b = EnergyBreakdown {
+            dynamic: Energy::from_picojoules(390.0),
+            static_energy: Energy::from_picojoules(10.0),
+        };
+        assert_eq!(b.total().picojoules(), 400.0);
+        assert!((b.static_share() - 0.025).abs() < 1e-12);
+        assert_eq!(EnergyBreakdown::default().static_share(), 0.0);
+    }
+
+    #[test]
+    fn static_share_grows_with_deep_submicron() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mapping = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let old = evaluate_cdcm(&cdcg, &mesh, &mapping, &Technology::t035(), &params).unwrap();
+        let new = evaluate_cdcm(&cdcg, &mesh, &mapping, &Technology::t007(), &params).unwrap();
+        assert!(
+            new.breakdown.static_share() > 10.0 * old.breakdown.static_share(),
+            "0.07um share {} should dwarf 0.35um share {}",
+            new.breakdown.static_share(),
+            old.breakdown.static_share()
+        );
+    }
+
+    #[test]
+    fn display_formats_breakdown() {
+        let b = EnergyBreakdown {
+            dynamic: Energy::from_picojoules(1.0),
+            static_energy: Energy::from_picojoules(2.0),
+        };
+        let s = b.to_string();
+        assert!(s.contains("dynamic"));
+        assert!(s.contains("static"));
+    }
+}

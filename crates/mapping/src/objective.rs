@@ -1,0 +1,312 @@
+//! Mapping cost functions: the CWM and CDCM objectives plus extensions.
+//!
+//! Both of the paper's strategies are search procedures over the same
+//! mapping space; they differ only in the objective (§4):
+//!
+//! * [`CwmObjective`] — Equation 3: dynamic energy from the CWG. Cheap
+//!   (`O(NCC)` path computations), but blind to timing.
+//! * [`CdcmObjective`] — Equation 10: total energy, requiring a
+//!   contention-aware schedule per evaluation (`O(NDP)` event
+//!   processing).
+//! * [`ExecTimeObjective`] — pure `texec` minimization (an extension the
+//!   ETR experiments use for ablations).
+//! * [`WeightedObjective`] — `α·ENoC + β·texec` multi-objective blend
+//!   (listed by the paper as a natural extension).
+
+use noc_energy::{evaluate_cdcm, evaluate_cwm, Technology};
+use noc_model::{Cdcg, Cwg, Mapping, Mesh, TileId, XyRouting};
+use noc_sim::{schedule, SimParams};
+
+/// A mapping objective: smaller is better.
+///
+/// Objects of this trait are what the search engines in [`crate::sa`],
+/// [`crate::exhaustive()`], [`crate::random_search()`] and [`crate::greedy()`]
+/// minimize.
+pub trait CostFunction {
+    /// Cost of a mapping (picojoules for the energy objectives,
+    /// nanoseconds for the time objective).
+    fn cost(&self, mapping: &Mapping) -> f64;
+
+    /// Short name for reports ("CWM", "CDCM", …).
+    fn name(&self) -> String;
+}
+
+/// Objectives that can evaluate a tile swap incrementally, without a full
+/// re-evaluation. Implementations must guarantee
+/// `cost(swap(m)) == cost(m) + swap_delta(m, a, b)` up to rounding; the
+/// tests in this module and `tests/proptest_invariants.rs` enforce this.
+pub trait SwapDeltaCost: CostFunction {
+    /// Cost change if tiles `a` and `b` of `mapping` were swapped.
+    fn swap_delta(&self, mapping: &Mapping, a: TileId, b: TileId) -> f64;
+}
+
+/// The CWM objective (Equation 3): NoC dynamic energy of a CWG.
+#[derive(Debug, Clone)]
+pub struct CwmObjective<'a> {
+    cwg: &'a Cwg,
+    mesh: &'a Mesh,
+    tech: &'a Technology,
+}
+
+impl<'a> CwmObjective<'a> {
+    /// Creates the objective for an application CWG on a mesh at a
+    /// technology point.
+    pub fn new(cwg: &'a Cwg, mesh: &'a Mesh, tech: &'a Technology) -> Self {
+        Self { cwg, mesh, tech }
+    }
+
+    /// The underlying CWG.
+    pub fn cwg(&self) -> &Cwg {
+        self.cwg
+    }
+}
+
+impl CostFunction for CwmObjective<'_> {
+    fn cost(&self, mapping: &Mapping) -> f64 {
+        evaluate_cwm(self.cwg, self.mesh, mapping, self.tech).picojoules()
+    }
+
+    fn name(&self) -> String {
+        "CWM".to_owned()
+    }
+}
+
+impl SwapDeltaCost for CwmObjective<'_> {
+    fn swap_delta(&self, mapping: &Mapping, a: TileId, b: TileId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let affected = |core: noc_model::CoreId| {
+            let t = mapping.tile_of(core);
+            t == a || t == b
+        };
+        // Only communications touching a swapped core change cost.
+        let routing = XyRouting;
+        let mut swapped = mapping.clone();
+        swapped.swap_tiles(a, b);
+        let mut delta = 0.0;
+        for comm in self.cwg.communications() {
+            if !(affected(comm.src) || affected(comm.dst)) {
+                continue;
+            }
+            let old = noc_energy::dynamic::communication_energy(
+                &comm, self.mesh, mapping, self.tech, &routing,
+            );
+            let new = noc_energy::dynamic::communication_energy(
+                &comm, self.mesh, &swapped, self.tech, &routing,
+            );
+            delta += new.picojoules() - old.picojoules();
+        }
+        delta
+    }
+}
+
+/// The CDCM objective (Equation 10): total NoC energy including leakage
+/// over the contention-aware execution time.
+#[derive(Debug, Clone)]
+pub struct CdcmObjective<'a> {
+    cdcg: &'a Cdcg,
+    mesh: &'a Mesh,
+    tech: &'a Technology,
+    params: SimParams,
+}
+
+impl<'a> CdcmObjective<'a> {
+    /// Creates the objective for an application CDCG.
+    pub fn new(cdcg: &'a Cdcg, mesh: &'a Mesh, tech: &'a Technology, params: SimParams) -> Self {
+        Self {
+            cdcg,
+            mesh,
+            tech,
+            params,
+        }
+    }
+
+    /// The underlying CDCG.
+    pub fn cdcg(&self) -> &Cdcg {
+        self.cdcg
+    }
+}
+
+impl CostFunction for CdcmObjective<'_> {
+    fn cost(&self, mapping: &Mapping) -> f64 {
+        evaluate_cdcm(self.cdcg, self.mesh, mapping, self.tech, &self.params)
+            .map(|e| e.objective_pj())
+            .unwrap_or(f64::INFINITY)
+    }
+
+    fn name(&self) -> String {
+        "CDCM".to_owned()
+    }
+}
+
+/// Pure execution-time objective (`texec` in nanoseconds).
+#[derive(Debug, Clone)]
+pub struct ExecTimeObjective<'a> {
+    cdcg: &'a Cdcg,
+    mesh: &'a Mesh,
+    params: SimParams,
+}
+
+impl<'a> ExecTimeObjective<'a> {
+    /// Creates the objective.
+    pub fn new(cdcg: &'a Cdcg, mesh: &'a Mesh, params: SimParams) -> Self {
+        Self { cdcg, mesh, params }
+    }
+}
+
+impl CostFunction for ExecTimeObjective<'_> {
+    fn cost(&self, mapping: &Mapping) -> f64 {
+        schedule(self.cdcg, self.mesh, mapping, &self.params)
+            .map(|s| s.texec_ns())
+            .unwrap_or(f64::INFINITY)
+    }
+
+    fn name(&self) -> String {
+        "texec".to_owned()
+    }
+}
+
+/// Weighted blend `α·ENoC + β·texec` (energy in pJ, time in ns).
+#[derive(Debug, Clone)]
+pub struct WeightedObjective<'a> {
+    cdcg: &'a Cdcg,
+    mesh: &'a Mesh,
+    tech: &'a Technology,
+    params: SimParams,
+    energy_weight: f64,
+    time_weight: f64,
+}
+
+impl<'a> WeightedObjective<'a> {
+    /// Creates the blended objective with the given weights.
+    pub fn new(
+        cdcg: &'a Cdcg,
+        mesh: &'a Mesh,
+        tech: &'a Technology,
+        params: SimParams,
+        energy_weight: f64,
+        time_weight: f64,
+    ) -> Self {
+        Self {
+            cdcg,
+            mesh,
+            tech,
+            params,
+            energy_weight,
+            time_weight,
+        }
+    }
+}
+
+impl CostFunction for WeightedObjective<'_> {
+    fn cost(&self, mapping: &Mapping) -> f64 {
+        match evaluate_cdcm(self.cdcg, self.mesh, mapping, self.tech, &self.params) {
+            Ok(eval) => self.energy_weight * eval.objective_pj() + self.time_weight * eval.texec_ns,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("{}*ENoC+{}*texec", self.energy_weight, self.time_weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::TileId;
+
+    fn figure1_cdcg() -> Cdcg {
+        let mut g = Cdcg::new();
+        let a = g.add_core("A");
+        let b = g.add_core("B");
+        let e = g.add_core("E");
+        let f = g.add_core("F");
+        let pab1 = g.add_packet(a, b, 6, 15).unwrap();
+        let pbf1 = g.add_packet(b, f, 10, 40).unwrap();
+        let pea1 = g.add_packet(e, a, 10, 20).unwrap();
+        let pea2 = g.add_packet(e, a, 20, 15).unwrap();
+        let paf1 = g.add_packet(a, f, 6, 15).unwrap();
+        let pfb1 = g.add_packet(f, b, 6, 15).unwrap();
+        g.add_dependence(pea1, pea2).unwrap();
+        g.add_dependence(pab1, paf1).unwrap();
+        g.add_dependence(pea1, paf1).unwrap();
+        g.add_dependence(pbf1, pfb1).unwrap();
+        g.add_dependence(paf1, pfb1).unwrap();
+        g
+    }
+
+    #[test]
+    fn cwm_objective_is_390_on_both_paper_mappings() {
+        let cdcg = figure1_cdcg();
+        let cwg = cdcg.to_cwg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let d = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        assert_eq!(obj.cost(&c), 390.0);
+        assert_eq!(obj.cost(&d), 390.0);
+        assert_eq!(obj.name(), "CWM");
+    }
+
+    #[test]
+    fn cdcm_objective_distinguishes_the_mappings() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let obj = CdcmObjective::new(&cdcg, &mesh, &tech, SimParams::paper_example());
+        let c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let d = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        assert!((obj.cost(&c) - 400.0).abs() < 1e-9);
+        assert!((obj.cost(&d) - 399.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_time_objective_matches_figures() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let obj = ExecTimeObjective::new(&cdcg, &mesh, SimParams::paper_example());
+        let c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let d = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        assert_eq!(obj.cost(&c), 100.0);
+        assert_eq!(obj.cost(&d), 90.0);
+    }
+
+    #[test]
+    fn weighted_objective_blends() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let params = SimParams::paper_example();
+        let c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let energy_only = WeightedObjective::new(&cdcg, &mesh, &tech, params, 1.0, 0.0);
+        let time_only = WeightedObjective::new(&cdcg, &mesh, &tech, params, 0.0, 1.0);
+        assert!((energy_only.cost(&c) - 400.0).abs() < 1e-9);
+        assert!((time_only.cost(&c) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cwm_swap_delta_matches_full_recompute() {
+        let cdcg = figure1_cdcg();
+        let cwg = cdcg.to_cwg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let m = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        for a in 0..4 {
+            for b in 0..4 {
+                let (a, b) = (TileId::new(a), TileId::new(b));
+                let delta = obj.swap_delta(&m, a, b);
+                let mut swapped = m.clone();
+                swapped.swap_tiles(a, b);
+                let full = obj.cost(&swapped) - obj.cost(&m);
+                assert!(
+                    (delta - full).abs() < 1e-9,
+                    "swap {a}-{b}: delta {delta} vs full {full}"
+                );
+            }
+        }
+    }
+}

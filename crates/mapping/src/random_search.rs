@@ -1,0 +1,119 @@
+//! Random-sampling baseline.
+//!
+//! Hu & Marculescu's observation (cited in the paper's related work) is
+//! that informed mapping beats *random* placements by large margins; this
+//! engine provides that reference point, and doubles as a sanity check
+//! for the annealer (SA must never lose to random sampling at equal
+//! evaluation budgets on average).
+
+use crate::objective::CostFunction;
+use crate::result::SearchOutcome;
+use noc_model::{Mapping, Mesh, TileId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Draws `samples` uniform random mappings and keeps the best.
+///
+/// # Panics
+///
+/// Panics if `core_count` exceeds the tile count of `mesh` or if
+/// `samples` is zero.
+pub fn random_search<C: CostFunction + ?Sized>(
+    objective: &C,
+    mesh: &Mesh,
+    core_count: usize,
+    samples: u64,
+    seed: u64,
+) -> SearchOutcome {
+    assert!(samples > 0, "at least one sample is required");
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut best: Option<(Mapping, f64)> = None;
+    for _ in 0..samples {
+        let mapping = sample_mapping(mesh, core_count, &mut rng);
+        let cost = objective.cost(&mapping);
+        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
+            best = Some((mapping, cost));
+        }
+    }
+    let (mapping, cost) = best.expect("samples > 0");
+    SearchOutcome {
+        mapping,
+        cost,
+        evaluations: samples,
+        elapsed: start.elapsed(),
+        method: "random".to_owned(),
+        objective: objective.name(),
+    }
+}
+
+/// One uniform random injective mapping.
+pub fn sample_mapping(mesh: &Mesh, core_count: usize, rng: &mut StdRng) -> Mapping {
+    let mut tiles: Vec<TileId> = mesh.tiles().collect();
+    for i in (1..tiles.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        tiles.swap(i, j);
+    }
+    Mapping::from_tiles(mesh, tiles.into_iter().take(core_count))
+        .expect("shuffled prefix is injective")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exhaustive::exhaustive;
+    use crate::objective::CwmObjective;
+    use noc_energy::Technology;
+    use noc_model::Cwg;
+
+    fn small_instance() -> (Cwg, Mesh, Technology) {
+        let mut cwg = Cwg::new();
+        let a = cwg.add_core("A");
+        let b = cwg.add_core("B");
+        let c = cwg.add_core("C");
+        cwg.add_communication(a, b, 50).unwrap();
+        cwg.add_communication(b, c, 30).unwrap();
+        cwg.add_communication(a, c, 10).unwrap();
+        (cwg, Mesh::new(2, 2).unwrap(), Technology::paper_example())
+    }
+
+    #[test]
+    fn never_beats_exhaustive() {
+        let (cwg, mesh, tech) = small_instance();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let optimum = exhaustive(&obj, &mesh, 3);
+        for seed in 0..5 {
+            let rnd = random_search(&obj, &mesh, 3, 50, seed);
+            assert!(rnd.cost >= optimum.cost - 1e-9);
+        }
+    }
+
+    #[test]
+    fn enough_samples_find_the_optimum_on_tiny_spaces() {
+        let (cwg, mesh, tech) = small_instance();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let optimum = exhaustive(&obj, &mesh, 3);
+        // 24 placements only; 500 samples all but surely hit the optimum.
+        let rnd = random_search(&obj, &mesh, 3, 500, 123);
+        assert_eq!(rnd.cost, optimum.cost);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (cwg, mesh, tech) = small_instance();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let a = random_search(&obj, &mesh, 3, 20, 9);
+        let b = random_search(&obj, &mesh, 3, 20, 9);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        let (cwg, mesh, tech) = small_instance();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let _ = random_search(&obj, &mesh, 3, 0, 0);
+    }
+}

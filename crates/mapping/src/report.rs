@@ -1,0 +1,220 @@
+//! CWM-vs-CDCM comparison — the quantities of the paper's Table 2.
+//!
+//! For one application instance, the paper compares *the best mapping
+//! found with the CWM algorithm* against *the best mapping found with the
+//! CDCM algorithm*, both evaluated under the full timing/energy model:
+//!
+//! * **ETR** (execution time reduction) = `(texec_CWM − texec_CDCM) /
+//!   texec_CWM`;
+//! * **ECS** (energy consumption saving) = `(ENoC_CWM − ENoC_CDCM) /
+//!   ENoC_CWM`, computed per technology (ECS0.35, ECS0.07).
+
+use noc_energy::{evaluate_cdcm, CdcmEvaluation, Technology};
+use noc_model::{Cdcg, Mapping, Mesh};
+use noc_sim::{SimError, SimParams};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The Table 2 quantities for one benchmark instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Comparison {
+    /// Execution time (ns) of the CWM-chosen mapping.
+    pub texec_cwm_ns: f64,
+    /// Execution time (ns) of the CDCM-chosen mapping.
+    pub texec_cdcm_ns: f64,
+    /// Total energy (pJ) of both mappings, per technology, in the order
+    /// the technologies were supplied.
+    pub energy_pj: Vec<TechComparison>,
+}
+
+/// Energy of both mappings at one technology point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TechComparison {
+    /// Technology name.
+    pub tech: String,
+    /// `ENoC` of the CWM-chosen mapping.
+    pub cwm_pj: f64,
+    /// `ENoC` of the CDCM-chosen mapping.
+    pub cdcm_pj: f64,
+}
+
+impl TechComparison {
+    /// Energy consumption saving of CDCM over CWM, in `[−∞, 1]`.
+    pub fn ecs(&self) -> f64 {
+        if self.cwm_pj == 0.0 {
+            0.0
+        } else {
+            (self.cwm_pj - self.cdcm_pj) / self.cwm_pj
+        }
+    }
+}
+
+impl Comparison {
+    /// Builds the comparison by evaluating both mappings under the full
+    /// CDCM model at every technology point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler errors (mapping/application mismatch).
+    pub fn evaluate(
+        cdcg: &Cdcg,
+        mesh: &Mesh,
+        params: &SimParams,
+        technologies: &[Technology],
+        cwm_mapping: &Mapping,
+        cdcm_mapping: &Mapping,
+    ) -> Result<Self, SimError> {
+        let mut energy = Vec::with_capacity(technologies.len());
+        let mut texec_cwm = 0.0;
+        let mut texec_cdcm = 0.0;
+        for (i, tech) in technologies.iter().enumerate() {
+            let cwm: CdcmEvaluation = evaluate_cdcm(cdcg, mesh, cwm_mapping, tech, params)?;
+            let cdcm: CdcmEvaluation = evaluate_cdcm(cdcg, mesh, cdcm_mapping, tech, params)?;
+            if i == 0 {
+                // texec does not depend on the technology point.
+                texec_cwm = cwm.texec_ns;
+                texec_cdcm = cdcm.texec_ns;
+            }
+            energy.push(TechComparison {
+                tech: tech.name.clone(),
+                cwm_pj: cwm.objective_pj(),
+                cdcm_pj: cdcm.objective_pj(),
+            });
+        }
+        Ok(Self {
+            texec_cwm_ns: texec_cwm,
+            texec_cdcm_ns: texec_cdcm,
+            energy_pj: energy,
+        })
+    }
+
+    /// Execution time reduction (the paper's ETR), in `[−∞, 1]`.
+    pub fn etr(&self) -> f64 {
+        if self.texec_cwm_ns == 0.0 {
+            0.0
+        } else {
+            (self.texec_cwm_ns - self.texec_cdcm_ns) / self.texec_cwm_ns
+        }
+    }
+
+    /// ECS at technology index `i` (order of the `technologies` slice
+    /// passed to [`Comparison::evaluate`]).
+    pub fn ecs(&self, i: usize) -> Option<f64> {
+        self.energy_pj.get(i).map(TechComparison::ecs)
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ETR {:.1}% ({:.0} → {:.0} ns)",
+            100.0 * self.etr(),
+            self.texec_cwm_ns,
+            self.texec_cdcm_ns
+        )?;
+        for tc in &self.energy_pj {
+            write!(f, "; ECS[{}] {:.2}%", tc.tech, 100.0 * tc.ecs())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::TileId;
+
+    fn figure1_cdcg() -> Cdcg {
+        let mut g = Cdcg::new();
+        let a = g.add_core("A");
+        let b = g.add_core("B");
+        let e = g.add_core("E");
+        let f = g.add_core("F");
+        let pab1 = g.add_packet(a, b, 6, 15).unwrap();
+        let pbf1 = g.add_packet(b, f, 10, 40).unwrap();
+        let pea1 = g.add_packet(e, a, 10, 20).unwrap();
+        let pea2 = g.add_packet(e, a, 20, 15).unwrap();
+        let paf1 = g.add_packet(a, f, 6, 15).unwrap();
+        let pfb1 = g.add_packet(f, b, 6, 15).unwrap();
+        g.add_dependence(pea1, pea2).unwrap();
+        g.add_dependence(pab1, paf1).unwrap();
+        g.add_dependence(pea1, paf1).unwrap();
+        g.add_dependence(pbf1, pfb1).unwrap();
+        g.add_dependence(paf1, pfb1).unwrap();
+        g
+    }
+
+    /// The paper's §4.1 numbers as a comparison: mapping (c) as the "CWM
+    /// pick" and mapping (d) as the "CDCM pick" give ETR 10% and ECS 0.25%.
+    #[test]
+    fn figure3_comparison_numbers() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let map_c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let map_d = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        let cmp = Comparison::evaluate(
+            &cdcg,
+            &mesh,
+            &params,
+            &[Technology::paper_example()],
+            &map_c,
+            &map_d,
+        )
+        .unwrap();
+        assert_eq!(cmp.texec_cwm_ns, 100.0);
+        assert_eq!(cmp.texec_cdcm_ns, 90.0);
+        assert!((cmp.etr() - 0.10).abs() < 1e-12);
+        // 400 -> 399 pJ: 0.25 % saving.
+        assert!((cmp.ecs(0).unwrap() - 0.0025).abs() < 1e-9);
+        assert!(cmp.to_string().contains("ETR 10.0%"));
+    }
+
+    #[test]
+    fn identical_mappings_give_zero_reductions() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let m = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let cmp = Comparison::evaluate(
+            &cdcg,
+            &mesh,
+            &params,
+            &[Technology::t035(), Technology::t007()],
+            &m,
+            &m,
+        )
+        .unwrap();
+        assert_eq!(cmp.etr(), 0.0);
+        assert_eq!(cmp.ecs(0), Some(0.0));
+        assert_eq!(cmp.ecs(1), Some(0.0));
+        assert_eq!(cmp.ecs(2), None);
+    }
+
+    #[test]
+    fn ecs_larger_at_deep_submicron_for_timing_better_mapping() {
+        // Mapping (d) is 10% faster at equal dynamic energy, so its ECS
+        // must grow with the leakage share: ECS(0.07u) > ECS(0.35u).
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let map_c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let map_d = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        let cmp = Comparison::evaluate(
+            &cdcg,
+            &mesh,
+            &params,
+            &[Technology::t035(), Technology::t007()],
+            &map_c,
+            &map_d,
+        )
+        .unwrap();
+        let ecs_035 = cmp.ecs(0).unwrap();
+        let ecs_007 = cmp.ecs(1).unwrap();
+        assert!(
+            ecs_007 > ecs_035,
+            "ECS0.07 ({ecs_007}) must exceed ECS0.35 ({ecs_035})"
+        );
+    }
+}

@@ -1,0 +1,366 @@
+//! Communication resource graph (CRG) — Definition 3.
+//!
+//! The CRG models the target architecture: a `width × height` mesh of
+//! tiles, each holding a router connected to its four neighbours and to the
+//! local IP core. [`Mesh`] provides the vertex set (tiles, written `τ1 …
+//! τn` in the paper, row-major and zero-based here) and the physical
+//! resources packets traverse: routers and [`Link`]s.
+//!
+//! Links come in three kinds, mirroring the paper's energy components:
+//! inter-router links (`ELbit` energy, contention-arbitrated), injection
+//! links from a core into its router, and ejection links from a router to
+//! its core (`ECbit` energy, negligible for large tiles; the paper's model
+//! does not arbitrate them — see `noc-sim`).
+
+use crate::error::ModelError;
+use crate::ids::TileId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cartesian coordinates of a tile: `x` grows eastwards (along a row),
+/// `y` grows southwards (across rows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Coord {
+    /// Column index, `0 ≤ x < width`.
+    pub x: usize,
+    /// Row index, `0 ≤ y < height`.
+    pub y: usize,
+}
+
+impl Coord {
+    /// Creates a coordinate pair.
+    pub const fn new(x: usize, y: usize) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan distance to another coordinate.
+    pub fn manhattan(self, other: Coord) -> usize {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+impl fmt::Display for Coord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+/// A cardinal direction on the mesh, plus the local core port. Used by
+/// routing and by the flit-level router model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Towards decreasing `y`.
+    North,
+    /// Towards increasing `y`.
+    South,
+    /// Towards increasing `x`.
+    East,
+    /// Towards decreasing `x`.
+    West,
+    /// The tile's own IP core.
+    Local,
+}
+
+impl Direction {
+    /// The opposite direction (`Local` is its own opposite).
+    pub fn opposite(self) -> Self {
+        match self {
+            Self::North => Self::South,
+            Self::South => Self::North,
+            Self::East => Self::West,
+            Self::West => Self::East,
+            Self::Local => Self::Local,
+        }
+    }
+
+    /// All four mesh directions (excluding `Local`).
+    pub const CARDINAL: [Direction; 4] = [Self::North, Self::South, Self::East, Self::West];
+}
+
+/// A physical communication resource connecting two endpoints.
+///
+/// Inter-router links are directed: `Link::between(a, b)` and
+/// `Link::between(b, a)` are distinct resources, matching a NoC with one
+/// channel per direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Link {
+    /// Core → router link of `tile` (used by every packet exactly once,
+    /// when it is injected).
+    Injection(TileId),
+    /// Directed router → router channel.
+    Internal {
+        /// Upstream router.
+        from: TileId,
+        /// Downstream router.
+        to: TileId,
+    },
+    /// Router → core link of `tile` (used once, at delivery).
+    Ejection(TileId),
+}
+
+impl Link {
+    /// Convenience constructor for an inter-router channel.
+    pub const fn between(from: TileId, to: TileId) -> Self {
+        Self::Internal { from, to }
+    }
+
+    /// True for inter-router channels (the resources the paper's contention
+    /// model arbitrates).
+    pub const fn is_internal(&self) -> bool {
+        matches!(self, Self::Internal { .. })
+    }
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Injection(t) => write!(f, "inj[{t}]"),
+            Self::Internal { from, to } => write!(f, "{from}→{to}"),
+            Self::Ejection(t) => write!(f, "ej[{t}]"),
+        }
+    }
+}
+
+/// A 2-D mesh NoC: the vertex set of the CRG.
+///
+/// # Examples
+///
+/// ```
+/// use noc_model::crg::{Coord, Mesh};
+/// use noc_model::ids::TileId;
+///
+/// # fn main() -> Result<(), noc_model::ModelError> {
+/// let mesh = Mesh::new(3, 2)?; // the paper's "3 x 2" NoC size
+/// assert_eq!(mesh.tile_count(), 6);
+/// let t = mesh.tile_at(Coord::new(2, 1)).unwrap();
+/// assert_eq!(mesh.coord(t), Coord::new(2, 1));
+/// assert_eq!(mesh.manhattan(TileId::new(0), t), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+}
+
+impl Mesh {
+    /// Creates a `width × height` mesh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyMesh`] if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> Result<Self, ModelError> {
+        if width == 0 || height == 0 {
+            return Err(ModelError::EmptyMesh);
+        }
+        Ok(Self { width, height })
+    }
+
+    /// Mesh width (number of columns, the paper's `M`).
+    pub const fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (number of rows, the paper's `N`).
+    pub const fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total number of tiles `n = width × height`.
+    pub const fn tile_count(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Iterator over all tiles in row-major order.
+    pub fn tiles(&self) -> impl Iterator<Item = TileId> {
+        (0..self.tile_count()).map(TileId::new)
+    }
+
+    /// Coordinates of a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` lies outside the mesh.
+    pub fn coord(&self, tile: TileId) -> Coord {
+        assert!(tile.index() < self.tile_count(), "tile {tile} outside mesh");
+        Coord::new(tile.index() % self.width, tile.index() / self.width)
+    }
+
+    /// Tile at the given coordinates, if inside the mesh.
+    pub fn tile_at(&self, coord: Coord) -> Option<TileId> {
+        (coord.x < self.width && coord.y < self.height)
+            .then(|| TileId::new(coord.y * self.width + coord.x))
+    }
+
+    /// True if `tile` is a valid tile of this mesh.
+    pub fn contains(&self, tile: TileId) -> bool {
+        tile.index() < self.tile_count()
+    }
+
+    /// Manhattan (hop) distance between two tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tile lies outside the mesh.
+    pub fn manhattan(&self, a: TileId, b: TileId) -> usize {
+        self.coord(a).manhattan(self.coord(b))
+    }
+
+    /// The neighbour of `tile` in `dir`, if it exists. `Local` has no
+    /// neighbour tile.
+    pub fn neighbor(&self, tile: TileId, dir: Direction) -> Option<TileId> {
+        let c = self.coord(tile);
+        let n = match dir {
+            Direction::North => Coord::new(c.x, c.y.checked_sub(1)?),
+            Direction::South => Coord::new(c.x, c.y + 1),
+            Direction::East => Coord::new(c.x + 1, c.y),
+            Direction::West => Coord::new(c.x.checked_sub(1)?, c.y),
+            Direction::Local => return None,
+        };
+        self.tile_at(n)
+    }
+
+    /// Direction from `from` to an adjacent tile `to`.
+    ///
+    /// Returns `None` if the tiles are not mesh-adjacent.
+    pub fn direction_between(&self, from: TileId, to: TileId) -> Option<Direction> {
+        let a = self.coord(from);
+        let b = self.coord(to);
+        match (b.x as isize - a.x as isize, b.y as isize - a.y as isize) {
+            (1, 0) => Some(Direction::East),
+            (-1, 0) => Some(Direction::West),
+            (0, 1) => Some(Direction::South),
+            (0, -1) => Some(Direction::North),
+            _ => None,
+        }
+    }
+
+    /// All directed inter-router links of the mesh, in deterministic order.
+    pub fn internal_links(&self) -> Vec<Link> {
+        let mut links = Vec::new();
+        for t in self.tiles() {
+            for dir in [Direction::East, Direction::South] {
+                if let Some(n) = self.neighbor(t, dir) {
+                    links.push(Link::between(t, n));
+                    links.push(Link::between(n, t));
+                }
+            }
+        }
+        links.sort();
+        links
+    }
+}
+
+impl fmt::Display for Mesh {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} x {} mesh", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_mesh() {
+        assert_eq!(Mesh::new(0, 3).unwrap_err(), ModelError::EmptyMesh);
+        assert_eq!(Mesh::new(3, 0).unwrap_err(), ModelError::EmptyMesh);
+    }
+
+    #[test]
+    fn row_major_layout_matches_paper() {
+        // Paper's 2x2 example: τ1 τ2 / τ3 τ4, i.e. tiles 0 1 / 2 3.
+        let m = Mesh::new(2, 2).unwrap();
+        assert_eq!(m.coord(TileId::new(0)), Coord::new(0, 0));
+        assert_eq!(m.coord(TileId::new(1)), Coord::new(1, 0));
+        assert_eq!(m.coord(TileId::new(2)), Coord::new(0, 1));
+        assert_eq!(m.coord(TileId::new(3)), Coord::new(1, 1));
+    }
+
+    #[test]
+    fn coord_tile_roundtrip() {
+        let m = Mesh::new(5, 3).unwrap();
+        for t in m.tiles() {
+            assert_eq!(m.tile_at(m.coord(t)), Some(t));
+        }
+        assert_eq!(m.tile_at(Coord::new(5, 0)), None);
+        assert_eq!(m.tile_at(Coord::new(0, 3)), None);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        let m = Mesh::new(4, 4).unwrap();
+        let a = m.tile_at(Coord::new(0, 0)).unwrap();
+        let b = m.tile_at(Coord::new(3, 2)).unwrap();
+        assert_eq!(m.manhattan(a, b), 5);
+        assert_eq!(m.manhattan(a, a), 0);
+    }
+
+    #[test]
+    fn neighbors_on_borders() {
+        let m = Mesh::new(2, 2).unwrap();
+        let t0 = TileId::new(0);
+        assert_eq!(m.neighbor(t0, Direction::North), None);
+        assert_eq!(m.neighbor(t0, Direction::West), None);
+        assert_eq!(m.neighbor(t0, Direction::East), Some(TileId::new(1)));
+        assert_eq!(m.neighbor(t0, Direction::South), Some(TileId::new(2)));
+        assert_eq!(m.neighbor(t0, Direction::Local), None);
+    }
+
+    #[test]
+    fn direction_between_adjacent_tiles() {
+        let m = Mesh::new(3, 3).unwrap();
+        let c = m.tile_at(Coord::new(1, 1)).unwrap();
+        assert_eq!(
+            m.direction_between(c, m.tile_at(Coord::new(2, 1)).unwrap()),
+            Some(Direction::East)
+        );
+        assert_eq!(
+            m.direction_between(c, m.tile_at(Coord::new(1, 0)).unwrap()),
+            Some(Direction::North)
+        );
+        assert_eq!(
+            m.direction_between(c, m.tile_at(Coord::new(0, 0)).unwrap()),
+            None
+        );
+    }
+
+    #[test]
+    fn direction_opposites() {
+        for d in Direction::CARDINAL {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_ne!(d.opposite(), d);
+        }
+        assert_eq!(Direction::Local.opposite(), Direction::Local);
+    }
+
+    #[test]
+    fn internal_link_count() {
+        // width*(height-1) vertical + (width-1)*height horizontal, x2 directions.
+        let m = Mesh::new(3, 2).unwrap();
+        assert_eq!(m.internal_links().len(), 2 * (3 + 2 * 2));
+        let m = Mesh::new(1, 1).unwrap();
+        assert!(m.internal_links().is_empty());
+    }
+
+    #[test]
+    fn links_are_directional() {
+        let a = TileId::new(0);
+        let b = TileId::new(1);
+        assert_ne!(Link::between(a, b), Link::between(b, a));
+        assert!(Link::between(a, b).is_internal());
+        assert!(!Link::Injection(a).is_internal());
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = Mesh::new(4, 3).unwrap();
+        assert_eq!(m.to_string(), "4 x 3 mesh");
+        assert_eq!(Link::Injection(TileId::new(2)).to_string(), "inj[t2]");
+        assert_eq!(
+            Link::between(TileId::new(0), TileId::new(1)).to_string(),
+            "t0→t1"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Graphviz (DOT) exports for the application graphs.
+//!
+//! These are debugging/paper-figure aids: `dot -Tpdf` on the output
+//! reproduces diagrams in the style of the paper's Figure 1(a)/(b).
+
+use crate::cdcg::Cdcg;
+use crate::cwg::Cwg;
+use std::fmt::Write as _;
+
+/// Renders a [`Cwg`] as a DOT digraph with bit-volume edge labels
+/// (Figure 1(a) style).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), noc_model::ModelError> {
+/// let mut cwg = noc_model::Cwg::new();
+/// let a = cwg.add_core("A");
+/// let b = cwg.add_core("B");
+/// cwg.add_communication(a, b, 15)?;
+/// let dot = noc_model::dot::cwg_to_dot(&cwg);
+/// assert!(dot.contains("\"A\" -> \"B\" [label=\"15\"]"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn cwg_to_dot(cwg: &Cwg) -> String {
+    let mut out = String::from("digraph cwg {\n  rankdir=LR;\n");
+    for core in cwg.cores() {
+        let name = cwg.core_name(core).unwrap_or("?");
+        let _ = writeln!(out, "  \"{name}\" [shape=circle];");
+    }
+    for comm in cwg.communications() {
+        let src = cwg.core_name(comm.src).unwrap_or("?");
+        let dst = cwg.core_name(comm.dst).unwrap_or("?");
+        let _ = writeln!(out, "  \"{src}\" -> \"{dst}\" [label=\"{}\"];", comm.bits);
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a [`Cdcg`] as a DOT digraph with explicit `Start`/`End`
+/// vertices (Figure 1(b) style). Each packet vertex is labelled
+/// `bits(src→dst) t=comp`.
+pub fn cdcg_to_dot(cdcg: &Cdcg) -> String {
+    let mut out = String::from("digraph cdcg {\n  rankdir=TB;\n");
+    out.push_str("  Start [shape=doublecircle];\n  End [shape=doublecircle];\n");
+    for id in cdcg.packet_ids() {
+        let p = cdcg.packet(id);
+        let src = cdcg.core_name(p.src).unwrap_or("?");
+        let dst = cdcg.core_name(p.dst).unwrap_or("?");
+        let _ = writeln!(
+            out,
+            "  {id} [shape=box,label=\"{}({src}→{dst}) t={}\"];",
+            p.bits, p.comp_cycles
+        );
+    }
+    for id in cdcg.start_packets() {
+        let _ = writeln!(out, "  Start -> {id};");
+    }
+    for id in cdcg.packet_ids() {
+        for succ in cdcg.successors(id) {
+            let _ = writeln!(out, "  {id} -> {succ};");
+        }
+    }
+    for id in cdcg.end_packets() {
+        let _ = writeln!(out, "  {id} -> End;");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cwg_dot_contains_edges() {
+        let mut g = Cwg::new();
+        let a = g.add_core("A");
+        let b = g.add_core("B");
+        g.add_communication(a, b, 15).unwrap();
+        let dot = cwg_to_dot(&g);
+        assert!(dot.starts_with("digraph cwg {"));
+        assert!(dot.contains("\"A\" -> \"B\" [label=\"15\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn cdcg_dot_has_start_end() {
+        let mut g = Cdcg::new();
+        let a = g.add_core("A");
+        let b = g.add_core("B");
+        let p0 = g.add_packet(a, b, 6, 15).unwrap();
+        let p1 = g.add_packet(a, b, 2, 5).unwrap();
+        g.add_dependence(p0, p1).unwrap();
+        let dot = cdcg_to_dot(&g);
+        assert!(dot.contains("Start -> p0;"));
+        assert!(dot.contains("p0 -> p1;"));
+        assert!(dot.contains("p1 -> End;"));
+        assert!(dot.contains("15(A→B) t=6"));
+    }
+}

@@ -1,0 +1,125 @@
+//! Strongly-typed identifiers for cores, tiles and packets.
+//!
+//! Index-based graphs are easy to corrupt with plain `usize` indices; the
+//! newtypes here ([`CoreId`], [`TileId`], [`PacketId`]) make the three index
+//! spaces statically distinct (Rust API guidelines C-NEWTYPE) while staying
+//! `Copy` and free to convert back into `usize` for slice indexing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index, suitable for slice indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self(index)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an IP core (a vertex of the [CWG](crate::cwg::Cwg) and
+    /// the source/destination of [CDCG](crate::cdcg::Cdcg) packets).
+    CoreId,
+    "c"
+);
+
+id_type!(
+    /// Identifier of a tile of the target mesh (a vertex of the
+    /// [CRG](crate::crg::Mesh)). The paper writes tiles as `τ1, τ2, …`;
+    /// our indices are zero-based and row-major, so the paper's `τ1` is
+    /// `TileId::new(0)`.
+    TileId,
+    "t"
+);
+
+id_type!(
+    /// Identifier of a packet vertex of the [CDCG](crate::cdcg::Cdcg)
+    /// (the special `Start`/`End` vertices are *not* packets and have no
+    /// `PacketId`).
+    PacketId,
+    "p"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn roundtrip_usize() {
+        let id = CoreId::new(7);
+        assert_eq!(usize::from(id), 7);
+        assert_eq!(CoreId::from(7), id);
+    }
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(CoreId::new(2).to_string(), "c2");
+        assert_eq!(TileId::new(5).to_string(), "t5");
+        assert_eq!(PacketId::new(0).to_string(), "p0");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(TileId::new(1) < TileId::new(2));
+        assert_eq!(PacketId::new(4), PacketId::new(4));
+    }
+
+    #[test]
+    fn usable_as_hash_keys() {
+        let set: HashSet<CoreId> = [0, 1, 2, 1].iter().copied().map(CoreId::new).collect();
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CoreId::default().index(), 0);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let id = TileId::new(9);
+        let json = serde_json::to_string(&id).expect("serialize");
+        assert_eq!(json, "9");
+        let back: TileId = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,417 @@
+//! Deterministic routing algorithms and routed paths.
+//!
+//! The paper evaluates a mesh NoC with deterministic, dimension-ordered
+//! **XY** routing: a packet first travels along the X dimension to the
+//! destination column, then along Y. [`XyRouting`] implements exactly that;
+//! [`YxRouting`] (Y first) is provided as an alternative for ablations.
+//!
+//! A [`Path`] is the ordered list of routers a packet traverses (`K`
+//! routers in the paper's equations) and exposes the full ordered resource
+//! list — injection link, routers, inter-router links, ejection link —
+//! consumed by the timing and energy models.
+
+use crate::crg::{Link, Mesh};
+use crate::ids::TileId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A routed path through the mesh: the sequence of routers from the source
+/// tile to the destination tile (both inclusive).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    routers: Vec<TileId>,
+}
+
+impl Path {
+    /// Builds a path from an ordered, non-empty router list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routers` is empty (every path visits at least the source
+    /// router).
+    pub fn new(routers: Vec<TileId>) -> Self {
+        assert!(!routers.is_empty(), "a path visits at least one router");
+        Self { routers }
+    }
+
+    /// The routers visited, in order. `K = self.routers().len()` in the
+    /// paper's Equations (2) and (6)–(8).
+    pub fn routers(&self) -> &[TileId] {
+        &self.routers
+    }
+
+    /// Number of routers traversed (the paper's `K`).
+    pub fn router_count(&self) -> usize {
+        self.routers.len()
+    }
+
+    /// Number of inter-router links traversed (`K − 1`).
+    pub fn internal_link_count(&self) -> usize {
+        self.routers.len() - 1
+    }
+
+    /// Source tile.
+    pub fn source(&self) -> TileId {
+        self.routers[0]
+    }
+
+    /// Destination tile.
+    pub fn destination(&self) -> TileId {
+        *self.routers.last().expect("non-empty")
+    }
+
+    /// The directed inter-router links of the path, in traversal order.
+    pub fn internal_links(&self) -> impl Iterator<Item = Link> + '_ {
+        self.routers.windows(2).map(|w| Link::between(w[0], w[1]))
+    }
+
+    /// The complete ordered resource walk of a packet following this path:
+    /// injection link, then alternating router / link hops, then the
+    /// ejection link. Routers are *not* part of this list; the timing model
+    /// tracks router occupancy separately from the serializing links.
+    pub fn links(&self) -> Vec<Link> {
+        let mut seq = Vec::with_capacity(self.routers.len() + 1);
+        seq.push(Link::Injection(self.source()));
+        seq.extend(self.internal_links());
+        seq.push(Link::Ejection(self.destination()));
+        seq
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self.routers.iter().map(|t| t.to_string()).collect();
+        write!(f, "{}", parts.join(" → "))
+    }
+}
+
+/// A deterministic unicast routing function on a mesh.
+///
+/// Implementations must return a connected path starting at `src` and
+/// ending at `dst` whose consecutive routers are mesh-adjacent; `route` for
+/// `src == dst` returns the single-router path (local delivery).
+pub trait RoutingAlgorithm: fmt::Debug {
+    /// Routes a packet from `src` to `dst`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if either tile lies outside `mesh`.
+    fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path;
+
+    /// Short human-readable name ("XY", "YX", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Dimension-ordered XY routing (X first, then Y) — the algorithm the paper
+/// evaluates. Deadlock-free and minimal on meshes.
+///
+/// # Examples
+///
+/// ```
+/// use noc_model::crg::Mesh;
+/// use noc_model::ids::TileId;
+/// use noc_model::routing::{RoutingAlgorithm, XyRouting};
+///
+/// # fn main() -> Result<(), noc_model::ModelError> {
+/// let mesh = Mesh::new(2, 2)?;
+/// // τ2 → τ3 in the paper (tiles 1 → 2): X first through tile 0.
+/// let path = XyRouting.route(&mesh, TileId::new(1), TileId::new(2));
+/// let ids: Vec<usize> = path.routers().iter().map(|t| t.index()).collect();
+/// assert_eq!(ids, vec![1, 0, 2]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct XyRouting;
+
+impl RoutingAlgorithm for XyRouting {
+    fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
+        let from = mesh.coord(src);
+        let to = mesh.coord(dst);
+        let mut routers = Vec::with_capacity(from.manhattan(to) + 1);
+        let mut cur = from;
+        routers.push(src);
+        while cur.x != to.x {
+            cur.x = if cur.x < to.x { cur.x + 1 } else { cur.x - 1 };
+            routers.push(mesh.tile_at(cur).expect("x sweep stays inside mesh"));
+        }
+        while cur.y != to.y {
+            cur.y = if cur.y < to.y { cur.y + 1 } else { cur.y - 1 };
+            routers.push(mesh.tile_at(cur).expect("y sweep stays inside mesh"));
+        }
+        Path::new(routers)
+    }
+
+    fn name(&self) -> &'static str {
+        "XY"
+    }
+}
+
+/// Dimension-ordered YX routing (Y first, then X); useful for routing
+/// ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct YxRouting;
+
+impl RoutingAlgorithm for YxRouting {
+    fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
+        let from = mesh.coord(src);
+        let to = mesh.coord(dst);
+        let mut routers = Vec::with_capacity(from.manhattan(to) + 1);
+        let mut cur = from;
+        routers.push(src);
+        while cur.y != to.y {
+            cur.y = if cur.y < to.y { cur.y + 1 } else { cur.y - 1 };
+            routers.push(mesh.tile_at(cur).expect("y sweep stays inside mesh"));
+        }
+        while cur.x != to.x {
+            cur.x = if cur.x < to.x { cur.x + 1 } else { cur.x - 1 };
+            routers.push(mesh.tile_at(cur).expect("x sweep stays inside mesh"));
+        }
+        Path::new(routers)
+    }
+
+    fn name(&self) -> &'static str {
+        "YX"
+    }
+}
+
+/// Dimension-ordered XY routing on a **torus** (the mesh with wrap-around
+/// links in both dimensions). Each dimension moves in the direction of
+/// the shorter way around (ties go the positive way), so routes are
+/// minimal on the torus.
+///
+/// The paper notes that "other NoC topologies can be equally treated";
+/// this router is that extension: the timing and energy engines only
+/// consume the routed [`Path`], so torus experiments reuse them
+/// unchanged. (The flit-level DES in `noc-sim` remains mesh-only.)
+///
+/// # Examples
+///
+/// ```
+/// use noc_model::crg::Mesh;
+/// use noc_model::ids::TileId;
+/// use noc_model::routing::{RoutingAlgorithm, TorusXyRouting};
+///
+/// # fn main() -> Result<(), noc_model::ModelError> {
+/// let mesh = Mesh::new(4, 1)?;
+/// // 0 → 3 wraps west: one hop instead of three.
+/// let path = TorusXyRouting.route(&mesh, TileId::new(0), TileId::new(3));
+/// assert_eq!(path.router_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TorusXyRouting;
+
+/// One minimal step along a ring of length `len` from `from` towards
+/// `to`, preferring the positive direction on ties.
+fn ring_step(from: usize, to: usize, len: usize) -> usize {
+    debug_assert_ne!(from, to);
+    let forward = (to + len - from) % len;
+    let backward = (from + len - to) % len;
+    if forward <= backward {
+        (from + 1) % len
+    } else {
+        (from + len - 1) % len
+    }
+}
+
+impl RoutingAlgorithm for TorusXyRouting {
+    fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
+        let to = mesh.coord(dst);
+        let mut cur = mesh.coord(src);
+        let mut routers = vec![src];
+        while cur.x != to.x {
+            cur.x = ring_step(cur.x, to.x, mesh.width());
+            routers.push(mesh.tile_at(cur).expect("ring stays inside mesh"));
+        }
+        while cur.y != to.y {
+            cur.y = ring_step(cur.y, to.y, mesh.height());
+            routers.push(mesh.tile_at(cur).expect("ring stays inside mesh"));
+        }
+        Path::new(routers)
+    }
+
+    fn name(&self) -> &'static str {
+        "torus-XY"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crg::Coord;
+
+    fn mesh4() -> Mesh {
+        Mesh::new(4, 4).unwrap()
+    }
+
+    #[test]
+    fn xy_goes_x_first() {
+        let m = mesh4();
+        let src = m.tile_at(Coord::new(0, 0)).unwrap();
+        let dst = m.tile_at(Coord::new(2, 2)).unwrap();
+        let path = XyRouting.route(&m, src, dst);
+        let coords: Vec<Coord> = path.routers().iter().map(|&t| m.coord(t)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                Coord::new(0, 0),
+                Coord::new(1, 0),
+                Coord::new(2, 0),
+                Coord::new(2, 1),
+                Coord::new(2, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn yx_goes_y_first() {
+        let m = mesh4();
+        let src = m.tile_at(Coord::new(0, 0)).unwrap();
+        let dst = m.tile_at(Coord::new(2, 2)).unwrap();
+        let path = YxRouting.route(&m, src, dst);
+        let coords: Vec<Coord> = path.routers().iter().map(|&t| m.coord(t)).collect();
+        assert_eq!(
+            coords,
+            vec![
+                Coord::new(0, 0),
+                Coord::new(0, 1),
+                Coord::new(0, 2),
+                Coord::new(1, 2),
+                Coord::new(2, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn route_to_self_is_single_router() {
+        let m = mesh4();
+        let t = TileId::new(5);
+        let path = XyRouting.route(&m, t, t);
+        assert_eq!(path.router_count(), 1);
+        assert_eq!(path.internal_link_count(), 0);
+        assert_eq!(path.source(), t);
+        assert_eq!(path.destination(), t);
+    }
+
+    #[test]
+    fn route_is_minimal_and_adjacent() {
+        let m = mesh4();
+        for src in m.tiles() {
+            for dst in m.tiles() {
+                for algo in [&XyRouting as &dyn RoutingAlgorithm, &YxRouting] {
+                    let path = algo.route(&m, src, dst);
+                    assert_eq!(path.source(), src);
+                    assert_eq!(path.destination(), dst);
+                    assert_eq!(path.router_count(), m.manhattan(src, dst) + 1);
+                    for w in path.routers().windows(2) {
+                        assert!(m.direction_between(w[0], w[1]).is_some());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn westward_and_northward_routes() {
+        let m = mesh4();
+        let src = m.tile_at(Coord::new(3, 3)).unwrap();
+        let dst = m.tile_at(Coord::new(1, 0)).unwrap();
+        let path = XyRouting.route(&m, src, dst);
+        assert_eq!(path.router_count(), 6);
+        assert_eq!(path.source(), src);
+        assert_eq!(path.destination(), dst);
+    }
+
+    #[test]
+    fn resource_walk_shape() {
+        let m = mesh4();
+        let src = TileId::new(0);
+        let dst = TileId::new(3);
+        let path = XyRouting.route(&m, src, dst);
+        let links = path.links();
+        assert_eq!(links.first(), Some(&Link::Injection(src)));
+        assert_eq!(links.last(), Some(&Link::Ejection(dst)));
+        assert_eq!(links.len(), path.internal_link_count() + 2);
+        assert!(links[1..links.len() - 1].iter().all(Link::is_internal));
+    }
+
+    #[test]
+    fn paper_figure1_mapping_a_route_a_to_f() {
+        // Mapping (c): A on τ2 (tile 1), F on τ3 (tile 2). The paper shows
+        // the A→F packet crossing router τ1 (tile 0), which is the X-first
+        // route.
+        let m = Mesh::new(2, 2).unwrap();
+        let path = XyRouting.route(&m, TileId::new(1), TileId::new(2));
+        assert_eq!(
+            path.routers(),
+            &[TileId::new(1), TileId::new(0), TileId::new(2)]
+        );
+        assert_eq!(path.to_string(), "t1 → t0 → t2");
+    }
+
+    #[test]
+    fn torus_wraps_the_short_way() {
+        let m = Mesh::new(5, 5).unwrap();
+        let a = m.tile_at(Coord::new(0, 0)).unwrap();
+        let b = m.tile_at(Coord::new(4, 0)).unwrap();
+        let path = TorusXyRouting.route(&m, a, b);
+        assert_eq!(path.router_count(), 2, "wrap west is one hop");
+        let c = m.tile_at(Coord::new(0, 4)).unwrap();
+        assert_eq!(TorusXyRouting.route(&m, a, c).router_count(), 2);
+    }
+
+    #[test]
+    fn torus_matches_mesh_inside_short_distances() {
+        let m = Mesh::new(5, 5).unwrap();
+        let a = m.tile_at(Coord::new(1, 1)).unwrap();
+        let b = m.tile_at(Coord::new(3, 2)).unwrap();
+        assert_eq!(
+            TorusXyRouting.route(&m, a, b).routers(),
+            XyRouting.route(&m, a, b).routers()
+        );
+    }
+
+    #[test]
+    fn torus_routes_never_exceed_mesh_routes() {
+        let m = Mesh::new(4, 3).unwrap();
+        for src in m.tiles() {
+            for dst in m.tiles() {
+                let torus = TorusXyRouting.route(&m, src, dst).router_count();
+                let mesh_route = XyRouting.route(&m, src, dst).router_count();
+                assert!(torus <= mesh_route, "{src}->{dst}");
+                assert!(
+                    TorusXyRouting.route(&m, src, dst).router_count() - 1
+                        <= m.width() / 2 + m.height() / 2 + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn torus_route_endpoints() {
+        let m = Mesh::new(6, 2).unwrap();
+        for src in m.tiles() {
+            for dst in m.tiles() {
+                let path = TorusXyRouting.route(&m, src, dst);
+                assert_eq!(path.source(), src);
+                assert_eq!(path.destination(), dst);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_step_prefers_positive_on_ties() {
+        // len 4, 0 -> 2: both ways are 2 hops; positive preferred.
+        assert_eq!(ring_step(0, 2, 4), 1);
+        assert_eq!(ring_step(3, 1, 4), 0); // wrap forward
+        assert_eq!(ring_step(1, 0, 4), 0); // backward shorter
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one router")]
+    fn empty_path_panics() {
+        let _ = Path::new(Vec::new());
+    }
+}

@@ -1,0 +1,62 @@
+//! # noc
+//!
+//! Umbrella crate for the reproduction of Marcon et al., *"Exploring NoC
+//! Mapping Strategies: An Energy and Timing Aware Technique"* (DATE
+//! 2005). It re-exports the whole public API:
+//!
+//! * [`model`] — application/architecture graphs: CWG, CDCG, mesh CRG,
+//!   XY routing, mappings;
+//! * [`sim`] — the wormhole timing engine (interval scheduler with
+//!   contention, flit-level DES, Gantt diagrams);
+//! * [`energy`] — bit-energy/static-power models and technology presets;
+//! * [`mapping`] — the CWM/CDCM objectives and the search engines
+//!   (simulated annealing, exhaustive, baselines);
+//! * [`apps`] — workload generators and the Table 1 benchmark suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use noc::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // The paper's Figure 1 application on its 2x2 NoC.
+//! let app = noc::apps::paper_example::figure1_cdcg();
+//! let mesh = noc::apps::paper_example::mesh_2x2();
+//!
+//! // Search for the best CDCM mapping exhaustively (24 placements).
+//! let explorer = Explorer::new(
+//!     &app,
+//!     mesh,
+//!     Technology::paper_example(),
+//!     SimParams::paper_example(),
+//! );
+//! let best = explorer.explore(Strategy::Cdcm, SearchMethod::Exhaustive);
+//! assert!(best.cost <= 399.0); // at least as good as Figure 3(b)
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use noc_apps as apps;
+pub use noc_energy as energy;
+pub use noc_mapping as mapping;
+pub use noc_model as model;
+pub use noc_sim as sim;
+
+/// One-stop imports for applications using the library.
+pub mod prelude {
+    pub use noc_apps::{table1_suite, Benchmark, TgffConfig};
+    pub use noc_energy::{
+        evaluate_cdcm, evaluate_cwm, CdcmEvaluation, Energy, EnergyBreakdown, Power, Technology,
+    };
+    pub use noc_mapping::{
+        anneal, exhaustive, Comparison, CostFunction, Explorer, SaConfig, SearchMethod,
+        SearchOutcome, Strategy,
+    };
+    pub use noc_model::{
+        Cdcg, CoreId, Cwg, Mapping, Mesh, ModelError, PacketId, TileId, XyRouting,
+    };
+    pub use noc_sim::{schedule, Schedule, SimError, SimParams};
+}

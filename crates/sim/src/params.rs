@@ -1,0 +1,145 @@
+//! Simulation parameters of the wormhole timing model.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the wormhole NoC timing model (paper §3.2 and §4.1).
+///
+/// All timing quantities are expressed in clock cycles; [`clock_period_ns`]
+/// (the paper's `λ`) converts cycle counts into wall-clock time at the
+/// reporting boundary only, so scheduling stays integer-exact.
+///
+/// [`clock_period_ns`]: SimParams::clock_period_ns
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimParams {
+    /// Clock period `λ` in nanoseconds.
+    pub clock_period_ns: f64,
+    /// Cycles a router needs to take a routing decision (`tr`).
+    pub routing_cycles: u64,
+    /// Cycles to transmit one flit through any link (`tl`), between tiles
+    /// or between an IP core and its router.
+    pub link_cycles: u64,
+    /// Bits per flit; a `w`-bit packet becomes `ceil(w / flit_width_bits)`
+    /// flits.
+    pub flit_width_bits: u64,
+    /// Whether the ejection (router → core) link serializes packets.
+    ///
+    /// The paper's model does **not** arbitrate ejection links — in
+    /// Figure 3(b) two packets overlap on the link into core F and the
+    /// mapping is still called contention-free — so the default is `false`.
+    pub ejection_contention: bool,
+    /// Whether the injection (core → router) link serializes packets from
+    /// the same core. The paper arbitrates only inter-router links
+    /// (core-side links are not contention resources, see the Figure 3(b)
+    /// ejection overlap), so [`SimParams::new`] defaults to `false`;
+    /// [`SimParams::paper_example`] keeps `true` because the worked
+    /// example never exercises it and a physical core link is a single
+    /// channel. The flit-level DES only supports `true`.
+    pub injection_serialization: bool,
+}
+
+impl SimParams {
+    /// The parameter set of the paper's worked example (§4.1):
+    /// `tr = 2`, `tl = 1`, `λ = 1 ns`, one-bit flits, unbounded buffers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let p = noc_sim::SimParams::paper_example();
+    /// assert_eq!(p.routing_cycles, 2);
+    /// assert_eq!(p.flit_width_bits, 1);
+    /// ```
+    pub fn paper_example() -> Self {
+        Self {
+            clock_period_ns: 1.0,
+            routing_cycles: 2,
+            link_cycles: 1,
+            flit_width_bits: 1,
+            ejection_contention: false,
+            injection_serialization: true,
+        }
+    }
+
+    /// The benchmark-suite default: the paper's worked-example timing
+    /// (`tr = 2`, `tl = 1`, `λ = 1 ns`, one-bit flits) and — matching the
+    /// paper's model, which arbitrates only inter-router links — *no*
+    /// serialization on the core-side links (see
+    /// `injection_serialization`).
+    pub fn new() -> Self {
+        Self {
+            injection_serialization: false,
+            ..Self::paper_example()
+        }
+    }
+
+    /// Number of flits of a `bits`-bit packet (`n_abq` in the paper,
+    /// `ceil(bits / flit_width)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flit_width_bits` is zero.
+    pub fn flits(&self, bits: u64) -> u64 {
+        assert!(self.flit_width_bits > 0, "flit width must be non-zero");
+        bits.div_ceil(self.flit_width_bits)
+    }
+
+    /// Converts a cycle count into nanoseconds using `λ`.
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.clock_period_ns
+    }
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_values() {
+        let p = SimParams::paper_example();
+        assert_eq!(p.clock_period_ns, 1.0);
+        assert_eq!(p.routing_cycles, 2);
+        assert_eq!(p.link_cycles, 1);
+        assert_eq!(p.flit_width_bits, 1);
+        assert!(!p.ejection_contention);
+        assert!(p.injection_serialization);
+    }
+
+    #[test]
+    fn flit_count_rounds_up() {
+        let mut p = SimParams::new();
+        assert_eq!(p.flit_width_bits, 1);
+        assert!(!p.injection_serialization);
+        p.flit_width_bits = 16;
+        assert_eq!(p.flits(1), 1);
+        assert_eq!(p.flits(16), 1);
+        assert_eq!(p.flits(17), 2);
+        assert_eq!(p.flits(64), 4);
+        assert_eq!(p.flits(0), 0);
+    }
+
+    #[test]
+    fn one_bit_flits_are_identity() {
+        let p = SimParams::paper_example();
+        for bits in [1, 15, 20, 40] {
+            assert_eq!(p.flits(bits), bits);
+        }
+    }
+
+    #[test]
+    fn cycles_to_ns_scales_by_lambda() {
+        let mut p = SimParams::paper_example();
+        assert_eq!(p.cycles_to_ns(100), 100.0);
+        p.clock_period_ns = 0.5;
+        assert_eq!(p.cycles_to_ns(100), 50.0);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(SimParams::default(), SimParams::new());
+    }
+}

@@ -1,0 +1,81 @@
+//! Building a custom application three ways — by hand, from the embedded
+//! generators, and from the TGFF-like random generator — and validating
+//! each before mapping.
+//!
+//! Run with: `cargo run -p noc --example custom_application`
+
+use noc::apps::embedded::{fft, romberg, FftConfig, RombergConfig};
+use noc::apps::TgffConfig;
+use noc::model::dot::cdcg_to_dot;
+use noc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- By hand: a scatter/gather kernel -----------------------------
+    let mut manual = Cdcg::new();
+    let master = manual.add_core("master");
+    let workers: Vec<CoreId> = (0..3).map(|i| manual.add_core(format!("w{i}"))).collect();
+    let mut gathers = Vec::new();
+    for &w in &workers {
+        let task = manual.add_packet(master, w, 5, 512)?;
+        let result = manual.add_packet(w, master, 200, 128)?;
+        manual.add_dependence(task, result)?;
+        gathers.push(result);
+    }
+    // A final broadcast depends on every result (a join).
+    let done = manual.add_packet(master, workers[0], 10, 32)?;
+    for g in gathers {
+        manual.add_dependence(g, done)?;
+    }
+    manual.validate()?;
+    println!(
+        "hand-built: {} cores, {} packets, depth {}",
+        manual.core_count(),
+        manual.packet_count(),
+        manual.depth()
+    );
+    println!("{}", cdcg_to_dot(&manual));
+
+    // --- From the embedded generators ----------------------------------
+    let fft_app = fft(&FftConfig::new(4)); // 16-point FFT
+    let romberg_app = romberg(&RombergConfig::new(6));
+    println!(
+        "16-point FFT: {} cores, {} packets; Romberg(6): {} cores, {} packets",
+        fft_app.core_count(),
+        fft_app.packet_count(),
+        romberg_app.core_count(),
+        romberg_app.packet_count()
+    );
+
+    // --- Random, with exact published-style characteristics ------------
+    let random = noc::apps::generate(&TgffConfig::new(9, 51, 23_244, 42));
+    println!(
+        "tgff-style: {} cores, {} packets, {} bits (calibrated exactly)",
+        random.core_count(),
+        random.packet_count(),
+        random.total_volume()
+    );
+
+    // Map each of them and report.
+    let params = SimParams::new();
+    for (name, app) in [
+        ("manual", &manual),
+        ("fft16", &fft_app),
+        ("romberg6", &romberg_app),
+        ("tgff", &random),
+    ] {
+        let need = app.core_count();
+        let width = (need as f64).sqrt().ceil() as usize;
+        let height = need.div_ceil(width);
+        let mesh = Mesh::new(width, height)?;
+        let explorer = Explorer::new(app, mesh, noc::energy::Technology::t007(), params);
+        let best = explorer.explore(
+            Strategy::Cdcm,
+            SearchMethod::SimulatedAnnealing(SaConfig::quick(3)),
+        );
+        println!(
+            "{name:9} on {width}x{height}: ENoC {:.1} pJ, mapping {}",
+            best.cost, best.mapping
+        );
+    }
+    Ok(())
+}

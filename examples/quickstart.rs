@@ -1,0 +1,64 @@
+//! Quickstart: describe an application, search a mapping, inspect the
+//! result.
+//!
+//! Run with: `cargo run -p noc --example quickstart`
+
+use noc::energy::{evaluate_cdcm, Technology};
+use noc::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the application as a CDCG: packets with computation
+    //    times and dependences (paper Definition 2).
+    let mut app = Cdcg::new();
+    let camera = app.add_core("camera");
+    let dsp = app.add_core("dsp");
+    let codec = app.add_core("codec");
+    let memory = app.add_core("memory");
+
+    let frame = app.add_packet(camera, dsp, 50, 4096)?; // big raw frame
+    let filtered = app.add_packet(dsp, codec, 400, 2048)?;
+    let compressed = app.add_packet(codec, memory, 600, 512)?;
+    let stats = app.add_packet(dsp, memory, 100, 64)?; // side channel
+    app.add_dependence(frame, filtered)?;
+    app.add_dependence(filtered, compressed)?;
+    app.add_dependence(frame, stats)?;
+
+    // 2. Pick a target: a 2x2 mesh NoC at the 70 nm operating point with
+    //    the paper's wormhole timing.
+    let mesh = Mesh::new(2, 2)?;
+    let tech = Technology::t007();
+    let params = SimParams::new();
+
+    // 3. Search. The space is tiny, so certify the optimum exhaustively;
+    //    use SimulatedAnnealing for anything bigger.
+    let explorer = Explorer::new(&app, mesh, tech.clone(), params);
+    let best = explorer.explore(Strategy::Cdcm, SearchMethod::Exhaustive);
+    println!("best mapping: {}", best.mapping);
+    println!(
+        "objective (ENoC): {:.1} pJ after {} evaluations",
+        best.cost, best.evaluations
+    );
+
+    // 4. Inspect the winning mapping in detail.
+    let eval = evaluate_cdcm(&app, &mesh, &best.mapping, &tech, &params)?;
+    println!("execution time: {} ns", eval.texec_ns);
+    println!("energy: {}", eval.breakdown);
+    println!(
+        "contention events: {}",
+        eval.schedule.contention_events().len()
+    );
+    for ps in eval.schedule.packets() {
+        let p = app.packet(ps.packet);
+        println!(
+            "  {} ({} bits {}→{}): injected {} delivered {} ({} cycles in flight)",
+            ps.packet,
+            p.bits,
+            app.core_name(p.src).unwrap_or("?"),
+            app.core_name(p.dst).unwrap_or("?"),
+            ps.inject(),
+            ps.delivery,
+            ps.latency(),
+        );
+    }
+    Ok(())
+}

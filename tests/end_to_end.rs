@@ -1,0 +1,143 @@
+//! End-to-end flows: the full pipeline from application construction
+//! through search to evaluation, exercising the public API the way the
+//! examples and the paper harness do.
+
+use noc::energy::{evaluate_cdcm, Technology};
+use noc::mapping::{Comparison, Explorer, SaConfig, SearchMethod, Strategy};
+use noc::model::Cdcg;
+use noc::prelude::*;
+
+/// A small hand-built streaming pipeline.
+fn pipeline_app() -> Cdcg {
+    let mut app = Cdcg::new();
+    let src = app.add_core("source");
+    let f1 = app.add_core("filter1");
+    let f2 = app.add_core("filter2");
+    let sink = app.add_core("sink");
+    let mut prev: Option<(
+        noc::model::PacketId,
+        noc::model::PacketId,
+        noc::model::PacketId,
+    )> = None;
+    for _ in 0..4 {
+        let a = app.add_packet(src, f1, 8, 96).expect("valid");
+        let b = app.add_packet(f1, f2, 16, 64).expect("valid");
+        let c = app.add_packet(f2, sink, 8, 32).expect("valid");
+        app.add_dependence(a, b).expect("acyclic");
+        app.add_dependence(b, c).expect("acyclic");
+        if let Some((pa, pb, pc)) = prev {
+            app.add_dependence(pa, a).expect("acyclic");
+            app.add_dependence(pb, b).expect("acyclic");
+            app.add_dependence(pc, c).expect("acyclic");
+        }
+        prev = Some((a, b, c));
+    }
+    app
+}
+
+#[test]
+fn search_evaluate_compare_roundtrip() {
+    let app = pipeline_app();
+    let mesh = Mesh::new(2, 2).expect("valid mesh");
+    let params = SimParams::new();
+    let explorer = Explorer::new(&app, mesh, Technology::t007(), params);
+
+    let cwm = explorer.explore(Strategy::Cwm, SearchMethod::Exhaustive);
+    let cdcm = explorer.explore(Strategy::Cdcm, SearchMethod::Exhaustive);
+    cwm.mapping.validate().expect("valid mapping");
+    cdcm.mapping.validate().expect("valid mapping");
+
+    let cmp = Comparison::evaluate(
+        &app,
+        &mesh,
+        &params,
+        &[Technology::t035(), Technology::t007()],
+        &cwm.mapping,
+        &cdcm.mapping,
+    )
+    .expect("evaluates");
+    // CDCM can never lose on its own objective.
+    assert!(cmp.ecs(1).expect("tech index") >= -1e-9);
+    // And the reported texec values must match re-evaluation.
+    let re =
+        evaluate_cdcm(&app, &mesh, &cdcm.mapping, &Technology::t007(), &params).expect("schedules");
+    assert_eq!(re.texec_ns, cmp.texec_cdcm_ns);
+}
+
+#[test]
+fn embedded_applications_run_end_to_end() {
+    use noc::apps::embedded::{
+        fft, image_encoding, object_recognition, romberg, FftConfig, ImageEncodingConfig,
+        ObjectRecognitionConfig, RombergConfig,
+    };
+    let apps: Vec<(&str, Cdcg)> = vec![
+        ("romberg", romberg(&RombergConfig::new(4))),
+        ("fft", fft(&FftConfig::new(3))),
+        (
+            "objrec",
+            object_recognition(&ObjectRecognitionConfig::new(2)),
+        ),
+        ("imgenc", image_encoding(&ImageEncodingConfig::new(4))),
+    ];
+    let params = SimParams::new();
+    for (name, app) in apps {
+        let tiles_needed = app.core_count();
+        let width = (tiles_needed as f64).sqrt().ceil() as usize;
+        let height = tiles_needed.div_ceil(width);
+        let mesh = Mesh::new(width, height).expect("valid mesh");
+        let explorer = Explorer::new(&app, mesh, Technology::t007(), params);
+        let out = explorer.explore(
+            Strategy::Cdcm,
+            SearchMethod::SimulatedAnnealing(SaConfig::quick(1)),
+        );
+        assert!(out.cost.is_finite(), "{name}");
+        let sched = schedule(&app, &mesh, &out.mapping, &params).expect("schedules");
+        assert!(sched.texec_cycles() > 0, "{name}");
+    }
+}
+
+#[test]
+fn quickstart_flow_from_readme() {
+    // Mirrors the README quickstart so the docs cannot rot.
+    let mut app = Cdcg::new();
+    let producer = app.add_core("producer");
+    let worker = app.add_core("worker");
+    let consumer = app.add_core("consumer");
+    let p0 = app.add_packet(producer, worker, 10, 256).expect("valid");
+    let p1 = app.add_packet(worker, consumer, 20, 128).expect("valid");
+    app.add_dependence(p0, p1).expect("acyclic");
+
+    let mesh = Mesh::new(2, 2).expect("valid mesh");
+    let explorer = Explorer::new(&app, mesh, Technology::t007(), SimParams::new());
+    let best = explorer.explore(Strategy::Cdcm, SearchMethod::Exhaustive);
+    let eval = evaluate_cdcm(
+        &app,
+        &mesh,
+        &best.mapping,
+        &Technology::t007(),
+        &SimParams::new(),
+    )
+    .expect("schedules");
+    assert!(eval.texec_ns > 0.0);
+    assert!(eval.breakdown.total().picojoules() > 0.0);
+}
+
+#[test]
+fn weighted_objective_trades_energy_for_time() {
+    use noc::mapping::{exhaustive, WeightedObjective};
+    let app = pipeline_app();
+    let mesh = Mesh::new(2, 2).expect("valid mesh");
+    let params = SimParams::new();
+    let tech = Technology::t035(); // leakage-poor: energy and time decouple
+    let energy_heavy = WeightedObjective::new(&app, &mesh, &tech, params, 1.0, 0.0);
+    let time_heavy = WeightedObjective::new(&app, &mesh, &tech, params, 0.0, 1.0);
+    let e = exhaustive(&energy_heavy, &mesh, app.core_count());
+    let t = exhaustive(&time_heavy, &mesh, app.core_count());
+    // The time-optimal texec is a lower bound for the energy-winner's.
+    let texec_of = |m: &Mapping| {
+        schedule(&app, &mesh, m, &params)
+            .expect("schedules")
+            .texec_cycles()
+    };
+    assert!(texec_of(&t.mapping) <= texec_of(&e.mapping));
+}

@@ -1,0 +1,132 @@
+//! Integration tests of the energy model against the simulator and the
+//! mapping layer (Equations 1–5, 9, 10 wired together).
+
+use noc::apps::paper_example::{figure1_cdcg, mapping_c, mesh_2x2};
+use noc::apps::TgffConfig;
+use noc::energy::{
+    cdcg_dynamic_energy, cwg_dynamic_energy, evaluate_cdcm, noc_static_power, Technology,
+};
+use noc::model::{Mapping, Mesh, TileId};
+use noc::sim::{Resource, SimParams};
+
+#[test]
+fn occupancy_bits_times_bit_energy_equals_dynamic_energy() {
+    // The paper's §4 describes dynamic energy as the sum over the CRG
+    // cost-variable lists: bits through routers x ERbit plus bits through
+    // inter-router links x ELbit. That bookkeeping must equal Eq. 4.
+    let cdcg = figure1_cdcg();
+    let mesh = mesh_2x2();
+    let mapping = mapping_c();
+    let tech = Technology::paper_example();
+    let eval = evaluate_cdcm(&cdcg, &mesh, &mapping, &tech, &SimParams::paper_example())
+        .expect("schedules");
+
+    let mut from_occupancy = 0.0;
+    for (res, occs) in eval.schedule.occupancy().iter() {
+        let bits: u64 = occs.iter().map(|o| o.bits).sum();
+        match res {
+            Resource::Router(_) => {
+                from_occupancy += bits as f64 * tech.bit_energy.router_pj;
+            }
+            Resource::Link(l) if l.is_internal() => {
+                from_occupancy += bits as f64 * tech.bit_energy.link_pj;
+            }
+            Resource::Link(_) => {} // core links: ECbit = 0
+        }
+    }
+    assert!((from_occupancy - eval.breakdown.dynamic.picojoules()).abs() < 1e-9);
+}
+
+#[test]
+fn dynamic_energy_is_mapping_independent_between_hop_equivalent_mappings() {
+    // Rotating the whole placement preserves all pairwise distances on a
+    // symmetric mesh, so Eq. 3 is invariant.
+    let cdcg = figure1_cdcg();
+    let cwg = cdcg.to_cwg();
+    let mesh = mesh_2x2();
+    let tech = Technology::paper_example();
+    // 180-degree rotation of mapping (c): tiles 1,0,3,2 -> 2,3,0,1.
+    let original = mapping_c();
+    let rotated = Mapping::from_tiles(&mesh, [2, 3, 0, 1].map(TileId::new)).unwrap();
+    let a = cwg_dynamic_energy(&cwg, &mesh, &original, &tech);
+    let b = cwg_dynamic_energy(&cwg, &mesh, &rotated, &tech);
+    assert!((a.picojoules() - b.picojoules()).abs() < 1e-9);
+}
+
+#[test]
+fn cwg_and_cdcg_dynamic_energies_agree_on_random_apps() {
+    for seed in 0..10 {
+        let cdcg = noc::apps::generate(&TgffConfig::new(6, 30, 9_000, seed));
+        let cwg = cdcg.to_cwg();
+        let mesh = Mesh::new(3, 2).unwrap();
+        let mapping = Mapping::identity(&mesh, 6).unwrap();
+        let tech = Technology::t007();
+        let e3 = cwg_dynamic_energy(&cwg, &mesh, &mapping, &tech);
+        let e4 = cdcg_dynamic_energy(&cdcg, &mesh, &mapping, &tech);
+        assert!(
+            (e3.picojoules() - e4.picojoules()).abs() < 1e-6,
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn static_energy_scales_linearly_with_texec_and_tiles() {
+    let tech = Technology::t007();
+    let small = Mesh::new(2, 2).unwrap();
+    let large = Mesh::new(4, 4).unwrap();
+    assert!(
+        (noc_static_power(&large, &tech).pj_per_ns()
+            - 4.0 * noc_static_power(&small, &tech).pj_per_ns())
+        .abs()
+            < 1e-9
+    );
+}
+
+#[test]
+fn total_energy_decomposes_exactly() {
+    let cdcg = figure1_cdcg();
+    let mesh = mesh_2x2();
+    for tech in [
+        Technology::paper_example(),
+        Technology::t035(),
+        Technology::t007(),
+    ] {
+        let eval = evaluate_cdcm(
+            &cdcg,
+            &mesh,
+            &mapping_c(),
+            &tech,
+            &SimParams::paper_example(),
+        )
+        .expect("schedules");
+        let total = eval.breakdown.total().picojoules();
+        let parts = eval.breakdown.dynamic.picojoules() + eval.breakdown.static_energy.picojoules();
+        assert!((total - parts).abs() < 1e-9, "{}", tech.name);
+        assert!(eval.breakdown.static_share() >= 0.0);
+        assert!(eval.breakdown.static_share() <= 1.0);
+    }
+}
+
+#[test]
+fn faster_schedule_means_less_static_energy_same_dynamic() {
+    // Mapping (d) is 10 ns faster at identical traffic: static energy
+    // drops proportionally and dynamic stays, for every technology.
+    let cdcg = figure1_cdcg();
+    let mesh = mesh_2x2();
+    let params = SimParams::paper_example();
+    for tech in [Technology::t035(), Technology::t007()] {
+        let a = evaluate_cdcm(&cdcg, &mesh, &mapping_c(), &tech, &params).unwrap();
+        let b = evaluate_cdcm(
+            &cdcg,
+            &mesh,
+            &noc::apps::paper_example::mapping_d(),
+            &tech,
+            &params,
+        )
+        .unwrap();
+        assert!((a.breakdown.dynamic.picojoules() - b.breakdown.dynamic.picojoules()).abs() < 1e-9);
+        let ratio = a.breakdown.static_energy.picojoules() / b.breakdown.static_energy.picojoules();
+        assert!((ratio - 100.0 / 90.0).abs() < 1e-9, "{}", tech.name);
+    }
+}

@@ -1,0 +1,97 @@
+//! The paper's §5 claim: "for small NoC sizes (up to 3x4 or 2x5), both
+//! ES and SA methods reached the same results". These tests verify the
+//! annealer against certified optima on small instances, for both
+//! objectives, plus baseline orderings.
+
+use noc::apps::suite::{Benchmark, TABLE1_ROWS};
+use noc::energy::Technology;
+use noc::mapping::{
+    exhaustive, greedy, random_search, CdcmObjective, CostFunction, CwmObjective, Explorer,
+    SaConfig, SearchMethod, Strategy,
+};
+use noc::sim::SimParams;
+
+#[test]
+fn sa_matches_exhaustive_on_3x2_rows() {
+    let params = SimParams::new();
+    let tech = Technology::t007();
+    for spec in TABLE1_ROWS.iter().take(3) {
+        let bench = Benchmark::from_spec(*spec);
+        let explorer = Explorer::new(&bench.cdcg, bench.mesh, tech.clone(), params);
+
+        for strategy in [Strategy::Cwm, Strategy::Cdcm] {
+            let es = explorer.explore(strategy, SearchMethod::Exhaustive);
+            // A few seeds; SA must reach the optimum from at least one
+            // (in practice every seed finds it on these tiny spaces).
+            let best_sa = (0..3)
+                .map(|seed| {
+                    explorer
+                        .explore(
+                            strategy,
+                            SearchMethod::SimulatedAnnealing(SaConfig::new(seed)),
+                        )
+                        .cost
+                })
+                .fold(f64::INFINITY, f64::min);
+            assert!(
+                (best_sa - es.cost).abs() < 1e-6,
+                "{} {:?}: SA {} vs ES {}",
+                spec.name,
+                strategy,
+                best_sa,
+                es.cost
+            );
+        }
+    }
+}
+
+#[test]
+fn search_method_quality_ordering_holds() {
+    // ES <= SA <= random at matched-or-better budgets.
+    let bench = Benchmark::from_spec(TABLE1_ROWS[1]); // fft8-a
+    let params = SimParams::new();
+    let tech = Technology::t007();
+    let cdcg = &bench.cdcg;
+    let obj = CdcmObjective::new(cdcg, &bench.mesh, &tech, params);
+    let cores = cdcg.core_count();
+
+    let es = exhaustive(&obj, &bench.mesh, cores);
+    let sa = noc::mapping::anneal(&obj, &bench.mesh, cores, &SaConfig::new(1));
+    let rnd = random_search(&obj, &bench.mesh, cores, 200, 1);
+    let grd = greedy(&obj, &bench.mesh, cores, 2, 1);
+
+    assert!(es.cost <= sa.cost + 1e-9);
+    assert!(es.cost <= rnd.cost + 1e-9);
+    assert!(es.cost <= grd.cost + 1e-9);
+    // SA with a real budget should beat plain random sampling here.
+    assert!(sa.cost <= rnd.cost + 1e-9);
+}
+
+#[test]
+fn cwm_delta_annealing_is_consistent_with_full_costs() {
+    // The incremental (swap-delta) annealer must report true costs.
+    let bench = Benchmark::from_spec(TABLE1_ROWS[3]); // romberg-a
+    let cwg = bench.cdcg.to_cwg();
+    let tech = Technology::t007();
+    let obj = CwmObjective::new(&cwg, &bench.mesh, &tech);
+    let outcome = noc::mapping::anneal_delta(
+        &obj,
+        &bench.mesh,
+        bench.cdcg.core_count(),
+        &SaConfig::new(9),
+    );
+    assert!((obj.cost(&outcome.mapping) - outcome.cost).abs() < 1e-9);
+}
+
+#[test]
+fn exhaustive_is_deterministic_and_counts_the_space() {
+    let bench = Benchmark::from_spec(TABLE1_ROWS[0]); // 5 cores on 3x2
+    let tech = Technology::t007();
+    let cwg = bench.cdcg.to_cwg();
+    let obj = CwmObjective::new(&cwg, &bench.mesh, &tech);
+    let a = exhaustive(&obj, &bench.mesh, 5);
+    let b = exhaustive(&obj, &bench.mesh, 5);
+    assert_eq!(a.mapping, b.mapping);
+    assert_eq!(a.evaluations, 720); // 6!/(6-5)!
+    assert_eq!(a.evaluations, noc::mapping::search_space_size(5, 6));
+}
