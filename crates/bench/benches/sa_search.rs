@@ -1,5 +1,7 @@
 //! Criterion bench: full simulated-annealing searches under both
-//! strategies on a small suite row (end-to-end search throughput).
+//! strategies on a small suite row (end-to-end search throughput), and
+//! single-start vs parallel multi-start SA at an equal total evaluation
+//! budget.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use noc_apps::suite::{Benchmark, TABLE1_ROWS};
@@ -32,6 +34,32 @@ fn bench_sa(c: &mut Criterion) {
             std::hint::black_box(
                 explorer.explore(Strategy::Cdcm, SearchMethod::SimulatedAnnealing(config)),
             )
+        })
+    });
+
+    // Equal total budget: 1 restart x 8000 evaluations vs 8 restarts x
+    // 1000 evaluations run in parallel. Multi-start explores as much and
+    // finishes in a fraction of the wall-clock on a multicore host.
+    let mut single = SaConfig::quick(3);
+    single.max_evaluations = 8_000;
+    let mut per_restart = SaConfig::quick(3);
+    per_restart.max_evaluations = 1_000;
+    group.bench_function("cdcm_single_8k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                explorer.explore(Strategy::Cdcm, SearchMethod::SimulatedAnnealing(single)),
+            )
+        })
+    });
+    group.bench_function("cdcm_multistart_8x1k", |b| {
+        b.iter(|| {
+            std::hint::black_box(explorer.explore(
+                Strategy::Cdcm,
+                SearchMethod::MultiStartSa {
+                    config: per_restart,
+                    restarts: 8,
+                },
+            ))
         })
     });
     group.finish();

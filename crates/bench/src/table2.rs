@@ -249,7 +249,11 @@ mod tests {
         assert!(row.texec_cdcm_ns > 0.0);
         // With both optima certified by ES, CDCM can never lose on texec
         // here (its objective is texec-dominated at 0.07u on this row).
-        assert!(row.etr >= 0.0, "certified ETR cannot be negative: {}", row.etr);
+        assert!(
+            row.etr >= 0.0,
+            "certified ETR cannot be negative: {}",
+            row.etr
+        );
         assert!(row.ecs_007 >= -0.01);
         // Groups/average aggregate the single row.
         assert_eq!(record.groups.len(), 1);

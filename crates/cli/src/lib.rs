@@ -279,19 +279,29 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
         other => return Err(format!("unknown strategy `{other}` (cwm|cdcm)").into()),
     };
     let seed: u64 = options.get_parsed("--seed", 0)?;
+    let sa_config = if options.flag("--quick") {
+        SaConfig::quick(seed)
+    } else {
+        SaConfig::new(seed)
+    };
     let method = match options.get("--method").unwrap_or("sa") {
-        "sa" | "SA" => SearchMethod::SimulatedAnnealing(if options.flag("--quick") {
-            SaConfig::quick(seed)
-        } else {
-            SaConfig::new(seed)
-        }),
+        "sa" | "SA" => SearchMethod::SimulatedAnnealing(sa_config),
+        "sa-multi" | "multistart" => SearchMethod::MultiStartSa {
+            config: sa_config,
+            restarts: options.get_parsed("--restarts", 8u32)?,
+        },
         "exhaustive" | "es" | "ES" => SearchMethod::Exhaustive,
         "random" => SearchMethod::Random {
             samples: 10_000,
             seed,
         },
-        "greedy" => SearchMethod::Greedy { restarts: 8, seed },
-        other => return Err(format!("unknown method `{other}` (sa|es|random|greedy)").into()),
+        "greedy" => SearchMethod::Greedy {
+            restarts: options.get_parsed("--restarts", 8u32)?,
+            seed,
+        },
+        other => {
+            return Err(format!("unknown method `{other}` (sa|sa-multi|es|random|greedy)").into())
+        }
     };
 
     let params = SimParams::new();
@@ -442,7 +452,8 @@ USAGE:
   noc-cli generate [--cores N --packets N --bits N --seed S] [--out app.json]
   noc-cli info     --app app.json
   noc-cli map      --app app.json --mesh WxH [--strategy cwm|cdcm]
-                   [--method sa|es|random|greedy] [--tech paper|0.35|0.07]
+                   [--method sa|sa-multi|es|random|greedy] [--restarts N]
+                   [--tech paper|0.35|0.07]
                    [--seed S] [--quick] [--pin c0:t3,c2:t0]
   noc-cli evaluate --app app.json --mesh WxH --mapping t0,t1,...
                    [--tech paper|0.35|0.07] [--gantt]
@@ -612,6 +623,37 @@ mod tests {
         assert!(eval_out.contains("texec:      100 ns"), "{eval_out}");
         assert!(eval_out.contains("400.000 pJ"), "{eval_out}");
         assert!(eval_out.contains("legend:"), "gantt requested");
+    }
+
+    #[test]
+    fn map_with_multistart_sa_is_deterministic() {
+        let path = write_example_app();
+        let args = strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "sa-multi",
+            "--restarts",
+            "4",
+            "--quick",
+            "--tech",
+            "paper",
+            "--seed",
+            "11",
+        ]);
+        let first = run(&args).unwrap();
+        let second = run(&args).unwrap();
+        assert!(first.contains("multistart"), "{first}");
+        let tile_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("tile list:"))
+                .map(str::to_owned)
+                .expect("tile list printed")
+        };
+        assert_eq!(tile_line(&first), tile_line(&second));
     }
 
     #[test]

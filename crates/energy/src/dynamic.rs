@@ -9,7 +9,7 @@
 
 use crate::technology::Technology;
 use crate::units::Energy;
-use noc_model::{Cdcg, Communication, Cwg, Mapping, Mesh, RoutingAlgorithm, XyRouting};
+use noc_model::{Cdcg, Communication, Cwg, Mapping, Mesh, RouteCache, RoutingAlgorithm, XyRouting};
 
 /// Dynamic energy of one communication: `EBit_ab = w_ab × EBit_ij` with
 /// `EBit_ij` from Equation 2 and the router count taken from the routed
@@ -69,6 +69,41 @@ pub fn cdcg_dynamic_energy_with(
             let p = cdcg.packet(id);
             let path = routing.route(mesh, mapping.tile_of(p.src), mapping.tile_of(p.dst));
             tech.bit_energy.per_transfer(path.router_count(), p.bits)
+        })
+        .sum()
+}
+
+/// Equation 4 over a precomputed [`RouteCache`]: no route is re-derived
+/// per call, router counts are `O(1)` lookups. Bit-exact with
+/// [`cdcg_dynamic_energy_with`] for the cache's routing algorithm (same
+/// per-packet terms, same summation order).
+pub fn cdcg_dynamic_energy_cached(
+    cdcg: &Cdcg,
+    cache: &RouteCache,
+    mapping: &Mapping,
+    tech: &Technology,
+) -> Energy {
+    cdcg.packet_ids()
+        .map(|id| {
+            let p = cdcg.packet(id);
+            let k = cache.router_count(mapping.tile_of(p.src), mapping.tile_of(p.dst));
+            tech.bit_energy.per_transfer(k, p.bits)
+        })
+        .sum()
+}
+
+/// Equation 3 over a precomputed [`RouteCache`]; bit-exact with
+/// [`cwg_dynamic_energy_with`] for the cache's routing algorithm.
+pub fn cwg_dynamic_energy_cached(
+    cwg: &Cwg,
+    cache: &RouteCache,
+    mapping: &Mapping,
+    tech: &Technology,
+) -> Energy {
+    cwg.communications()
+        .map(|c| {
+            let k = cache.router_count(mapping.tile_of(c.src), mapping.tile_of(c.dst));
+            tech.bit_energy.per_transfer(k, c.bits)
         })
         .sum()
 }

@@ -51,8 +51,12 @@ pub mod total;
 pub mod units;
 
 pub use bit_energy::BitEnergy;
-pub use dynamic::{cdcg_dynamic_energy, cwg_dynamic_energy};
+pub use dynamic::{
+    cdcg_dynamic_energy, cdcg_dynamic_energy_cached, cwg_dynamic_energy, cwg_dynamic_energy_cached,
+};
 pub use statics::{noc_static_energy, noc_static_power};
 pub use technology::Technology;
-pub use total::{evaluate_cdcm, evaluate_cwm, CdcmEvaluation, EnergyBreakdown};
+pub use total::{
+    evaluate_cdcm, evaluate_cwm, CdcmCost, CdcmCostEvaluator, CdcmEvaluation, EnergyBreakdown,
+};
 pub use units::{Energy, Power};

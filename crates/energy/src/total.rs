@@ -7,14 +7,17 @@
 //!   mapped mesh (contention-aware schedule), then
 //!   `ENoC = EStNoC + EDyNoC` (Equation 10).
 
-use crate::dynamic::{cdcg_dynamic_energy_with, cwg_dynamic_energy_with};
+use crate::dynamic::{
+    cdcg_dynamic_energy_cached, cdcg_dynamic_energy_with, cwg_dynamic_energy_with,
+};
 use crate::statics::noc_static_energy;
 use crate::technology::Technology;
 use crate::units::Energy;
-use noc_model::{Cdcg, Cwg, Mapping, Mesh, RoutingAlgorithm, XyRouting};
-use noc_sim::{schedule_with, Schedule, SimError, SimParams};
+use noc_model::{Cdcg, Cwg, Mapping, Mesh, RouteCache, RoutingAlgorithm, XyRouting};
+use noc_sim::{schedule_with, CostEvaluator, Schedule, SimError, SimParams};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Static + dynamic energy split of one evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -135,6 +138,90 @@ pub fn evaluate_cdcm_with(
     })
 }
 
+/// Cost-only result of a CDCM evaluation: the Equation 10 scalar plus the
+/// execution time, without the schedule artifacts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CdcmCost {
+    /// The CDCM objective `ENoC` in picojoules (Equation 10).
+    pub objective_pj: f64,
+    /// `EDyNoC` share in picojoules.
+    pub dynamic_pj: f64,
+    /// `EStNoC` share in picojoules.
+    pub static_pj: f64,
+    /// Execution time in cycles.
+    pub texec_cycles: u64,
+    /// Execution time in nanoseconds.
+    pub texec_ns: f64,
+}
+
+/// Allocation-free CDCM cost engine: the fast-path twin of
+/// [`evaluate_cdcm`].
+///
+/// Wraps `noc-sim`'s [`CostEvaluator`] (cost-only contention-aware
+/// schedule over a shared [`RouteCache`]) and adds the Equation 10 energy
+/// terms, computed from cached hop counts instead of re-derived routes.
+/// For every input, [`CdcmCostEvaluator::evaluate`] returns exactly the
+/// `objective_pj()`, `texec_cycles` and `texec_ns` of [`evaluate_cdcm`] —
+/// bit-exact, it only skips building the artifacts.
+///
+/// Cloning shares the route cache but gives the clone private scratch
+/// state, so clones evaluate concurrently on different threads.
+#[derive(Debug, Clone)]
+pub struct CdcmCostEvaluator<'a> {
+    evaluator: CostEvaluator<'a>,
+    tech: &'a Technology,
+}
+
+impl<'a> CdcmCostEvaluator<'a> {
+    /// Builds the engine, constructing a fresh XY route cache for `mesh`.
+    pub fn new(cdcg: &'a Cdcg, mesh: &Mesh, tech: &'a Technology, params: &SimParams) -> Self {
+        Self::with_cache(cdcg, tech, params, Arc::new(RouteCache::new(mesh)))
+    }
+
+    /// Builds the engine over an existing shared route cache.
+    pub fn with_cache(
+        cdcg: &'a Cdcg,
+        tech: &'a Technology,
+        params: &SimParams,
+        cache: Arc<RouteCache>,
+    ) -> Self {
+        Self {
+            evaluator: CostEvaluator::with_cache(cdcg, params, cache),
+            tech,
+        }
+    }
+
+    /// The shared route cache.
+    pub fn cache(&self) -> &Arc<RouteCache> {
+        self.evaluator.cache()
+    }
+
+    /// Evaluates a mapping: Equation 10 without the schedule artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`evaluate_cdcm`] (core-count mismatch, invalid mapping).
+    pub fn evaluate(&mut self, mapping: &Mapping) -> Result<CdcmCost, SimError> {
+        let texec_cycles = self.evaluator.texec_cycles(mapping)?;
+        let texec_ns = self.evaluator.params().cycles_to_ns(texec_cycles);
+        let dynamic = cdcg_dynamic_energy_cached(
+            self.evaluator.cdcg(),
+            self.evaluator.cache(),
+            mapping,
+            self.tech,
+        );
+        let static_energy = noc_static_energy(self.evaluator.cache().mesh(), self.tech, texec_ns);
+        Ok(CdcmCost {
+            // Mirror `EnergyBreakdown::total().picojoules()` exactly.
+            objective_pj: (dynamic + static_energy).picojoules(),
+            dynamic_pj: dynamic.picojoules(),
+            static_pj: static_energy.picojoules(),
+            texec_cycles,
+            texec_ns,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +312,45 @@ mod tests {
             "0.07um share {} should dwarf 0.35um share {}",
             new.breakdown.static_share(),
             old.breakdown.static_share()
+        );
+    }
+
+    #[test]
+    fn cost_evaluator_is_bit_exact_with_full_evaluation() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        for tech in [
+            Technology::paper_example(),
+            Technology::t035(),
+            Technology::t007(),
+        ] {
+            let mut fast = CdcmCostEvaluator::new(&cdcg, &mesh, &tech, &params);
+            for tiles in [[1, 0, 3, 2], [3, 0, 1, 2], [0, 1, 2, 3], [2, 3, 0, 1]] {
+                let mapping = Mapping::from_tiles(&mesh, tiles.map(TileId::new)).unwrap();
+                let full = evaluate_cdcm(&cdcg, &mesh, &mapping, &tech, &params).unwrap();
+                let cost = fast.evaluate(&mapping).unwrap();
+                // Bit-exact, not approximately equal.
+                assert_eq!(cost.objective_pj, full.objective_pj(), "tiles {tiles:?}");
+                assert_eq!(cost.texec_cycles, full.texec_cycles);
+                assert_eq!(cost.texec_ns, full.texec_ns);
+                assert_eq!(cost.dynamic_pj, full.breakdown.dynamic.picojoules());
+                assert_eq!(cost.static_pj, full.breakdown.static_energy.picojoules());
+            }
+        }
+    }
+
+    #[test]
+    fn cost_evaluator_propagates_errors_like_the_full_path() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let params = SimParams::paper_example();
+        let bad = Mapping::identity(&mesh, 3).unwrap();
+        let mut fast = CdcmCostEvaluator::new(&cdcg, &mesh, &tech, &params);
+        assert_eq!(
+            fast.evaluate(&bad).unwrap_err(),
+            evaluate_cdcm(&cdcg, &mesh, &bad, &tech, &params).unwrap_err()
         );
     }
 

@@ -12,11 +12,12 @@ use crate::greedy::greedy;
 use crate::objective::{CdcmObjective, CwmObjective};
 use crate::random_search::random_search;
 use crate::result::SearchOutcome;
-use crate::sa::{anneal, anneal_delta, SaConfig};
+use crate::sa::{anneal, anneal_delta, anneal_multistart, anneal_multistart_delta, SaConfig};
 use noc_energy::Technology;
-use noc_model::{Cdcg, Cwg, Mesh};
+use noc_model::{Cdcg, Cwg, Mesh, RouteCache};
 use noc_sim::SimParams;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Which application model drives the cost function.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -42,6 +43,15 @@ impl Strategy {
 pub enum SearchMethod {
     /// Simulated annealing with the given configuration.
     SimulatedAnnealing(SaConfig),
+    /// Parallel multi-start simulated annealing: `restarts` independent
+    /// seeded runs across the available cores, reduced deterministically
+    /// to the best outcome.
+    MultiStartSa {
+        /// Base configuration; restart `i` runs with `config.seed + i`.
+        config: SaConfig,
+        /// Number of independent restarts.
+        restarts: u32,
+    },
     /// Exhaustive enumeration (small NoCs only).
     Exhaustive,
     /// Uniform random sampling with a sample budget.
@@ -68,19 +78,29 @@ pub struct Explorer<'a> {
     mesh: Mesh,
     tech: Technology,
     params: SimParams,
+    /// Routes of `mesh`, computed once and shared by every objective this
+    /// explorer builds (and by their per-thread clones).
+    cache: Arc<RouteCache>,
 }
 
 impl<'a> Explorer<'a> {
     /// Creates an explorer; the CWG used by the CWM strategy is collapsed
-    /// from `cdcg` once, up front.
+    /// from `cdcg` once, up front, and the mesh's routes are cached once
+    /// for every objective the explorer runs.
     pub fn new(cdcg: &'a Cdcg, mesh: Mesh, tech: Technology, params: SimParams) -> Self {
         Self {
             cdcg,
             cwg: cdcg.to_cwg(),
+            cache: Arc::new(RouteCache::new(&mesh)),
             mesh,
             tech,
             params,
         }
+    }
+
+    /// The shared route cache of the target mesh.
+    pub fn route_cache(&self) -> &Arc<RouteCache> {
+        &self.cache
     }
 
     /// The application graph.
@@ -114,7 +134,12 @@ impl<'a> Explorer<'a> {
         let cores = self.cdcg.core_count();
         match strategy {
             Strategy::Cwm => {
-                let objective = CwmObjective::new(&self.cwg, &self.mesh, &self.tech);
+                let objective = CwmObjective::with_cache(
+                    &self.cwg,
+                    &self.mesh,
+                    &self.tech,
+                    Arc::clone(&self.cache),
+                );
                 match method {
                     SearchMethod::SimulatedAnnealing(config) => {
                         // CWM supports incremental move evaluation — the
@@ -122,6 +147,13 @@ impl<'a> Explorer<'a> {
                         // the model with.
                         anneal_delta(&objective, &self.mesh, cores, &config)
                     }
+                    SearchMethod::MultiStartSa { config, restarts } => anneal_multistart_delta(
+                        &objective,
+                        &self.mesh,
+                        cores,
+                        &config,
+                        restarts as usize,
+                    ),
                     SearchMethod::Exhaustive => exhaustive(&objective, &self.mesh, cores),
                     SearchMethod::Random { samples, seed } => {
                         random_search(&objective, &self.mesh, cores, samples, seed)
@@ -132,10 +164,18 @@ impl<'a> Explorer<'a> {
                 }
             }
             Strategy::Cdcm => {
-                let objective = CdcmObjective::new(self.cdcg, &self.mesh, &self.tech, self.params);
+                let objective = CdcmObjective::with_cache(
+                    self.cdcg,
+                    &self.tech,
+                    self.params,
+                    Arc::clone(&self.cache),
+                );
                 match method {
                     SearchMethod::SimulatedAnnealing(config) => {
                         anneal(&objective, &self.mesh, cores, &config)
+                    }
+                    SearchMethod::MultiStartSa { config, restarts } => {
+                        anneal_multistart(&objective, &self.mesh, cores, &config, restarts as usize)
                     }
                     SearchMethod::Exhaustive => exhaustive(&objective, &self.mesh, cores),
                     SearchMethod::Random { samples, seed } => {
@@ -219,6 +259,10 @@ mod tests {
         );
         let methods = [
             SearchMethod::SimulatedAnnealing(SaConfig::quick(3)),
+            SearchMethod::MultiStartSa {
+                config: SaConfig::quick(3),
+                restarts: 3,
+            },
             SearchMethod::Exhaustive,
             SearchMethod::Random {
                 samples: 30,

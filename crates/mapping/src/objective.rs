@@ -13,9 +13,11 @@
 //! * [`WeightedObjective`] — `α·ENoC + β·texec` multi-objective blend
 //!   (listed by the paper as a natural extension).
 
-use noc_energy::{evaluate_cdcm, evaluate_cwm, Technology};
-use noc_model::{Cdcg, Cwg, Mapping, Mesh, TileId, XyRouting};
-use noc_sim::{schedule, SimParams};
+use noc_energy::{cwg_dynamic_energy_cached, CdcmCostEvaluator, Technology};
+use noc_model::{Cdcg, Cwg, Mapping, Mesh, RouteCache, TileId};
+use noc_sim::{CostEvaluator, SimParams};
+use std::cell::RefCell;
+use std::sync::Arc;
 
 /// A mapping objective: smaller is better.
 ///
@@ -41,29 +43,56 @@ pub trait SwapDeltaCost: CostFunction {
 }
 
 /// The CWM objective (Equation 3): NoC dynamic energy of a CWG.
+///
+/// Routes come from a shared [`RouteCache`], so neither full evaluations
+/// nor [`SwapDeltaCost::swap_delta`] re-derive XY paths.
 #[derive(Debug, Clone)]
 pub struct CwmObjective<'a> {
     cwg: &'a Cwg,
-    mesh: &'a Mesh,
     tech: &'a Technology,
+    cache: Arc<RouteCache>,
 }
 
 impl<'a> CwmObjective<'a> {
     /// Creates the objective for an application CWG on a mesh at a
     /// technology point.
-    pub fn new(cwg: &'a Cwg, mesh: &'a Mesh, tech: &'a Technology) -> Self {
-        Self { cwg, mesh, tech }
+    pub fn new(cwg: &'a Cwg, mesh: &Mesh, tech: &'a Technology) -> Self {
+        Self::with_cache(cwg, mesh, tech, Arc::new(RouteCache::new(mesh)))
+    }
+
+    /// Creates the objective over an existing shared route cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cache` was built for a different mesh than `mesh`.
+    pub fn with_cache(
+        cwg: &'a Cwg,
+        mesh: &Mesh,
+        tech: &'a Technology,
+        cache: Arc<RouteCache>,
+    ) -> Self {
+        assert_eq!(
+            cache.mesh(),
+            mesh,
+            "route cache was built for a different mesh"
+        );
+        Self { cwg, tech, cache }
     }
 
     /// The underlying CWG.
     pub fn cwg(&self) -> &Cwg {
         self.cwg
     }
+
+    /// The shared route cache.
+    pub fn cache(&self) -> &Arc<RouteCache> {
+        &self.cache
+    }
 }
 
 impl CostFunction for CwmObjective<'_> {
     fn cost(&self, mapping: &Mapping) -> f64 {
-        evaluate_cwm(self.cwg, self.mesh, mapping, self.tech).picojoules()
+        cwg_dynamic_energy_cached(self.cwg, &self.cache, mapping, self.tech).picojoules()
     }
 
     fn name(&self) -> String {
@@ -76,25 +105,35 @@ impl SwapDeltaCost for CwmObjective<'_> {
         if a == b {
             return 0.0;
         }
-        let affected = |core: noc_model::CoreId| {
+        // Tile a core would occupy after the swap, without materializing
+        // the swapped mapping.
+        let swapped_tile = |core: noc_model::CoreId| {
             let t = mapping.tile_of(core);
-            t == a || t == b
+            if t == a {
+                b
+            } else if t == b {
+                a
+            } else {
+                t
+            }
         };
-        // Only communications touching a swapped core change cost.
-        let routing = XyRouting;
-        let mut swapped = mapping.clone();
-        swapped.swap_tiles(a, b);
+        // Only communications touching a swapped core change cost; each
+        // term is two O(1) hop-count lookups in the route cache.
         let mut delta = 0.0;
         for comm in self.cwg.communications() {
-            if !(affected(comm.src) || affected(comm.dst)) {
+            let (src_old, dst_old) = (mapping.tile_of(comm.src), mapping.tile_of(comm.dst));
+            if !(src_old == a || src_old == b || dst_old == a || dst_old == b) {
                 continue;
             }
-            let old = noc_energy::dynamic::communication_energy(
-                &comm, self.mesh, mapping, self.tech, &routing,
-            );
-            let new = noc_energy::dynamic::communication_energy(
-                &comm, self.mesh, &swapped, self.tech, &routing,
-            );
+            let (src_new, dst_new) = (swapped_tile(comm.src), swapped_tile(comm.dst));
+            let old = self
+                .tech
+                .bit_energy
+                .per_transfer(self.cache.router_count(src_old, dst_old), comm.bits);
+            let new = self
+                .tech
+                .bit_energy
+                .per_transfer(self.cache.router_count(src_new, dst_new), comm.bits);
             delta += new.picojoules() - old.picojoules();
         }
         delta
@@ -103,12 +142,19 @@ impl SwapDeltaCost for CwmObjective<'_> {
 
 /// The CDCM objective (Equation 10): total NoC energy including leakage
 /// over the contention-aware execution time.
-#[derive(Debug, Clone)]
+///
+/// Evaluations run on the allocation-free cost engine
+/// ([`CdcmCostEvaluator`]): the contention-aware schedule is computed
+/// without materializing occupancy lists or timelines, over a shared
+/// [`RouteCache`] and reusable scratch buffers. Values are bit-exact with
+/// [`noc_energy::evaluate_cdcm`].
+///
+/// Clones share the route cache but own private scratch state, so each
+/// search thread clones the objective once and evaluates independently.
+#[derive(Debug)]
 pub struct CdcmObjective<'a> {
     cdcg: &'a Cdcg,
-    mesh: &'a Mesh,
-    tech: &'a Technology,
-    params: SimParams,
+    engine: RefCell<CdcmCostEvaluator<'a>>,
 }
 
 impl<'a> CdcmObjective<'a> {
@@ -116,9 +162,20 @@ impl<'a> CdcmObjective<'a> {
     pub fn new(cdcg: &'a Cdcg, mesh: &'a Mesh, tech: &'a Technology, params: SimParams) -> Self {
         Self {
             cdcg,
-            mesh,
-            tech,
-            params,
+            engine: RefCell::new(CdcmCostEvaluator::new(cdcg, mesh, tech, &params)),
+        }
+    }
+
+    /// Creates the objective over an existing shared route cache.
+    pub fn with_cache(
+        cdcg: &'a Cdcg,
+        tech: &'a Technology,
+        params: SimParams,
+        cache: Arc<RouteCache>,
+    ) -> Self {
+        Self {
+            cdcg,
+            engine: RefCell::new(CdcmCostEvaluator::with_cache(cdcg, tech, &params, cache)),
         }
     }
 
@@ -128,10 +185,21 @@ impl<'a> CdcmObjective<'a> {
     }
 }
 
+impl Clone for CdcmObjective<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            cdcg: self.cdcg,
+            engine: RefCell::new(self.engine.borrow().clone()),
+        }
+    }
+}
+
 impl CostFunction for CdcmObjective<'_> {
     fn cost(&self, mapping: &Mapping) -> f64 {
-        evaluate_cdcm(self.cdcg, self.mesh, mapping, self.tech, &self.params)
-            .map(|e| e.objective_pj())
+        self.engine
+            .borrow_mut()
+            .evaluate(mapping)
+            .map(|c| c.objective_pj)
             .unwrap_or(f64::INFINITY)
     }
 
@@ -140,25 +208,42 @@ impl CostFunction for CdcmObjective<'_> {
     }
 }
 
-/// Pure execution-time objective (`texec` in nanoseconds).
-#[derive(Debug, Clone)]
+/// Pure execution-time objective (`texec` in nanoseconds), evaluated on
+/// the cost-only fast path.
+#[derive(Debug)]
 pub struct ExecTimeObjective<'a> {
-    cdcg: &'a Cdcg,
-    mesh: &'a Mesh,
-    params: SimParams,
+    engine: RefCell<CostEvaluator<'a>>,
 }
 
 impl<'a> ExecTimeObjective<'a> {
     /// Creates the objective.
     pub fn new(cdcg: &'a Cdcg, mesh: &'a Mesh, params: SimParams) -> Self {
-        Self { cdcg, mesh, params }
+        Self {
+            engine: RefCell::new(CostEvaluator::new(cdcg, mesh, &params)),
+        }
+    }
+
+    /// Creates the objective over an existing shared route cache.
+    pub fn with_cache(cdcg: &'a Cdcg, params: SimParams, cache: Arc<RouteCache>) -> Self {
+        Self {
+            engine: RefCell::new(CostEvaluator::with_cache(cdcg, &params, cache)),
+        }
+    }
+}
+
+impl Clone for ExecTimeObjective<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            engine: RefCell::new(self.engine.borrow().clone()),
+        }
     }
 }
 
 impl CostFunction for ExecTimeObjective<'_> {
     fn cost(&self, mapping: &Mapping) -> f64 {
-        schedule(self.cdcg, self.mesh, mapping, &self.params)
-            .map(|s| s.texec_ns())
+        self.engine
+            .borrow_mut()
+            .texec_ns(mapping)
             .unwrap_or(f64::INFINITY)
     }
 
@@ -167,13 +252,11 @@ impl CostFunction for ExecTimeObjective<'_> {
     }
 }
 
-/// Weighted blend `α·ENoC + β·texec` (energy in pJ, time in ns).
-#[derive(Debug, Clone)]
+/// Weighted blend `α·ENoC + β·texec` (energy in pJ, time in ns),
+/// evaluated on the cost-only fast path.
+#[derive(Debug)]
 pub struct WeightedObjective<'a> {
-    cdcg: &'a Cdcg,
-    mesh: &'a Mesh,
-    tech: &'a Technology,
-    params: SimParams,
+    engine: RefCell<CdcmCostEvaluator<'a>>,
     energy_weight: f64,
     time_weight: f64,
 }
@@ -189,20 +272,43 @@ impl<'a> WeightedObjective<'a> {
         time_weight: f64,
     ) -> Self {
         Self {
-            cdcg,
-            mesh,
-            tech,
-            params,
+            engine: RefCell::new(CdcmCostEvaluator::new(cdcg, mesh, tech, &params)),
+            energy_weight,
+            time_weight,
+        }
+    }
+
+    /// Creates the blended objective over an existing shared route cache.
+    pub fn with_cache(
+        cdcg: &'a Cdcg,
+        tech: &'a Technology,
+        params: SimParams,
+        cache: Arc<RouteCache>,
+        energy_weight: f64,
+        time_weight: f64,
+    ) -> Self {
+        Self {
+            engine: RefCell::new(CdcmCostEvaluator::with_cache(cdcg, tech, &params, cache)),
             energy_weight,
             time_weight,
         }
     }
 }
 
+impl Clone for WeightedObjective<'_> {
+    fn clone(&self) -> Self {
+        Self {
+            engine: RefCell::new(self.engine.borrow().clone()),
+            energy_weight: self.energy_weight,
+            time_weight: self.time_weight,
+        }
+    }
+}
+
 impl CostFunction for WeightedObjective<'_> {
     fn cost(&self, mapping: &Mapping) -> f64 {
-        match evaluate_cdcm(self.cdcg, self.mesh, mapping, self.tech, &self.params) {
-            Ok(eval) => self.energy_weight * eval.objective_pj() + self.time_weight * eval.texec_ns,
+        match self.engine.borrow_mut().evaluate(mapping) {
+            Ok(cost) => self.energy_weight * cost.objective_pj + self.time_weight * cost.texec_ns,
             Err(_) => f64::INFINITY,
         }
     }
@@ -285,6 +391,24 @@ mod tests {
         let time_only = WeightedObjective::new(&cdcg, &mesh, &tech, params, 0.0, 1.0);
         assert!((energy_only.cost(&c) - 400.0).abs() < 1e-9);
         assert!((time_only.cost(&c) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdcm_fast_path_is_bit_exact_with_full_evaluation() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let params = SimParams::paper_example();
+        let obj = CdcmObjective::new(&cdcg, &mesh, &tech, params);
+        let mut count = 0;
+        crate::exhaustive::for_each_mapping(&mesh, 4, |mapping| {
+            let full = noc_energy::evaluate_cdcm(&cdcg, &mesh, mapping, &tech, &params)
+                .unwrap()
+                .objective_pj();
+            assert_eq!(obj.cost(mapping), full);
+            count += 1;
+        });
+        assert_eq!(count, 24);
     }
 
     #[test]

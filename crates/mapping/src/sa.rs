@@ -76,6 +76,15 @@ fn random_mapping(mesh: &Mesh, cores: usize, rng: &mut StdRng) -> Mapping {
 
 fn propose_swap(mesh: &Mesh, rng: &mut StdRng) -> (TileId, TileId) {
     let n = mesh.tile_count();
+    if n == 1 {
+        // A 1-tile mesh has no distinct pair to swap; return the identity
+        // move (a degenerate no-op) instead of panicking on an empty
+        // `gen_range`. `Mapping::swap_tiles(t, t)` is a no-op, so the
+        // annealer simply re-evaluates the only mapping until its stall
+        // counter stops it.
+        let t = TileId::new(0);
+        return (t, t);
+    }
     let a = rng.gen_range(0..n);
     let mut b = rng.gen_range(0..n - 1);
     if b >= a {
@@ -245,6 +254,153 @@ pub fn anneal_delta<C: SwapDeltaCost + ?Sized>(
     }
 }
 
+/// Deterministic reduction over per-restart outcomes: minimum cost wins,
+/// ties go to the lowest restart index, evaluations are summed.
+fn reduce_multistart(
+    mut outcomes: Vec<SearchOutcome>,
+    restarts: usize,
+    start: Instant,
+) -> SearchOutcome {
+    let evaluations: u64 = outcomes.iter().map(|o| o.evaluations).sum();
+    let mut best_idx = 0;
+    for (i, o) in outcomes.iter().enumerate() {
+        // Strict `<` keeps the lowest restart index on ties, so the result
+        // does not depend on thread scheduling.
+        if o.cost < outcomes[best_idx].cost {
+            best_idx = i;
+        }
+    }
+    let mut best = outcomes.swap_remove(best_idx);
+    best.evaluations = evaluations;
+    best.elapsed = start.elapsed();
+    best.method = format!("{}-multistart[{restarts}]", best.method);
+    best
+}
+
+/// Runs `restarts` independent searches with derived seeds across the
+/// available cores and reduces deterministically.
+///
+/// The objective is cloned once per restart *on the calling thread*
+/// (clones of the engine-backed objectives share the route cache but own
+/// their scratch), so `C` needs `Clone + Send` but not `Sync`.
+fn run_multistart<C, F>(objective: &C, config: &SaConfig, restarts: usize, run: F) -> SearchOutcome
+where
+    C: Clone + Send,
+    F: Fn(&C, SaConfig) -> SearchOutcome + Sync,
+{
+    let restarts = restarts.max(1);
+    let start = Instant::now();
+    let jobs: Vec<(usize, C, SaConfig)> = (0..restarts)
+        .map(|i| {
+            let config = SaConfig {
+                seed: config.seed.wrapping_add(i as u64),
+                ..*config
+            };
+            (i, objective.clone(), config)
+        })
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(restarts);
+
+    let mut outcomes: Vec<Option<SearchOutcome>> = (0..restarts).map(|_| None).collect();
+    if threads <= 1 {
+        for (i, obj, cfg) in jobs {
+            outcomes[i] = Some(run(&obj, cfg));
+        }
+    } else {
+        // Round-robin the restarts over `threads` workers; results carry
+        // their restart index, so placement does not affect the reduction.
+        let mut batches: Vec<Vec<(usize, C, SaConfig)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for job in jobs {
+            let slot = job.0 % threads;
+            batches[slot].push(job);
+        }
+        let run = &run;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = batches
+                .into_iter()
+                .map(|batch| {
+                    scope.spawn(move || {
+                        batch
+                            .into_iter()
+                            .map(|(i, obj, cfg)| (i, run(&obj, cfg)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, outcome) in handle.join().expect("search worker panicked") {
+                    outcomes[i] = Some(outcome);
+                }
+            }
+        });
+    }
+    reduce_multistart(
+        outcomes
+            .into_iter()
+            .map(|o| o.expect("all restarts ran"))
+            .collect(),
+        restarts,
+        start,
+    )
+}
+
+/// Parallel multi-start simulated annealing: `restarts` independent
+/// [`anneal`] runs with seeds `config.seed + i`, executed across the
+/// available cores, reduced to the best outcome.
+///
+/// Fully deterministic for a fixed `(config, restarts)`: each restart's
+/// seed is derived from its index, and the reduction prefers the lowest
+/// cost with ties broken by restart index — thread scheduling never
+/// changes the result. `restarts = 1` is exactly [`anneal`] (modulo the
+/// method label and wall-clock). The reported `evaluations` is the total
+/// across restarts.
+///
+/// # Panics
+///
+/// Panics if `core_count` exceeds the number of tiles of `mesh`, or if a
+/// search worker panics.
+pub fn anneal_multistart<C>(
+    objective: &C,
+    mesh: &Mesh,
+    core_count: usize,
+    config: &SaConfig,
+    restarts: usize,
+) -> SearchOutcome
+where
+    C: CostFunction + Clone + Send,
+{
+    run_multistart(objective, config, restarts, |obj, cfg| {
+        anneal(obj, mesh, core_count, &cfg)
+    })
+}
+
+/// Multi-start variant of [`anneal_delta`] for objectives with
+/// incremental move evaluation; same determinism guarantees as
+/// [`anneal_multistart`].
+///
+/// # Panics
+///
+/// Panics if `core_count` exceeds the number of tiles of `mesh`, or if a
+/// search worker panics.
+pub fn anneal_multistart_delta<C>(
+    objective: &C,
+    mesh: &Mesh,
+    core_count: usize,
+    config: &SaConfig,
+    restarts: usize,
+) -> SearchOutcome
+where
+    C: SwapDeltaCost + Clone + Send,
+{
+    run_multistart(objective, config, restarts, |obj, cfg| {
+        anneal_delta(obj, mesh, core_count, &cfg)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +517,84 @@ mod tests {
         config.max_evaluations = 100;
         let outcome = anneal(&obj, &mesh, 4, &config);
         assert!(outcome.evaluations <= 100);
+    }
+
+    #[test]
+    fn propose_swap_on_single_tile_mesh_is_a_noop_not_a_panic() {
+        // Regression test: `gen_range(0..0)` used to panic for n == 1.
+        let mesh = Mesh::new(1, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (a, b) = propose_swap(&mesh, &mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a, TileId::new(0));
+        // And a full annealing run on the degenerate instance terminates.
+        let mut g = Cdcg::new();
+        g.add_core("only");
+        let cdcg = g;
+        let tech = Technology::paper_example();
+        let obj = CdcmObjective::new(&cdcg, &mesh, &tech, SimParams::paper_example());
+        let outcome = anneal(&obj, &mesh, 1, &SaConfig::quick(3));
+        assert!(outcome.cost.is_finite());
+        outcome.mapping.validate().unwrap();
+    }
+
+    #[test]
+    fn multistart_is_deterministic_and_at_least_as_good() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(3, 3).unwrap();
+        let tech = Technology::paper_example();
+        let obj = CdcmObjective::new(&cdcg, &mesh, &tech, SimParams::paper_example());
+        let config = SaConfig::quick(17);
+        let a = anneal_multistart(&obj, &mesh, 4, &config, 4);
+        let b = anneal_multistart(&obj, &mesh, 4, &config, 4);
+        assert_eq!(a.mapping, b.mapping);
+        assert_eq!(a.cost, b.cost);
+        assert_eq!(a.evaluations, b.evaluations);
+        // The best of 4 restarts can never lose to restart 0 alone.
+        let single = anneal(&obj, &mesh, 4, &config);
+        assert!(a.cost <= single.cost);
+        assert!(a.evaluations >= single.evaluations);
+        assert!(a.method.contains("multistart"));
+    }
+
+    #[test]
+    fn multistart_with_one_restart_matches_single_anneal() {
+        let cdcg = figure1_cdcg();
+        let cwg = cdcg.to_cwg();
+        let mesh = Mesh::new(3, 3).unwrap();
+        let tech = Technology::paper_example();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let config = SaConfig::quick(23);
+        let single = anneal(&obj, &mesh, 4, &config);
+        let multi = anneal_multistart(&obj, &mesh, 4, &config, 1);
+        assert_eq!(single.mapping, multi.mapping);
+        assert_eq!(single.cost, multi.cost);
+        assert_eq!(single.evaluations, multi.evaluations);
+    }
+
+    #[test]
+    fn multistart_delta_agrees_with_its_runs() {
+        let cdcg = figure1_cdcg();
+        let cwg = cdcg.to_cwg();
+        let mesh = Mesh::new(3, 3).unwrap();
+        let tech = Technology::paper_example();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let config = SaConfig::quick(29);
+        let multi = anneal_multistart_delta(&obj, &mesh, 4, &config, 3);
+        // The reduction must reproduce the best of the three underlying
+        // runs exactly.
+        let best = (0..3u64)
+            .map(|i| {
+                let cfg = SaConfig {
+                    seed: config.seed.wrapping_add(i),
+                    ..config
+                };
+                anneal_delta(&obj, &mesh, 4, &cfg)
+            })
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .unwrap();
+        assert_eq!(multi.cost, best.cost);
+        assert_eq!(multi.mapping, best.mapping);
     }
 
     #[test]

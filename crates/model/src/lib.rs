@@ -53,6 +53,7 @@ pub mod dot;
 pub mod error;
 pub mod ids;
 pub mod mapping;
+pub mod route_cache;
 pub mod routing;
 
 pub use cdcg::{Cdcg, Packet};
@@ -61,4 +62,5 @@ pub use cwg::{Communication, Cwg};
 pub use error::ModelError;
 pub use ids::{CoreId, PacketId, TileId};
 pub use mapping::Mapping;
+pub use route_cache::RouteCache;
 pub use routing::{Path, RoutingAlgorithm, TorusXyRouting, XyRouting, YxRouting};

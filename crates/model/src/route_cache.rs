@@ -1,0 +1,228 @@
+//! Precomputed routes for every tile pair of a mesh.
+//!
+//! Mapping search evaluates the same mesh millions of times: every cost
+//! call routes each packet between two *tiles*, and under deterministic
+//! routing the route between a tile pair never changes. [`RouteCache`]
+//! therefore computes all `n²` routes once per mesh and exposes them as
+//! flat, allocation-free lookups:
+//!
+//! * [`RouteCache::router_count`] — the paper's `K` for a pair, `O(1)`;
+//! * [`RouteCache::routers`] — the ordered router list of the pair;
+//! * [`RouteCache::link_ids`] — the complete resource walk of the pair
+//!   (injection link, inter-router links, ejection link) as **dense link
+//!   ids**: consecutive `u32` indices assigned per mesh, so per-link state
+//!   lives in plain vectors instead of `HashMap<Link, _>`.
+//!
+//! The cache is routing-algorithm-agnostic ([`RouteCache::with_routing`])
+//! and immutable after construction, so it is shared freely across search
+//! threads (`Arc<RouteCache>` in the evaluation engine).
+//!
+//! Memory is `O(n² · diameter)`; for the mesh sizes the paper's flow
+//! targets (up to a few hundred tiles) that is at most a few megabytes.
+
+use crate::crg::{Link, Mesh};
+use crate::ids::TileId;
+use crate::routing::{RoutingAlgorithm, XyRouting};
+use std::collections::HashMap;
+
+/// All routes of a mesh under one deterministic routing function, with
+/// dense link numbering. See the module docs.
+#[derive(Debug, Clone)]
+pub struct RouteCache {
+    mesh: Mesh,
+    routing_name: &'static str,
+    /// Per pair `src * n + dst`: start offset into `routers`/`link_ids`.
+    /// The pair's routers are `routers[offsets[p]..offsets[p + 1]]` and its
+    /// links are `link_ids[offsets[p] + p..offsets[p + 1] + p + 1]` (every
+    /// pair has exactly one more link than routers).
+    offsets: Vec<u32>,
+    routers: Vec<TileId>,
+    link_ids: Vec<u32>,
+    /// Dense id → physical link.
+    links: Vec<Link>,
+}
+
+impl RouteCache {
+    /// Builds the cache for `mesh` under XY routing (the paper's default).
+    pub fn new(mesh: &Mesh) -> Self {
+        Self::with_routing(mesh, &XyRouting)
+    }
+
+    /// Builds the cache for `mesh` under an explicit routing algorithm.
+    pub fn with_routing(mesh: &Mesh, routing: &dyn RoutingAlgorithm) -> Self {
+        let n = mesh.tile_count();
+        let mut offsets = Vec::with_capacity(n * n + 1);
+        let mut routers = Vec::new();
+        let mut link_ids = Vec::new();
+        let mut links = Vec::new();
+        let mut index: HashMap<Link, u32> = HashMap::new();
+        let mut intern = |link: Link, links: &mut Vec<Link>| -> u32 {
+            *index.entry(link).or_insert_with(|| {
+                links.push(link);
+                (links.len() - 1) as u32
+            })
+        };
+        offsets.push(0);
+        for src in mesh.tiles() {
+            for dst in mesh.tiles() {
+                let path = routing.route(mesh, src, dst);
+                link_ids.push(intern(Link::Injection(src), &mut links));
+                for w in path.routers().windows(2) {
+                    link_ids.push(intern(Link::between(w[0], w[1]), &mut links));
+                }
+                link_ids.push(intern(Link::Ejection(dst), &mut links));
+                routers.extend_from_slice(path.routers());
+                let offset = u32::try_from(routers.len())
+                    .expect("route cache exceeds u32 offsets; mesh too large to cache");
+                offsets.push(offset);
+            }
+        }
+        Self {
+            mesh: *mesh,
+            routing_name: routing.name(),
+            offsets,
+            routers,
+            link_ids,
+            links,
+        }
+    }
+
+    /// The mesh the cache was built for.
+    pub fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    /// Name of the routing algorithm the routes follow ("XY", ...).
+    pub fn routing_name(&self) -> &'static str {
+        self.routing_name
+    }
+
+    #[inline]
+    fn pair(&self, src: TileId, dst: TileId) -> usize {
+        debug_assert!(self.mesh.contains(src) && self.mesh.contains(dst));
+        src.index() * self.mesh.tile_count() + dst.index()
+    }
+
+    /// Number of routers on the route (the paper's `K`), in `O(1)`.
+    #[inline]
+    pub fn router_count(&self, src: TileId, dst: TileId) -> usize {
+        let p = self.pair(src, dst);
+        (self.offsets[p + 1] - self.offsets[p]) as usize
+    }
+
+    /// The ordered router list of the route.
+    #[inline]
+    pub fn routers(&self, src: TileId, dst: TileId) -> &[TileId] {
+        let p = self.pair(src, dst);
+        &self.routers[self.offsets[p] as usize..self.offsets[p + 1] as usize]
+    }
+
+    /// The complete resource walk of the route as dense link ids:
+    /// injection link, inter-router links in traversal order, ejection
+    /// link (`router_count + 1` entries).
+    #[inline]
+    pub fn link_ids(&self, src: TileId, dst: TileId) -> &[u32] {
+        &self.link_ids_flat()[self.link_span(src, dst)]
+    }
+
+    /// The span of the pair's resource walk inside [`Self::link_ids_flat`];
+    /// lets hot loops resolve each packet's walk once and then index the
+    /// flat array directly.
+    #[inline]
+    pub fn link_span(&self, src: TileId, dst: TileId) -> std::ops::Range<usize> {
+        let p = self.pair(src, dst);
+        // Each pair contributes routers + 1 links, so the link offset of
+        // pair `p` is `offsets[p] + p`.
+        self.offsets[p] as usize + p..self.offsets[p + 1] as usize + p + 1
+    }
+
+    /// The concatenated dense link ids of every pair's resource walk, in
+    /// pair order; index with [`Self::link_span`].
+    #[inline]
+    pub fn link_ids_flat(&self) -> &[u32] {
+        &self.link_ids
+    }
+
+    /// Total number of distinct links touched by any route (the size for
+    /// dense per-link state vectors).
+    pub fn dense_link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// The physical link behind a dense id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn link_of(&self, id: u32) -> Link {
+        self.links[id as usize]
+    }
+
+    /// Dense id of a physical link, if any route uses it.
+    pub fn dense_id(&self, link: Link) -> Option<u32> {
+        // Linear scan: only used by tests and diagnostics, never on the
+        // evaluation hot path (which reads precomputed `link_ids`).
+        self.links.iter().position(|&l| l == link).map(|i| i as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::YxRouting;
+
+    #[test]
+    fn matches_direct_routing_on_every_pair() {
+        let mesh = Mesh::new(4, 3).unwrap();
+        let cache = RouteCache::new(&mesh);
+        for src in mesh.tiles() {
+            for dst in mesh.tiles() {
+                let path = XyRouting.route(&mesh, src, dst);
+                assert_eq!(cache.routers(src, dst), path.routers());
+                assert_eq!(cache.router_count(src, dst), path.router_count());
+                let links: Vec<Link> = cache
+                    .link_ids(src, dst)
+                    .iter()
+                    .map(|&id| cache.link_of(id))
+                    .collect();
+                assert_eq!(links, path.links());
+            }
+        }
+    }
+
+    #[test]
+    fn respects_the_routing_algorithm() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let yx = RouteCache::with_routing(&mesh, &YxRouting);
+        assert_eq!(yx.routing_name(), "YX");
+        for src in mesh.tiles() {
+            for dst in mesh.tiles() {
+                assert_eq!(
+                    yx.routers(src, dst),
+                    YxRouting.route(&mesh, src, dst).routers()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_ids_are_consistent() {
+        let mesh = Mesh::new(3, 2).unwrap();
+        let cache = RouteCache::new(&mesh);
+        for id in 0..cache.dense_link_count() as u32 {
+            assert_eq!(cache.dense_id(cache.link_of(id)), Some(id));
+        }
+        // Every injection and ejection link is used (self-routes), plus
+        // every internal link an XY route can take.
+        assert!(cache.dense_link_count() >= 2 * mesh.tile_count());
+    }
+
+    #[test]
+    fn single_tile_mesh() {
+        let mesh = Mesh::new(1, 1).unwrap();
+        let cache = RouteCache::new(&mesh);
+        let t = TileId::new(0);
+        assert_eq!(cache.router_count(t, t), 1);
+        assert_eq!(cache.link_ids(t, t).len(), 2); // inj + ej
+    }
+}

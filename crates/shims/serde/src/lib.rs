@@ -1,0 +1,522 @@
+//! Offline shim of the `serde` facade.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! minimal, API-compatible subset of serde sufficient for the code base:
+//! value-based `Serialize`/`Deserialize` traits, the `Serializer` /
+//! `Deserializer` generic plumbing used by `#[serde(with = "...")]`
+//! modules, and derive macros (via the sibling `serde_derive` shim).
+//!
+//! The data model is a JSON-shaped [`Value`] tree rather than serde's
+//! visitor architecture; `serde_json` (also shimmed) prints and parses that
+//! tree. Swap this crate for the real serde by editing the workspace
+//! `[workspace.dependencies]` table — no source changes needed.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::time::Duration;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped self-describing value: the shim's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object (insertion-ordered).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The entries of an object value, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Looks up an object field by name.
+    pub fn get_field<'a>(&'a self, name: &str) -> Option<&'a Value> {
+        self.as_map()?
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Debug, Clone)]
+pub struct DeserializeError {
+    msg: String,
+}
+
+impl DeserializeError {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Self {
+            msg: msg.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for DeserializeError {}
+
+/// Conversion from the shim's error type, implemented by every
+/// [`Deserializer::Error`].
+pub trait DeError: Sized {
+    /// Wraps a shim deserialization error.
+    fn from_shim(e: DeserializeError) -> Self;
+}
+
+impl DeError for DeserializeError {
+    fn from_shim(e: DeserializeError) -> Self {
+        e
+    }
+}
+
+/// A type that can be rendered into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the shim data model.
+    fn to_value(&self) -> Value;
+
+    /// serde-compatible entry point used by `with`-modules and generic
+    /// code: feeds [`Self::to_value`] into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>
+    where
+        Self: Sized,
+    {
+        serializer.accept_value(self.to_value())
+    }
+}
+
+/// A sink for [`Value`]s; serde-compatible associated types.
+pub trait Serializer: Sized {
+    /// Output of a successful serialization.
+    type Ok;
+    /// Serialization error.
+    type Error;
+
+    /// Consumes a fully-built value.
+    fn accept_value(self, value: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be rebuilt from a [`Value`].
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from the shim data model.
+    fn from_value(value: &Value) -> Result<Self, DeserializeError>;
+
+    /// serde-compatible entry point used by `with`-modules and generic
+    /// code.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = deserializer.extract_value()?;
+        Self::from_value(&value).map_err(D::Error::from_shim)
+    }
+}
+
+/// A source of [`Value`]s; serde-compatible associated types.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization error.
+    type Error: DeError;
+
+    /// Produces the underlying value tree.
+    fn extract_value(self) -> Result<Value, Self::Error>;
+}
+
+/// Value-level serializer/deserializer plumbing used by the derive macros.
+pub mod value {
+    use super::*;
+
+    /// Serializer whose output is the [`Value`] itself.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = DeserializeError;
+
+        fn accept_value(self, value: Value) -> Result<Value, DeserializeError> {
+            Ok(value)
+        }
+    }
+
+    /// Deserializer over an owned [`Value`] tree.
+    pub struct ValueDeserializer(pub Value);
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = DeserializeError;
+
+        fn extract_value(self) -> Result<Value, DeserializeError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Serializes any `Serialize` into a [`Value`].
+    pub fn to_value<T: Serialize + ?Sized>(v: &T) -> Value {
+        v.to_value()
+    }
+}
+
+fn unexpected(expected: &str, got: &Value) -> DeserializeError {
+    DeserializeError::custom(format!("expected {expected}, got {got:?}"))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+                let n = match *value {
+                    Value::UInt(n) => n,
+                    Value::Int(n) if n >= 0 => n as u64,
+                    Value::Float(f) if f >= 0.0 && f.fract() == 0.0 => f as u64,
+                    ref v => return Err(unexpected("unsigned integer", v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeserializeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 { Value::UInt(v as u64) } else { Value::Int(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+                let n: i64 = match *value {
+                    Value::UInt(n) => i64::try_from(n)
+                        .map_err(|_| DeserializeError::custom("integer out of range"))?,
+                    Value::Int(n) => n,
+                    Value::Float(f) if f.fract() == 0.0 => f as i64,
+                    ref v => return Err(unexpected("integer", v)),
+                };
+                <$t>::try_from(n)
+                    .map_err(|_| DeserializeError::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+ser_de_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+                match *value {
+                    Value::Float(f) => Ok(f as $t),
+                    Value::UInt(n) => Ok(n as $t),
+                    Value::Int(n) => Ok(n as $t),
+                    ref v => Err(unexpected("number", v)),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            v => Err(unexpected("boolean", v)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            v => Err(unexpected("string", v)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        match value {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            v => Err(unexpected("single-character string", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        match value {
+            Value::Null => Ok(None),
+            v => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| unexpected("array", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+                let seq = value.as_seq().ok_or_else(|| unexpected("array", value))?;
+                let expected = [$(stringify!($idx)),+].len();
+                if seq.len() != expected {
+                    return Err(DeserializeError::custom(format!(
+                        "expected {expected}-tuple, got {} elements",
+                        seq.len()
+                    )));
+                }
+                Ok(($($t::from_value(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+fn key_to_string(v: &Value) -> String {
+    match v {
+        Value::Str(s) => s.clone(),
+        Value::UInt(n) => n.to_string(),
+        Value::Int(n) => n.to_string(),
+        Value::Bool(b) => b.to_string(),
+        other => panic!("map key must be string-like, got {other:?}"),
+    }
+}
+
+fn key_from_string<'de, K: Deserialize<'de>>(s: &str) -> Result<K, DeserializeError> {
+    // Try the natural shapes a JSON object key can encode.
+    if let Ok(k) = K::from_value(&Value::Str(s.to_owned())) {
+        return Ok(k);
+    }
+    if let Ok(n) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(n)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(n) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(n)) {
+            return Ok(k);
+        }
+    }
+    Err(DeserializeError::custom(format!(
+        "cannot parse map key `{s}`"
+    )))
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_map()
+            .ok_or_else(|| unexpected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (key_to_string(&k.to_value()), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<'de, K, V, S> Deserialize<'de> for HashMap<K, V, S>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        value
+            .as_map()
+            .ok_or_else(|| unexpected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((key_from_string(k)?, V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("secs".to_owned(), Value::UInt(self.as_secs())),
+            ("nanos".to_owned(), Value::UInt(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        let secs = u64::from_value(
+            value
+                .get_field("secs")
+                .ok_or_else(|| DeserializeError::custom("missing `secs`"))?,
+        )?;
+        let nanos = u32::from_value(
+            value
+                .get_field("nanos")
+                .ok_or_else(|| DeserializeError::custom("missing `nanos`"))?,
+        )?;
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(value: &Value) -> Result<Self, DeserializeError> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,644 @@
+//! Cost-only fast path of the interval scheduler.
+//!
+//! [`schedule_cost`] runs exactly the event-driven algorithm of
+//! [`crate::schedule`] — same events, same FIFO and arbitration rules,
+//! same tie-breaking (the [`crate::event`] types are shared) — but
+//! computes **only** what a mapping cost function needs: the application
+//! execution time `texec` and per-link traversal statistics. It does not
+//! materialize [`PacketSchedule`](crate::PacketSchedule)s, an
+//! [`OccupancyMap`](crate::OccupancyMap) or a contention log, and it
+//! performs **no per-call allocation**: all working state lives in a
+//! reusable [`ScheduleScratch`] whose per-link tables are indexed by the
+//! dense link ids of a shared [`RouteCache`] instead of `HashMap<Link,
+//! _>`.
+//!
+//! The contract, enforced by unit tests here and by the repository's
+//! property tests: for every application, mesh, mapping and parameter
+//! set, `schedule_cost` returns exactly
+//! `schedule(...)?.texec_cycles()` — bit-exact, not approximate. Use the
+//! full [`schedule`](crate::schedule()) when the occupancy lists, per-packet
+//! timelines or the contention log are needed (reports, Gantt charts,
+//! energy *breakdowns*); use this path inside search loops, where the
+//! schedule itself is discarded and only the scalar cost survives.
+//!
+//! [`CostEvaluator`] bundles an application with a route cache and a
+//! scratch into a reusable engine; it is the building block
+//! `noc-energy`'s cost-only CDCM evaluation and `noc-mapping`'s
+//! objectives are made of.
+
+use crate::error::SimError;
+use crate::params::SimParams;
+#[cfg(test)]
+use noc_model::TileId;
+use noc_model::{Cdcg, Link, Mapping, Mesh, PacketId, RouteCache};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+// The fast path packs each pending event into one `u128` key whose
+// integer ordering is *exactly* the lexicographic `(time, packet, phase)`
+// ordering of [`crate::event::Event`] — the invariant that keeps this
+// path bit-identical to the full scheduler. Layout, most significant
+// first: `time` (64 bits) | `packet` (30 bits) | phase variant (2 bits,
+// Inject=0 < RouterEntry=1 < Decide=2 < LinkRequest=3, matching the
+// declaration order the derived `Ord` of `Phase` compares by) | `hop`
+// (32 bits, the tie-breaker *within* a variant, again as derived).
+const PACKET_LIMIT: usize = 1 << 30;
+const INJECT: u32 = 0;
+const ROUTER_ENTRY: u32 = 1;
+const DECIDE: u32 = 2;
+const LINK_REQUEST: u32 = 3;
+
+#[inline]
+fn pack(time: u64, packet: usize, variant: u32, hop: u32) -> u128 {
+    debug_assert!(packet < PACKET_LIMIT);
+    ((time as u128) << 64) | ((packet as u128) << 34) | ((variant as u128) << 32) | hop as u128
+}
+
+#[derive(Debug, Clone, Default)]
+struct LinkSlot {
+    epoch: u64,
+    free: u64,
+    traversals: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct FifoSlot {
+    epoch: u64,
+    /// `true` while a packet owns the FIFO head.
+    busy: bool,
+    /// When not busy: cycle at which the head was released.
+    clear: u64,
+    /// Arrivals parked behind the owner: `(packet, hop, arrival)`.
+    parked: VecDeque<(u32, u32, u64)>,
+}
+
+/// Reusable working state of [`schedule_cost`].
+///
+/// Buffers grow to the high-water mark of the instances they evaluate and
+/// are reused across calls — after warm-up, a cost evaluation allocates
+/// nothing. A scratch may be reused across different applications,
+/// meshes and mappings; sizing is re-checked on every call.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleScratch {
+    epoch: u64,
+    links: Vec<LinkSlot>,
+    fifo: Vec<FifoSlot>,
+    /// Per packet: outstanding dependence count.
+    pending: Vec<u32>,
+    /// Per packet: cycle at which all dependences were satisfied.
+    ready: Vec<u64>,
+    /// Per packet: flit count.
+    flits: Vec<u64>,
+    /// Per packet: span of the resource walk inside the cache's flat
+    /// link-id array (`start`, `len`), resolved once per evaluation.
+    spans: Vec<(u32, u32)>,
+    heap: BinaryHeap<std::cmp::Reverse<u128>>,
+}
+
+impl ScheduleScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n_links: usize, n_packets: usize) {
+        if self.links.len() < n_links {
+            self.links.resize(n_links, LinkSlot::default());
+        }
+        if self.pending.len() < n_packets {
+            self.pending.resize(n_packets, 0);
+            self.ready.resize(n_packets, 0);
+            self.flits.resize(n_packets, 0);
+            self.spans.resize(n_packets, (0, 0));
+        }
+        if self.fifo.len() < n_links {
+            self.fifo.resize(n_links, FifoSlot::default());
+        }
+        self.epoch += 1;
+        self.heap.clear();
+    }
+
+    #[inline]
+    fn link(&mut self, id: u32) -> &mut LinkSlot {
+        let slot = &mut self.links[id as usize];
+        if slot.epoch != self.epoch {
+            slot.epoch = self.epoch;
+            slot.free = 0;
+            slot.traversals = 0;
+        }
+        slot
+    }
+
+    #[inline]
+    fn fifo(&mut self, id: u32) -> &mut FifoSlot {
+        let slot = &mut self.fifo[id as usize];
+        if slot.epoch != self.epoch {
+            slot.epoch = self.epoch;
+            slot.busy = false;
+            slot.clear = 0;
+            debug_assert!(slot.parked.is_empty(), "completed runs drain all FIFOs");
+            slot.parked.clear();
+        }
+        slot
+    }
+
+    /// Traversal count of a dense link in the most recent evaluation (0
+    /// for links the schedule never touched).
+    pub fn link_traversals(&self, id: u32) -> u64 {
+        match self.links.get(id as usize) {
+            Some(slot) if slot.epoch == self.epoch => slot.traversals,
+            _ => 0,
+        }
+    }
+}
+
+/// Computes the application execution time of `cdcg` on `mesh` under
+/// `mapping` — exactly [`schedule`](crate::schedule())'s `texec_cycles()`,
+/// but allocation-free. See the module docs for the contract.
+///
+/// `cache` must have been built for `mesh` with the routing algorithm the
+/// comparison schedule would use (XY for [`schedule`](crate::schedule())).
+///
+/// # Errors
+///
+/// Returns the same errors as [`schedule`](crate::schedule()):
+/// [`SimError::CoreCountMismatch`] on a core-count mismatch and
+/// [`SimError::Model`] for invalid mappings or out-of-mesh tiles.
+///
+/// # Panics
+///
+/// Panics if `cache` was built for a different mesh than `mesh`.
+pub fn schedule_cost(
+    cdcg: &Cdcg,
+    mesh: &Mesh,
+    mapping: &Mapping,
+    params: &SimParams,
+    cache: &RouteCache,
+    scratch: &mut ScheduleScratch,
+) -> Result<u64, SimError> {
+    assert_eq!(
+        cache.mesh(),
+        mesh,
+        "route cache was built for a different mesh"
+    );
+    if mapping.core_count() != cdcg.core_count() {
+        return Err(SimError::CoreCountMismatch {
+            mapping: mapping.core_count(),
+            application: cdcg.core_count(),
+        });
+    }
+    mapping.validate()?;
+    for (_, tile) in mapping.assignments() {
+        if !mesh.contains(tile) {
+            return Err(SimError::Model(noc_model::ModelError::UnknownTile(tile)));
+        }
+    }
+
+    let n_packets = cdcg.packet_count();
+    assert!(
+        n_packets < PACKET_LIMIT,
+        "cost evaluation supports up to 2^30 packets"
+    );
+    let tl = params.link_cycles;
+    let tr = params.routing_cycles;
+    scratch.ensure(cache.dense_link_count(), n_packets);
+
+    let flat = cache.link_ids_flat();
+    for id in cdcg.packet_ids() {
+        let i = id.index();
+        let p = cdcg.packet(id);
+        let span = cache.link_span(mapping.tile_of(p.src), mapping.tile_of(p.dst));
+        scratch.spans[i] = (span.start as u32, (span.end - span.start) as u32);
+        scratch.flits[i] = params.flits(p.bits).max(1);
+        scratch.pending[i] = cdcg.predecessors(id).len() as u32;
+        scratch.ready[i] = 0;
+    }
+
+    for id in cdcg.start_packets() {
+        scratch.heap.push(std::cmp::Reverse(pack(
+            cdcg.packet(id).comp_cycles,
+            id.index(),
+            INJECT,
+            0,
+        )));
+    }
+
+    let mut texec: u64 = 0;
+    let mut delivered = 0usize;
+
+    while let Some(std::cmp::Reverse(key)) = scratch.heap.pop() {
+        let time = (key >> 64) as u64;
+        let p = ((key >> 34) as usize) & (PACKET_LIMIT - 1);
+        let variant = (key >> 32) as u32 & 3;
+        let hop = key as u32 as usize;
+        let (start, len) = scratch.spans[p];
+        // Resource walk of the packet: [injection, internals..., ejection].
+        let path = &flat[start as usize..start as usize + len as usize];
+        let k = path.len() - 1; // router count
+        let n = scratch.flits[p];
+        match variant {
+            INJECT => {
+                let slot = scratch.link(path[0]);
+                let entry = if params.injection_serialization {
+                    time.max(slot.free)
+                } else {
+                    time
+                };
+                slot.free = entry + n * tl;
+                slot.traversals += 1;
+                scratch
+                    .heap
+                    .push(std::cmp::Reverse(pack(entry + tl, p, ROUTER_ENTRY, 0)));
+            }
+            ROUTER_ENTRY => {
+                // The feeding link of router `hop` is `path[hop]`; the
+                // input-port FIFO does not apply to un-serialized
+                // injection links (see `schedule`'s `fifo_applies`).
+                let applies = hop > 0 || params.injection_serialization;
+                if !applies {
+                    scratch
+                        .heap
+                        .push(std::cmp::Reverse(pack(time, p, DECIDE, hop as u32)));
+                } else {
+                    let slot = scratch.fifo(path[hop]);
+                    if slot.busy {
+                        slot.parked.push_back((p as u32, hop as u32, time));
+                    } else {
+                        let eff = time.max(slot.clear);
+                        slot.busy = true;
+                        scratch
+                            .heap
+                            .push(std::cmp::Reverse(pack(eff, p, DECIDE, hop as u32)));
+                    }
+                }
+            }
+            DECIDE => {
+                let last = hop + 1 == k;
+                if last {
+                    // Request the ejection link.
+                    let request = time + tr;
+                    let slot = scratch.link(path[k]);
+                    let entry = if params.ejection_contention && slot.free > request {
+                        slot.free + tr
+                    } else {
+                        request
+                    };
+                    slot.free = entry + n * tl;
+                    slot.traversals += 1;
+                    release_fifo(
+                        scratch,
+                        path[hop],
+                        hop > 0 || params.injection_serialization,
+                        entry + (n - 1) * tl + 1,
+                    );
+                    let delivery = entry + n * tl;
+                    texec = texec.max(delivery);
+                    delivered += 1;
+                    // Wake up dependent packets.
+                    for &succ in cdcg.successors(PacketId::new(p)) {
+                        let s = succ.index();
+                        scratch.ready[s] = scratch.ready[s].max(delivery);
+                        scratch.pending[s] -= 1;
+                        if scratch.pending[s] == 0 {
+                            scratch.heap.push(std::cmp::Reverse(pack(
+                                scratch.ready[s] + cdcg.packet(succ).comp_cycles,
+                                s,
+                                INJECT,
+                                0,
+                            )));
+                        }
+                    }
+                } else {
+                    scratch.heap.push(std::cmp::Reverse(pack(
+                        time + tr,
+                        p,
+                        LINK_REQUEST,
+                        hop as u32,
+                    )));
+                }
+            }
+            _ => {
+                // LINK_REQUEST
+                let slot = scratch.link(path[hop + 1]);
+                let entry = if slot.free > time {
+                    slot.free + tr
+                } else {
+                    time
+                };
+                slot.free = entry + n * tl;
+                slot.traversals += 1;
+                release_fifo(
+                    scratch,
+                    path[hop],
+                    hop > 0 || params.injection_serialization,
+                    entry + (n - 1) * tl + 1,
+                );
+                scratch.heap.push(std::cmp::Reverse(pack(
+                    entry + tl,
+                    p,
+                    ROUTER_ENTRY,
+                    hop as u32 + 1,
+                )));
+            }
+        }
+    }
+
+    debug_assert_eq!(
+        delivered, n_packets,
+        "DAG execution must deliver all packets"
+    );
+    Ok(texec)
+}
+
+/// Releases the FIFO head of `link` at cycle `clear`, waking the next
+/// parked packet — the dense-id twin of `schedule`'s `release_fifo`.
+fn release_fifo(scratch: &mut ScheduleScratch, link: u32, applies: bool, clear: u64) {
+    if !applies {
+        return;
+    }
+    let slot = scratch.fifo(link);
+    debug_assert!(slot.busy, "owner released a tracked FIFO");
+    if let Some((q, qhop, arrival)) = slot.parked.pop_front() {
+        let eff = arrival.max(clear);
+        scratch
+            .heap
+            .push(std::cmp::Reverse(pack(eff, q as usize, DECIDE, qhop)));
+        // `q` now owns the FIFO head; remaining arrivals stay parked.
+    } else {
+        slot.busy = false;
+        slot.clear = clear;
+    }
+}
+
+/// A reusable cost-evaluation engine: one application plus a shared route
+/// cache plus a private scratch.
+///
+/// Cloning an evaluator shares the (immutable) route cache via `Arc` but
+/// gives the clone its own scratch, so clones can evaluate concurrently
+/// on different threads — the layout parallel multi-start search uses.
+#[derive(Debug, Clone)]
+pub struct CostEvaluator<'a> {
+    cdcg: &'a Cdcg,
+    params: SimParams,
+    cache: Arc<RouteCache>,
+    scratch: ScheduleScratch,
+}
+
+impl<'a> CostEvaluator<'a> {
+    /// Builds an evaluator for `cdcg` on `mesh`, constructing a fresh XY
+    /// route cache.
+    pub fn new(cdcg: &'a Cdcg, mesh: &Mesh, params: &SimParams) -> Self {
+        Self::with_cache(cdcg, params, Arc::new(RouteCache::new(mesh)))
+    }
+
+    /// Builds an evaluator sharing an existing route cache.
+    pub fn with_cache(cdcg: &'a Cdcg, params: &SimParams, cache: Arc<RouteCache>) -> Self {
+        Self {
+            cdcg,
+            params: *params,
+            cache,
+            scratch: ScheduleScratch::new(),
+        }
+    }
+
+    /// The application being evaluated.
+    pub fn cdcg(&self) -> &'a Cdcg {
+        self.cdcg
+    }
+
+    /// The wormhole parameter set.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// The shared route cache.
+    pub fn cache(&self) -> &Arc<RouteCache> {
+        &self.cache
+    }
+
+    /// `texec` of `mapping` in cycles; bit-exact with
+    /// [`schedule`](crate::schedule())'s `texec_cycles()`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`schedule_cost`].
+    pub fn texec_cycles(&mut self, mapping: &Mapping) -> Result<u64, SimError> {
+        schedule_cost(
+            self.cdcg,
+            self.cache.mesh(),
+            mapping,
+            &self.params,
+            &self.cache,
+            &mut self.scratch,
+        )
+    }
+
+    /// `texec` of `mapping` in nanoseconds.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`schedule_cost`].
+    pub fn texec_ns(&mut self, mapping: &Mapping) -> Result<f64, SimError> {
+        let cycles = self.texec_cycles(mapping)?;
+        Ok(self.params.cycles_to_ns(cycles))
+    }
+
+    /// Per-link traversal counts of the most recent evaluation, for load
+    /// diagnostics: `(link, traversals)` for every traversed link.
+    pub fn link_traversals(&self) -> impl Iterator<Item = (Link, u64)> + '_ {
+        (0..self.cache.dense_link_count() as u32).filter_map(move |id| {
+            let n = self.scratch.link_traversals(id);
+            (n > 0).then(|| (self.cache.link_of(id), n))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::schedule;
+    use noc_model::Mesh;
+
+    fn figure1_cdcg() -> Cdcg {
+        let mut g = Cdcg::new();
+        let a = g.add_core("A");
+        let b = g.add_core("B");
+        let e = g.add_core("E");
+        let f = g.add_core("F");
+        let pab1 = g.add_packet(a, b, 6, 15).unwrap();
+        let pbf1 = g.add_packet(b, f, 10, 40).unwrap();
+        let pea1 = g.add_packet(e, a, 10, 20).unwrap();
+        let pea2 = g.add_packet(e, a, 20, 15).unwrap();
+        let paf1 = g.add_packet(a, f, 6, 15).unwrap();
+        let pfb1 = g.add_packet(f, b, 6, 15).unwrap();
+        g.add_dependence(pea1, pea2).unwrap();
+        g.add_dependence(pab1, paf1).unwrap();
+        g.add_dependence(pea1, paf1).unwrap();
+        g.add_dependence(pbf1, pfb1).unwrap();
+        g.add_dependence(paf1, pfb1).unwrap();
+        g
+    }
+
+    #[test]
+    fn packed_keys_order_exactly_like_events() {
+        // The bit-exactness contract hangs on `pack` being order-isomorphic
+        // to the derived `Ord` of `crate::event::Event`. Enumerate a grid
+        // of events (all variants, several hops/packets/times, including
+        // equal-field ties) and compare the two orderings pairwise.
+        use crate::event::{Event, Phase};
+        let phases = [
+            (Phase::Inject, INJECT, 0u32),
+            (Phase::RouterEntry(0), ROUTER_ENTRY, 0),
+            (Phase::RouterEntry(3), ROUTER_ENTRY, 3),
+            (Phase::Decide(0), DECIDE, 0),
+            (Phase::Decide(3), DECIDE, 3),
+            (Phase::LinkRequest(0), LINK_REQUEST, 0),
+            (Phase::LinkRequest(7), LINK_REQUEST, 7),
+        ];
+        let mut all: Vec<(Event, u128)> = Vec::new();
+        for time in [0u64, 1, 5, u64::MAX] {
+            for packet in [0usize, 1, 42, PACKET_LIMIT - 1] {
+                for &(phase, variant, hop) in &phases {
+                    all.push((
+                        Event {
+                            time,
+                            packet,
+                            phase,
+                        },
+                        pack(time, packet, variant, hop),
+                    ));
+                }
+            }
+        }
+        for (ea, ka) in &all {
+            for (eb, kb) in &all {
+                assert_eq!(
+                    ea.cmp(eb),
+                    ka.cmp(kb),
+                    "ordering diverges for {ea:?} vs {eb:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_full_schedule_on_paper_example() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mut eval = CostEvaluator::new(&cdcg, &mesh, &params);
+        for tiles in [[1, 0, 3, 2], [3, 0, 1, 2], [0, 1, 2, 3], [2, 3, 0, 1]] {
+            let mapping = Mapping::from_tiles(&mesh, tiles.map(TileId::new)).unwrap();
+            let full = schedule(&cdcg, &mesh, &mapping, &params).unwrap();
+            assert_eq!(
+                eval.texec_cycles(&mapping).unwrap(),
+                full.texec_cycles(),
+                "tiles {tiles:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_full_schedule_across_parameter_sets() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let mapping = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        for (tr, tl, flit, ej, inj) in [
+            (2, 1, 1, false, true),
+            (4, 1, 1, false, true),
+            (2, 3, 1, false, true),
+            (2, 1, 16, false, true),
+            (2, 1, 1, true, true),
+            (2, 1, 1, false, false),
+            (5, 2, 8, true, false),
+        ] {
+            let params = SimParams {
+                routing_cycles: tr,
+                link_cycles: tl,
+                flit_width_bits: flit,
+                ejection_contention: ej,
+                injection_serialization: inj,
+                ..SimParams::paper_example()
+            };
+            let mut eval = CostEvaluator::new(&cdcg, &mesh, &params);
+            let full = schedule(&cdcg, &mesh, &mapping, &params).unwrap();
+            assert_eq!(
+                eval.texec_cycles(&mapping).unwrap(),
+                full.texec_cycles(),
+                "params {params:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_stateless() {
+        // Evaluating A, then B, then A again must give A's result twice.
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mut eval = CostEvaluator::new(&cdcg, &mesh, &params);
+        let a = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let b = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        let first = eval.texec_cycles(&a).unwrap();
+        assert_eq!(eval.texec_cycles(&b).unwrap(), 90);
+        assert_eq!(eval.texec_cycles(&a).unwrap(), first);
+        assert_eq!(first, 100);
+    }
+
+    #[test]
+    fn traversal_counts_match_packet_paths() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mapping = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let mut eval = CostEvaluator::new(&cdcg, &mesh, &params);
+        eval.texec_cycles(&mapping).unwrap();
+        let total: u64 = eval.link_traversals().map(|(_, n)| n).sum();
+        let expected: u64 = schedule(&cdcg, &mesh, &mapping, &params)
+            .unwrap()
+            .packets()
+            .iter()
+            .map(|p| p.links.len() as u64)
+            .sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn rejects_mismatched_mapping() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mut eval = CostEvaluator::new(&cdcg, &mesh, &params);
+        let mapping = Mapping::identity(&mesh, 3).unwrap();
+        assert!(matches!(
+            eval.texec_cycles(&mapping),
+            Err(SimError::CoreCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_application_takes_zero_time() {
+        let mut g = Cdcg::new();
+        g.add_core("A");
+        g.add_core("B");
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mapping = Mapping::identity(&mesh, 2).unwrap();
+        let mut eval = CostEvaluator::new(&g, &mesh, &params);
+        assert_eq!(eval.texec_cycles(&mapping).unwrap(), 0);
+    }
+
+    #[test]
+    fn clones_share_the_cache_but_not_the_scratch() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let eval = CostEvaluator::new(&cdcg, &mesh, &params);
+        let mut clone_a = eval.clone();
+        let mut clone_b = eval.clone();
+        assert!(Arc::ptr_eq(clone_a.cache(), clone_b.cache()));
+        let mapping = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        assert_eq!(clone_a.texec_cycles(&mapping).unwrap(), 100);
+        assert_eq!(clone_b.texec_cycles(&mapping).unwrap(), 100);
+    }
+}

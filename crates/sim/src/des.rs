@@ -376,6 +376,11 @@ pub fn simulate(
         // ---- Phase C2: routing decisions and port requests -------------
         for ti in 0..n_tiles {
             let cur = mesh.coord(noc_model::TileId::new(ti));
+            // Decrement all decision timers first, collecting the requests
+            // that mature this cycle; then grant them in packet-id order so
+            // that simultaneous requests to one output port resolve exactly
+            // like the interval scheduler's event heap (time, then packet).
+            let mut matured: Vec<(usize, usize)> = Vec::new(); // (packet, in_port)
             for ip in 0..PORTS {
                 if let InState::Idle = tiles[ti].in_state[ip] {
                     if let Some(&head) = tiles[ti].in_buf[ip].front() {
@@ -394,26 +399,30 @@ pub fn simulate(
                             remaining: remaining - 1,
                         };
                     } else {
-                        // Request the XY output port.
-                        let out = xy_port(cur, dst_coord[packet]);
-                        let eject_unarbitrated = out == LOCAL && !base.ejection_contention;
-                        if eject_unarbitrated {
+                        matured.push((packet, ip));
+                    }
+                }
+            }
+            matured.sort_unstable();
+            for (packet, ip) in matured {
+                // Request the XY output port.
+                let out = xy_port(cur, dst_coord[packet]);
+                let eject_unarbitrated = out == LOCAL && !base.ejection_contention;
+                if eject_unarbitrated {
+                    tiles[ti].in_state[ip] = InState::Streaming { packet, out };
+                } else {
+                    match tiles[ti].out_state[out] {
+                        OutState::Free if t >= tiles[ti].out_free_time[out] => {
+                            tiles[ti].out_state[out] = OutState::Owned { in_port: ip };
                             tiles[ti].in_state[ip] = InState::Streaming { packet, out };
-                        } else {
-                            match tiles[ti].out_state[out] {
-                                OutState::Free if t >= tiles[ti].out_free_time[out] => {
-                                    tiles[ti].out_state[out] = OutState::Owned { in_port: ip };
-                                    tiles[ti].in_state[ip] = InState::Streaming { packet, out };
-                                }
-                                OutState::Reserved { in_port } if in_port == ip => {
-                                    tiles[ti].out_state[out] = OutState::Owned { in_port: ip };
-                                    tiles[ti].in_state[ip] = InState::Streaming { packet, out };
-                                }
-                                _ => {
-                                    tiles[ti].out_wait[out].push((t, packet, ip));
-                                    tiles[ti].in_state[ip] = InState::Waiting { packet };
-                                }
-                            }
+                        }
+                        OutState::Reserved { in_port } if in_port == ip => {
+                            tiles[ti].out_state[out] = OutState::Owned { in_port: ip };
+                            tiles[ti].in_state[ip] = InState::Streaming { packet, out };
+                        }
+                        _ => {
+                            tiles[ti].out_wait[out].push((t, packet, ip));
+                            tiles[ti].in_state[ip] = InState::Waiting { packet };
                         }
                     }
                 }

@@ -1,0 +1,33 @@
+//! Event and phase types shared by the two interval-model implementations.
+//!
+//! Both [`crate::schedule`] (full bookkeeping) and [`crate::cost`]
+//! (cost-only fast path) drive the *same* event-driven algorithm. The
+//! full scheduler orders its heap with the derived `Ord` below; the fast
+//! path packs the same `(time, packet, phase)` triple into a `u128` key
+//! whose integer ordering must stay equivalent — a unit test in
+//! `crate::cost` compares the two orderings exhaustively, so any change
+//! to the variant order or fields here fails that test instead of
+//! silently desynchronizing the schedulers.
+
+/// One pending simulator event, ordered by time then deterministic
+/// tie-breakers (packet id, phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Event {
+    pub time: u64,
+    pub packet: usize,
+    pub phase: Phase,
+}
+
+/// Progress marker of a packet inside the wormhole pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Phase {
+    /// Request the injection link.
+    Inject,
+    /// Header enters router `hop` (joins the input-port FIFO).
+    RouterEntry(usize),
+    /// Header reaches the front of the input-port FIFO of router `hop`
+    /// and the routing decision starts.
+    Decide(usize),
+    /// Request the output link of router `hop`.
+    LinkRequest(usize),
+}

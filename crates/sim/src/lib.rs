@@ -13,6 +13,22 @@
 //!   cross-validate the interval scheduler (and to explore bounded router
 //!   buffers, which the analytic model cannot express).
 //!
+//! The interval scheduler additionally has a **cost-only fast path**,
+//! [`cost`]: the same algorithm (shared event types, identical
+//! arbitration and tie-breaking, bit-exact `texec`) evaluated without
+//! materializing schedules, occupancy maps or contention logs, over
+//! preallocated scratch state ([`ScheduleScratch`]) and a shared
+//! [`noc_model::RouteCache`]. The contract:
+//!
+//! * **Full evaluation** ([`schedule`]) — when the *artifacts* matter:
+//!   occupancy lists, per-packet timelines, contention events, Gantt
+//!   charts, paper-style reports. Allocates per call.
+//! * **Cost-only evaluation** ([`schedule_cost`] / [`CostEvaluator`]) —
+//!   when only the scalar cost matters, i.e. inside search loops that
+//!   evaluate millions of candidate mappings. Allocation-free after
+//!   warm-up, several times faster, and guaranteed to return exactly the
+//!   full path's `texec_cycles()` on every input.
+//!
 //! Supporting modules: [`params`] (the `tr`/`tl`/`λ`/flit-width parameter
 //! set), [`wormhole`] (Equations 6–8 in closed form), [`gantt`] (the
 //! timing diagrams of Figures 4–5) and [`analysis`] (link-load and
@@ -47,8 +63,10 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cost;
 pub mod des;
 pub mod error;
+mod event;
 pub mod gantt;
 pub mod interval;
 pub mod params;
@@ -56,6 +74,7 @@ pub mod resource;
 pub mod schedule;
 pub mod wormhole;
 
+pub use cost::{schedule_cost, CostEvaluator, ScheduleScratch};
 pub use error::SimError;
 pub use interval::CycleInterval;
 pub use params::SimParams;

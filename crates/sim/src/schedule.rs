@@ -34,6 +34,7 @@
 //!   are logged as [`ContentionEvent`]s on the *incoming* link.
 
 use crate::error::SimError;
+use crate::event::{Event, Phase};
 use crate::interval::CycleInterval;
 use crate::params::SimParams;
 use crate::resource::{Occupancy, OccupancyMap, Resource};
@@ -231,28 +232,6 @@ pub fn schedule(
     params: &SimParams,
 ) -> Result<Schedule, SimError> {
     schedule_with(cdcg, mesh, mapping, params, &XyRouting)
-}
-
-/// One pending simulator event, ordered by time then deterministic
-/// tie-breakers (packet id, phase).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct Event {
-    time: u64,
-    packet: usize,
-    phase: Phase,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-enum Phase {
-    /// Request the injection link.
-    Inject,
-    /// Header enters router `hop` (joins the input-port FIFO).
-    RouterEntry(usize),
-    /// Header reaches the front of the input-port FIFO of router `hop`
-    /// and the routing decision starts.
-    Decide(usize),
-    /// Request the output link of router `hop`.
-    LinkRequest(usize),
 }
 
 /// Per-input-link FIFO state: either the link's last packet has fully

@@ -244,6 +244,81 @@ proptest! {
         prop_assert_eq!(sched.texec_cycles(), 100 * k);
     }
 
+    /// The cost-only fast path (`schedule_cost` / `CdcmCostEvaluator`)
+    /// matches the full `Schedule` bit-exactly: same `texec` cycles, same
+    /// Equation 10 picojoules, on random CDCGs, meshes and mappings under
+    /// both parameter presets.
+    #[test]
+    fn cost_fast_path_matches_full_schedule((cdcg, mesh) in app_and_mesh(), seed in any::<u64>()) {
+        let mapping = permuted_mapping(&mesh, cdcg.core_count(), seed);
+        for params in [SimParams::new(), SimParams::paper_example()] {
+            let sched = schedule(&cdcg, &mesh, &mapping, &params).expect("schedules");
+            let mut texec_eval = noc::sim::CostEvaluator::new(&cdcg, &mesh, &params);
+            prop_assert_eq!(
+                texec_eval.texec_cycles(&mapping).expect("fast path schedules"),
+                sched.texec_cycles()
+            );
+            for tech in [Technology::t035(), Technology::t007()] {
+                let full = evaluate_cdcm(&cdcg, &mesh, &mapping, &tech, &params)
+                    .expect("evaluates");
+                let mut fast =
+                    noc::energy::CdcmCostEvaluator::new(&cdcg, &mesh, &tech, &params);
+                let cost = fast.evaluate(&mapping).expect("fast path evaluates");
+                // Bit-exact, not approximately equal.
+                prop_assert_eq!(cost.objective_pj, full.objective_pj());
+                prop_assert_eq!(cost.texec_cycles, full.texec_cycles);
+                prop_assert_eq!(cost.texec_ns, full.texec_ns);
+                prop_assert_eq!(cost.dynamic_pj, full.breakdown.dynamic.picojoules());
+                prop_assert_eq!(cost.static_pj, full.breakdown.static_energy.picojoules());
+            }
+        }
+    }
+
+    /// Parallel multi-start SA is deterministic for a fixed seed set and
+    /// never loses to its own first restart.
+    #[test]
+    fn multistart_sa_is_deterministic((cdcg, mesh) in app_and_mesh(), seed in any::<u64>()) {
+        use noc::mapping::{anneal, anneal_multistart, CdcmObjective, SaConfig};
+        let tech = Technology::t007();
+        let params = SimParams::new();
+        let objective = CdcmObjective::new(&cdcg, &mesh, &tech, params);
+        let mut config = SaConfig::quick(seed);
+        config.max_evaluations = 600;
+        let a = anneal_multistart(&objective, &mesh, cdcg.core_count(), &config, 3);
+        let b = anneal_multistart(&objective, &mesh, cdcg.core_count(), &config, 3);
+        prop_assert_eq!(&a.mapping, &b.mapping);
+        prop_assert_eq!(a.cost, b.cost);
+        prop_assert_eq!(a.evaluations, b.evaluations);
+        let first_restart = anneal(&objective, &mesh, cdcg.core_count(), &config);
+        prop_assert!(a.cost <= first_restart.cost);
+    }
+
+    /// CWM's hop-cache swap delta agrees with a full recompute for every
+    /// random instance and move.
+    #[test]
+    fn cwm_swap_delta_matches_full_recompute(
+        (cdcg, mesh) in app_and_mesh(),
+        seed in any::<u64>(),
+        a in 0usize..20,
+        b in 0usize..20,
+    ) {
+        use noc::mapping::{CostFunction, CwmObjective, SwapDeltaCost};
+        let cwg = cdcg.to_cwg();
+        let tech = Technology::t007();
+        let objective = CwmObjective::new(&cwg, &mesh, &tech);
+        let mapping = permuted_mapping(&mesh, cdcg.core_count(), seed);
+        let a = TileId::new(a % mesh.tile_count());
+        let b = TileId::new(b % mesh.tile_count());
+        let delta = objective.swap_delta(&mapping, a, b);
+        let mut swapped = mapping.clone();
+        swapped.swap_tiles(a, b);
+        let full = objective.cost(&swapped) - objective.cost(&mapping);
+        prop_assert!(
+            (delta - full).abs() < 1e-9,
+            "swap {}-{}: delta {} vs full {}", a, b, delta, full
+        );
+    }
+
     /// The TGFF generator hits its calibration targets for arbitrary
     /// feasible inputs.
     #[test]
