@@ -58,6 +58,7 @@ fn bench_sa(c: &mut Criterion) {
                 SearchMethod::MultiStartSa {
                     config: per_restart,
                     restarts: 8,
+                    budget: noc_mapping::RestartBudget::PerRestart,
                 },
             ))
         })

@@ -6,44 +6,21 @@
 //! shorten paths (lower dynamic energy per bit) and spread load, at the
 //! cost of longer physical wires in a real layout (not modelled).
 //!
+//! Both configurations run on the routing-generic fast path: the
+//! explorer caches the routing function's routes once per mesh and the
+//! search evaluates swaps incrementally over them — no per-evaluation
+//! route derivation, and no silent fall-back to XY.
+//!
 //! Usage: `cargo run --release -p noc-bench --bin ablation_topology`
 
 use noc_apps::table1_suite;
 use noc_bench::{write_record, TextTable};
 use noc_energy::total::evaluate_cdcm_with;
 use noc_energy::Technology;
-use noc_mapping::{anneal, CostFunction, SaConfig};
-use noc_model::{Mapping, RoutingAlgorithm, TorusXyRouting, XyRouting};
+use noc_mapping::{Explorer, SaConfig, SearchMethod, Strategy};
+use noc_model::{RoutingAlgorithm, TorusXyRouting, XyRouting};
 use noc_sim::SimParams;
 use serde::Serialize;
-
-/// A CDCM objective parameterized by routing algorithm.
-struct RoutedCdcm<'a> {
-    cdcg: &'a noc_model::Cdcg,
-    mesh: &'a noc_model::Mesh,
-    tech: &'a Technology,
-    params: SimParams,
-    routing: &'a dyn RoutingAlgorithm,
-}
-
-impl CostFunction for RoutedCdcm<'_> {
-    fn cost(&self, mapping: &Mapping) -> f64 {
-        evaluate_cdcm_with(
-            self.cdcg,
-            self.mesh,
-            mapping,
-            self.tech,
-            &self.params,
-            self.routing,
-        )
-        .map(|e| e.objective_pj())
-        .unwrap_or(f64::INFINITY)
-    }
-
-    fn name(&self) -> String {
-        format!("CDCM/{}", self.routing.name())
-    }
-}
 
 #[derive(Serialize)]
 struct Row {
@@ -68,18 +45,11 @@ fn main() {
     for bench in table1_suite().iter().take(9) {
         let mut results = Vec::new();
         for routing in [&XyRouting as &dyn RoutingAlgorithm, &TorusXyRouting] {
-            let objective = RoutedCdcm {
-                cdcg: &bench.cdcg,
-                mesh: &bench.mesh,
-                tech: &tech,
-                params,
-                routing,
-            };
-            let outcome = anneal(
-                &objective,
-                &bench.mesh,
-                bench.cdcg.core_count(),
-                &SaConfig::quick(23),
+            let explorer =
+                Explorer::with_routing(&bench.cdcg, bench.mesh, tech.clone(), params, routing);
+            let outcome = explorer.explore(
+                Strategy::Cdcm,
+                SearchMethod::SimulatedAnnealing(SaConfig::quick(23)),
             );
             let eval = evaluate_cdcm_with(
                 &bench.cdcg,
@@ -90,6 +60,12 @@ fn main() {
                 routing,
             )
             .expect("suite evaluates");
+            assert_eq!(
+                outcome.cost,
+                eval.objective_pj(),
+                "cached {} objective must match the explicit-routing evaluation",
+                routing.name()
+            );
             results.push((eval.texec_ns, eval.objective_pj()));
         }
         table.row([

@@ -1,0 +1,109 @@
+//! CI smoke test for incremental CDCM rescheduling.
+//!
+//! Runs a short delta-driven CDCM annealing on an 8×8 mesh and asserts,
+//! via [`noc_sim::DeltaStats`], that the moves were actually served by
+//! the incremental path — catching any regression that silently degrades
+//! `swap_delta` into full re-evaluation (which would keep results
+//! correct but erase the speedup). Also cross-checks a handful of swap
+//! deltas against full cost differences, bitwise.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin delta_smoke`
+
+use noc_apps::TgffConfig;
+use noc_energy::Technology;
+use noc_mapping::{anneal_delta, CdcmObjective, CostFunction, SaConfig, SwapDeltaCost};
+use noc_model::{Mapping, Mesh, TileId};
+use noc_sim::SimParams;
+
+fn main() {
+    let mesh = Mesh::new(8, 8).expect("valid mesh");
+    let tech = Technology::t007();
+    let params = SimParams::new();
+    // A Table 1–shaped workload: packets ≈ 2.5× cores, deep dependence
+    // chains. Each core contributes a handful of packets, so a swap's
+    // dirty set is small and both prefix reuse and tail convergence have
+    // room to work — the regime the incremental evaluator targets.
+    let cdcg = noc_apps::generate(&TgffConfig {
+        depth: Some(12),
+        ..TgffConfig::new(48, 120, 64 * 120, 7)
+    });
+
+    // Spot-check exactness before anything else.
+    let check = CdcmObjective::new(&cdcg, &mesh, &tech, params);
+    let mapping = Mapping::identity(&mesh, 48).expect("cores fit");
+    for (a, b) in [(0usize, 63usize), (5, 6), (40, 41), (12, 50)] {
+        let (a, b) = (TileId::new(a), TileId::new(b));
+        let delta = check.swap_delta(&mapping, a, b);
+        let mut swapped = mapping.clone();
+        swapped.swap_tiles(a, b);
+        let full = check.cost(&swapped) - check.cost(&mapping);
+        assert_eq!(delta, full, "swap_delta must be the exact cost difference");
+    }
+
+    // Warm-tape rejected-move loop: with a stable baseline the prefix
+    // restore must skip a meaningful share of event work. This is a
+    // property of the machinery itself (acceptance churn in a real SA
+    // run truncates the tape and is measured separately in
+    // BENCH_eval.json).
+    let reject_obj = CdcmObjective::new(&cdcg, &mesh, &tech, params);
+    let base = Mapping::identity(&mesh, 48).expect("cores fit");
+    let mut state = 5u64;
+    for _ in 0..400 {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let a = TileId::new((state >> 33) as usize % 64);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let b = TileId::new((state >> 33) as usize % 64);
+        let _ = reject_obj.swap_delta(&base, a, b);
+    }
+    let warm = reject_obj.delta_stats();
+    println!(
+        "warm-tape reject loop: skip {:.1}%, stats {warm:?}",
+        warm.skip_fraction() * 100.0
+    );
+    assert!(
+        warm.skip_fraction() > 0.05,
+        "prefix reuse skipped almost nothing on a warm tape: {warm:?}"
+    );
+    assert!(
+        warm.full_rebaselines <= 2,
+        "rejected moves must never re-baseline: {warm:?}"
+    );
+
+    // Fresh objective so the counters describe the annealing run alone.
+    let obj = CdcmObjective::new(&cdcg, &mesh, &tech, params);
+    let mut config = SaConfig::quick(3);
+    config.max_evaluations = 2_000;
+    let outcome = anneal_delta(&obj, &mesh, 48, &config);
+    let stats = obj.delta_stats();
+    println!(
+        "delta-SA outcome: {:.1} pJ in {} evaluations",
+        outcome.cost, outcome.evaluations
+    );
+    println!("delta stats: {stats:?}");
+    println!("event skip fraction: {:.1}%", stats.skip_fraction() * 100.0);
+
+    let moves = stats.incremental_moves + stats.route_unchanged_moves;
+    assert!(
+        moves > 0,
+        "no move used the incremental path at all: {stats:?}"
+    );
+    // Full re-baselines happen exactly three times in a delta-SA run —
+    // the initial cost evaluation, the first (tape-recording) swap and
+    // the final re-scoring of the best mapping — plus rate-limited tape
+    // refreshes after accept bursts. Accepted moves are served by
+    // candidate promotion, rejected ones never re-baseline. Anything
+    // more means a silent fallback-to-full crept in.
+    assert!(
+        stats.full_rebaselines <= 3 + stats.tape_refreshes,
+        "unexpected full re-baselines — silent fallback to full evaluation: {stats:?}"
+    );
+    assert!(
+        stats.tape_refreshes <= outcome.evaluations / 32 + 1,
+        "tape refreshes exceed their rate limit: {stats:?}"
+    );
+    assert!(
+        moves + stats.cache_hits >= outcome.evaluations.saturating_sub(stats.full_rebaselines),
+        "evaluation count not served by the delta machinery: {stats:?}"
+    );
+    println!("delta smoke OK: incremental path active, no silent fallback");
+}

@@ -21,14 +21,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use noc_energy::{evaluate_cdcm, evaluate_cwm, Technology};
+use noc_energy::total::{evaluate_cdcm_with, evaluate_cwm_with};
+use noc_energy::Technology;
 use noc_mapping::{
-    anneal_constrained, CdcmObjective, Constraints, CwmObjective, Explorer, SaConfig, SearchMethod,
-    Strategy,
+    anneal_constrained, CdcmObjective, Constraints, CwmObjective, Explorer, RestartBudget,
+    SaConfig, SearchMethod, Strategy,
 };
-use noc_model::{Cdcg, Mapping, Mesh, TileId};
+use noc_model::{
+    Cdcg, Mapping, Mesh, RoutingAlgorithm, TileId, TorusXyRouting, XyRouting, YxRouting,
+};
 use noc_sim::gantt::GanttChart;
-use noc_sim::{schedule, SimParams};
+use noc_sim::SimParams;
 use std::error::Error;
 use std::fmt::Write as _;
 
@@ -148,6 +151,20 @@ pub fn parse_mapping(spec: &str, mesh: &Mesh) -> Result<Mapping, CliError> {
         })
         .collect();
     Ok(Mapping::from_tiles(mesh, tiles?)?)
+}
+
+/// Resolves a routing-algorithm name (`xy`, `yx`, `torus-xy`).
+///
+/// # Errors
+///
+/// Returns an error for unknown names.
+pub fn parse_routing(name: &str) -> Result<&'static dyn RoutingAlgorithm, CliError> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "xy" => Ok(&XyRouting),
+        "yx" => Ok(&YxRouting),
+        "torus-xy" | "torus" => Ok(&TorusXyRouting),
+        other => Err(format!("unknown routing `{other}` (xy|yx|torus-xy)").into()),
+    }
 }
 
 /// Resolves a technology name (`paper`, `0.35`, `0.07`, `0.35um`, …).
@@ -273,6 +290,7 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
         .into());
     }
     let tech = parse_technology(options.get("--tech").unwrap_or("0.07"))?;
+    let routing = parse_routing(options.get("--routing").unwrap_or("xy"))?;
     let strategy = match options.get("--strategy").unwrap_or("cdcm") {
         "cwm" | "CWM" => Strategy::Cwm,
         "cdcm" | "CDCM" => Strategy::Cdcm,
@@ -286,9 +304,12 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
     };
     let method = match options.get("--method").unwrap_or("sa") {
         "sa" | "SA" => SearchMethod::SimulatedAnnealing(sa_config),
+        // The total budget is divided across restarts, so `sa-multi`
+        // spends the same number of evaluations as `sa` — not N× it.
         "sa-multi" | "multistart" => SearchMethod::MultiStartSa {
             config: sa_config,
             restarts: options.get_parsed("--restarts", 8u32)?,
+            budget: RestartBudget::Total,
         },
         "exhaustive" | "es" | "ES" => SearchMethod::Exhaustive,
         "random" => SearchMethod::Random {
@@ -305,7 +326,7 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
     };
 
     let params = SimParams::new();
-    let explorer = Explorer::new(&app, mesh, tech.clone(), params);
+    let explorer = Explorer::with_routing(&app, mesh, tech.clone(), params, routing);
     let outcome = match options.get("--pin") {
         Some(pin_spec) => {
             // Constrained search: pinned cores stay on their tiles.
@@ -316,22 +337,40 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
             } else {
                 SaConfig::new(seed)
             };
+            // Objectives share the explorer's route cache (already built
+            // for `routing`) instead of deriving a second one.
             match strategy {
                 Strategy::Cwm => {
                     let cwg = explorer.cwg().clone();
-                    let objective = CwmObjective::new(&cwg, &mesh, &tech);
+                    let objective = CwmObjective::with_cache(
+                        &cwg,
+                        &mesh,
+                        &tech,
+                        std::sync::Arc::clone(explorer.route_cache()),
+                    );
                     anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
                 }
                 Strategy::Cdcm => {
-                    let objective = CdcmObjective::new(&app, &mesh, &tech, params);
+                    let objective = CdcmObjective::with_cache(
+                        &app,
+                        &tech,
+                        params,
+                        std::sync::Arc::clone(explorer.route_cache()),
+                    );
                     anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
                 }
             }
         }
         None => explorer.explore(strategy, method),
     };
-    let eval = evaluate_cdcm(&app, &mesh, &outcome.mapping, &tech, &params)?;
-    let cwm_view = evaluate_cwm(&explorer.cwg().clone(), &mesh, &outcome.mapping, &tech);
+    let eval = evaluate_cdcm_with(&app, &mesh, &outcome.mapping, &tech, &params, routing)?;
+    let cwm_view = evaluate_cwm_with(
+        &explorer.cwg().clone(),
+        &mesh,
+        &outcome.mapping,
+        &tech,
+        routing,
+    );
 
     let mut out = String::new();
     let _ = writeln!(
@@ -339,6 +378,7 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
         "strategy:     {} ({})",
         outcome.objective, outcome.method
     );
+    let _ = writeln!(out, "routing:      {}", routing.name());
     let _ = writeln!(out, "mapping:      {}", outcome.mapping);
     let tiles: Vec<String> = outcome
         .mapping
@@ -373,11 +413,13 @@ pub fn cmd_evaluate(options: &Options) -> Result<String, CliError> {
         .into());
     }
     let tech = parse_technology(options.get("--tech").unwrap_or("0.07"))?;
+    let routing = parse_routing(options.get("--routing").unwrap_or("xy"))?;
     let params = SimParams::new();
-    let eval = evaluate_cdcm(&app, &mesh, &mapping, &tech, &params)?;
+    let eval = evaluate_cdcm_with(&app, &mesh, &mapping, &tech, &params, routing)?;
 
     let mut out = String::new();
     let _ = writeln!(out, "mapping:    {mapping}");
+    let _ = writeln!(out, "routing:    {}", routing.name());
     let _ = writeln!(out, "texec:      {} ns", eval.texec_ns);
     let _ = writeln!(out, "energy:     {}", eval.breakdown);
     let _ = writeln!(
@@ -387,7 +429,7 @@ pub fn cmd_evaluate(options: &Options) -> Result<String, CliError> {
         eval.schedule.total_contention_cycles()
     );
     if options.flag("--gantt") {
-        let sched = schedule(&app, &mesh, &mapping, &params)?;
+        let sched = noc_sim::schedule_with(&app, &mesh, &mapping, &params, routing)?;
         let _ = writeln!(
             out,
             "{}",
@@ -453,14 +495,17 @@ USAGE:
   noc-cli info     --app app.json
   noc-cli map      --app app.json --mesh WxH [--strategy cwm|cdcm]
                    [--method sa|sa-multi|es|random|greedy] [--restarts N]
-                   [--tech paper|0.35|0.07]
+                   [--tech paper|0.35|0.07] [--routing xy|yx|torus-xy]
                    [--seed S] [--quick] [--pin c0:t3,c2:t0]
   noc-cli evaluate --app app.json --mesh WxH --mapping t0,t1,...
-                   [--tech paper|0.35|0.07] [--gantt]
+                   [--tech paper|0.35|0.07] [--routing xy|yx|torus-xy]
+                   [--gantt]
   noc-cli suite    [--row N] [--out app.json]
   noc-cli dot      --app app.json [--graph cdcg|cwg] [--out graph.dot]
 
 `generate` without --cores emits the paper's Figure 1 example.
+`sa-multi` divides the evaluation budget across restarts (same total
+spend as `sa`); search and reporting both follow `--routing`.
 "
     .to_owned()
 }
@@ -654,6 +699,51 @@ mod tests {
                 .expect("tile list printed")
         };
         assert_eq!(tile_line(&first), tile_line(&second));
+    }
+
+    #[test]
+    fn routing_option_threads_through_map_and_evaluate() {
+        assert_eq!(parse_routing("yx").unwrap().name(), "YX");
+        assert_eq!(parse_routing("torus-xy").unwrap().name(), "torus-XY");
+        assert!(parse_routing("zigzag").is_err());
+
+        let path = write_example_app();
+        // Figure 1(c) under YX routing avoids the contention (see the
+        // sim tests): with the CLI's default parameters texec drops from
+        // the XY value of 100 ns to 93 ns, contention-free.
+        let yx = run(&strs(&[
+            "evaluate",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--mapping",
+            "1,0,3,2",
+            "--tech",
+            "paper",
+            "--routing",
+            "yx",
+        ]))
+        .unwrap();
+        assert!(yx.contains("routing:    YX"), "{yx}");
+        assert!(yx.contains("texec:      93 ns"), "{yx}");
+        assert!(yx.contains("contention: 0 events"), "{yx}");
+
+        let mapped = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "es",
+            "--tech",
+            "paper",
+            "--routing",
+            "yx",
+        ]))
+        .unwrap();
+        assert!(mapped.contains("routing:      YX"), "{mapped}");
     }
 
     #[test]

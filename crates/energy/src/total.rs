@@ -14,7 +14,7 @@ use crate::statics::noc_static_energy;
 use crate::technology::Technology;
 use crate::units::Energy;
 use noc_model::{Cdcg, Cwg, Mapping, Mesh, RouteCache, RoutingAlgorithm, XyRouting};
-use noc_sim::{schedule_with, CostEvaluator, Schedule, SimError, SimParams};
+use noc_sim::{schedule_with, IncrementalScheduler, Schedule, SimError, SimParams};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -157,19 +157,28 @@ pub struct CdcmCost {
 /// Allocation-free CDCM cost engine: the fast-path twin of
 /// [`evaluate_cdcm`].
 ///
-/// Wraps `noc-sim`'s [`CostEvaluator`] (cost-only contention-aware
-/// schedule over a shared [`RouteCache`]) and adds the Equation 10 energy
-/// terms, computed from cached hop counts instead of re-derived routes.
-/// For every input, [`CdcmCostEvaluator::evaluate`] returns exactly the
-/// `objective_pj()`, `texec_cycles` and `texec_ns` of [`evaluate_cdcm`] —
-/// bit-exact, it only skips building the artifacts.
+/// Wraps `noc-sim`'s [`IncrementalScheduler`] (cost-only contention-aware
+/// schedule over a shared [`RouteCache`], with checkpointed incremental
+/// swap evaluation) and adds the Equation 10 energy terms, computed from
+/// cached hop counts instead of re-derived routes. For every input,
+/// [`CdcmCostEvaluator::evaluate`] returns exactly the `objective_pj()`,
+/// `texec_cycles` and `texec_ns` of [`evaluate_cdcm`] — bit-exact, it
+/// only skips building the artifacts. [`CdcmCostEvaluator::evaluate_swap`]
+/// returns the same values for a tile swap of the mapping, evaluated
+/// incrementally (see [`noc_sim::delta`]).
 ///
 /// Cloning shares the route cache but gives the clone private scratch
 /// state, so clones evaluate concurrently on different threads.
 #[derive(Debug, Clone)]
 pub struct CdcmCostEvaluator<'a> {
-    evaluator: CostEvaluator<'a>,
+    engine: IncrementalScheduler<'a>,
     tech: &'a Technology,
+    /// Scratch mapping used to compute swapped-route energies without a
+    /// per-move allocation.
+    swapped: Option<Mapping>,
+    /// Most recent full evaluation, so delta queries against an
+    /// unchanged baseline skip the `O(packets)` energy recomputation.
+    last: Option<(Mapping, CdcmCost)>,
 }
 
 impl<'a> CdcmCostEvaluator<'a> {
@@ -178,7 +187,8 @@ impl<'a> CdcmCostEvaluator<'a> {
         Self::with_cache(cdcg, tech, params, Arc::new(RouteCache::new(mesh)))
     }
 
-    /// Builds the engine over an existing shared route cache.
+    /// Builds the engine over an existing shared route cache (any routing
+    /// algorithm; results then match [`evaluate_cdcm_with`] for it).
     pub fn with_cache(
         cdcg: &'a Cdcg,
         tech: &'a Technology,
@@ -186,14 +196,36 @@ impl<'a> CdcmCostEvaluator<'a> {
         cache: Arc<RouteCache>,
     ) -> Self {
         Self {
-            evaluator: CostEvaluator::with_cache(cdcg, params, cache),
+            engine: IncrementalScheduler::with_cache(cdcg, params, cache),
             tech,
+            swapped: None,
+            last: None,
         }
     }
 
     /// The shared route cache.
     pub fn cache(&self) -> &Arc<RouteCache> {
-        self.evaluator.cache()
+        self.engine.cache()
+    }
+
+    /// Counters of the underlying incremental scheduler.
+    pub fn delta_stats(&self) -> noc_sim::DeltaStats {
+        self.engine.stats()
+    }
+
+    fn cost_at(&mut self, texec_cycles: u64, mapping: &Mapping) -> CdcmCost {
+        let texec_ns = self.engine.params().cycles_to_ns(texec_cycles);
+        let dynamic =
+            cdcg_dynamic_energy_cached(self.engine.cdcg(), self.engine.cache(), mapping, self.tech);
+        let static_energy = noc_static_energy(self.engine.cache().mesh(), self.tech, texec_ns);
+        CdcmCost {
+            // Mirror `EnergyBreakdown::total().picojoules()` exactly.
+            objective_pj: (dynamic + static_energy).picojoules(),
+            dynamic_pj: dynamic.picojoules(),
+            static_pj: static_energy.picojoules(),
+            texec_cycles,
+            texec_ns,
+        }
     }
 
     /// Evaluates a mapping: Equation 10 without the schedule artifacts.
@@ -202,23 +234,69 @@ impl<'a> CdcmCostEvaluator<'a> {
     ///
     /// Same as [`evaluate_cdcm`] (core-count mismatch, invalid mapping).
     pub fn evaluate(&mut self, mapping: &Mapping) -> Result<CdcmCost, SimError> {
-        let texec_cycles = self.evaluator.texec_cycles(mapping)?;
-        let texec_ns = self.evaluator.params().cycles_to_ns(texec_cycles);
-        let dynamic = cdcg_dynamic_energy_cached(
-            self.evaluator.cdcg(),
-            self.evaluator.cache(),
-            mapping,
-            self.tech,
-        );
-        let static_energy = noc_static_energy(self.evaluator.cache().mesh(), self.tech, texec_ns);
-        Ok(CdcmCost {
-            // Mirror `EnergyBreakdown::total().picojoules()` exactly.
-            objective_pj: (dynamic + static_energy).picojoules(),
-            dynamic_pj: dynamic.picojoules(),
-            static_pj: static_energy.picojoules(),
-            texec_cycles,
-            texec_ns,
-        })
+        if let Some((m, cost)) = &self.last {
+            if m == mapping {
+                return Ok(*cost);
+            }
+        }
+        let texec_cycles = self.engine.texec_for(mapping)?;
+        let cost = self.cost_at(texec_cycles, mapping);
+        match &mut self.last {
+            Some((m, c)) => {
+                m.clone_from(mapping);
+                *c = cost;
+            }
+            slot @ None => *slot = Some((mapping.clone(), cost)),
+        }
+        Ok(cost)
+    }
+
+    /// Evaluates `mapping` with tiles `a` and `b` swapped, incrementally:
+    /// the schedule suffix is re-run only from the first route-changed
+    /// injection. Returns exactly what [`Self::evaluate`] would on the
+    /// swapped mapping (identical floating-point operations, so deltas
+    /// computed from the two are exact).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::evaluate`] for the baseline mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` lies outside the mesh.
+    pub fn evaluate_swap(
+        &mut self,
+        mapping: &Mapping,
+        a: noc_model::TileId,
+        b: noc_model::TileId,
+    ) -> Result<CdcmCost, SimError> {
+        // Route-unchanged swaps leave every hop count — and therefore
+        // every energy term — bitwise identical to the baseline's, so a
+        // cached evaluation answers in O(1) (the engine call below is
+        // itself O(1) for this case and keeps the promotion bookkeeping).
+        if !self.engine.swap_changes_routes(mapping, a, b) {
+            if let Some((m, cost)) = &self.last {
+                if m == mapping {
+                    let cost = *cost;
+                    let texec_cycles = self.engine.swap_texec(mapping, a, b)?;
+                    debug_assert_eq!(texec_cycles, cost.texec_cycles);
+                    return Ok(cost);
+                }
+            }
+        }
+        let texec_cycles = self.engine.swap_texec(mapping, a, b)?;
+        let swapped = match &mut self.swapped {
+            Some(m) => {
+                m.clone_from(mapping);
+                m
+            }
+            slot @ None => slot.insert(mapping.clone()),
+        };
+        swapped.swap_tiles(a, b);
+        let swapped = self.swapped.take().expect("just set");
+        let cost = self.cost_at(texec_cycles, &swapped);
+        self.swapped = Some(swapped);
+        Ok(cost)
     }
 }
 
@@ -337,6 +415,49 @@ mod tests {
                 assert_eq!(cost.dynamic_pj, full.breakdown.dynamic.picojoules());
                 assert_eq!(cost.static_pj, full.breakdown.static_energy.picojoules());
             }
+        }
+    }
+
+    #[test]
+    fn evaluate_swap_is_bit_exact_with_full_evaluation_of_the_swapped_mapping() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let params = SimParams::paper_example();
+        let mut fast = CdcmCostEvaluator::new(&cdcg, &mesh, &tech, &params);
+        let base = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        for a in 0..4 {
+            for b in 0..4 {
+                let (a, b) = (TileId::new(a), TileId::new(b));
+                let got = fast.evaluate_swap(&base, a, b).unwrap();
+                let mut swapped = base.clone();
+                swapped.swap_tiles(a, b);
+                let full = evaluate_cdcm(&cdcg, &mesh, &swapped, &tech, &params).unwrap();
+                assert_eq!(got.objective_pj, full.objective_pj(), "swap {a}-{b}");
+                assert_eq!(got.texec_cycles, full.texec_cycles);
+                assert_eq!(got.texec_ns, full.texec_ns);
+                assert_eq!(got.dynamic_pj, full.breakdown.dynamic.picojoules());
+            }
+        }
+        assert!(fast.delta_stats().incremental_moves > 0);
+    }
+
+    #[test]
+    fn yx_cache_matches_explicit_yx_evaluation() {
+        use noc_model::YxRouting;
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let params = SimParams::paper_example();
+        let cache = Arc::new(RouteCache::with_routing(&mesh, &YxRouting));
+        let mut fast = CdcmCostEvaluator::with_cache(&cdcg, &tech, &params, cache);
+        for tiles in [[1, 0, 3, 2], [3, 0, 1, 2], [0, 1, 2, 3]] {
+            let mapping = Mapping::from_tiles(&mesh, tiles.map(TileId::new)).unwrap();
+            let full =
+                evaluate_cdcm_with(&cdcg, &mesh, &mapping, &tech, &params, &YxRouting).unwrap();
+            let cost = fast.evaluate(&mapping).unwrap();
+            assert_eq!(cost.objective_pj, full.objective_pj(), "tiles {tiles:?}");
+            assert_eq!(cost.texec_cycles, full.texec_cycles);
         }
     }
 

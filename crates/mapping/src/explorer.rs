@@ -12,9 +12,9 @@ use crate::greedy::greedy;
 use crate::objective::{CdcmObjective, CwmObjective};
 use crate::random_search::random_search;
 use crate::result::SearchOutcome;
-use crate::sa::{anneal, anneal_delta, anneal_multistart, anneal_multistart_delta, SaConfig};
+use crate::sa::{anneal_delta, anneal_multistart_delta_budgeted, RestartBudget, SaConfig};
 use noc_energy::Technology;
-use noc_model::{Cdcg, Cwg, Mesh, RouteCache};
+use noc_model::{Cdcg, Cwg, Mesh, RouteCache, RoutingAlgorithm};
 use noc_sim::SimParams;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -51,6 +51,8 @@ pub enum SearchMethod {
         config: SaConfig,
         /// Number of independent restarts.
         restarts: u32,
+        /// How `config.max_evaluations` is split across restarts.
+        budget: RestartBudget,
     },
     /// Exhaustive enumeration (small NoCs only).
     Exhaustive,
@@ -86,12 +88,27 @@ pub struct Explorer<'a> {
 impl<'a> Explorer<'a> {
     /// Creates an explorer; the CWG used by the CWM strategy is collapsed
     /// from `cdcg` once, up front, and the mesh's routes are cached once
-    /// for every objective the explorer runs.
+    /// (under XY routing, the paper's default) for every objective the
+    /// explorer runs.
     pub fn new(cdcg: &'a Cdcg, mesh: Mesh, tech: Technology, params: SimParams) -> Self {
+        Self::with_routing(cdcg, mesh, tech, params, &noc_model::XyRouting)
+    }
+
+    /// [`Explorer::new`] with an explicit routing algorithm: every
+    /// objective built by this explorer (both strategies, all search
+    /// methods) evaluates over the routing's cached routes — the fast
+    /// path, not a per-evaluation route derivation.
+    pub fn with_routing(
+        cdcg: &'a Cdcg,
+        mesh: Mesh,
+        tech: Technology,
+        params: SimParams,
+        routing: &dyn RoutingAlgorithm,
+    ) -> Self {
         Self {
             cdcg,
             cwg: cdcg.to_cwg(),
-            cache: Arc::new(RouteCache::new(&mesh)),
+            cache: Arc::new(RouteCache::with_routing(&mesh, routing)),
             mesh,
             tech,
             params,
@@ -147,12 +164,17 @@ impl<'a> Explorer<'a> {
                         // the model with.
                         anneal_delta(&objective, &self.mesh, cores, &config)
                     }
-                    SearchMethod::MultiStartSa { config, restarts } => anneal_multistart_delta(
+                    SearchMethod::MultiStartSa {
+                        config,
+                        restarts,
+                        budget,
+                    } => anneal_multistart_delta_budgeted(
                         &objective,
                         &self.mesh,
                         cores,
                         &config,
                         restarts as usize,
+                        budget,
                     ),
                     SearchMethod::Exhaustive => exhaustive(&objective, &self.mesh, cores),
                     SearchMethod::Random { samples, seed } => {
@@ -172,11 +194,23 @@ impl<'a> Explorer<'a> {
                 );
                 match method {
                     SearchMethod::SimulatedAnnealing(config) => {
-                        anneal(&objective, &self.mesh, cores, &config)
+                        // CDCM moves are evaluated incrementally too: the
+                        // dirty-set delta evaluator re-schedules only the
+                        // timeline suffix a swap can affect.
+                        anneal_delta(&objective, &self.mesh, cores, &config)
                     }
-                    SearchMethod::MultiStartSa { config, restarts } => {
-                        anneal_multistart(&objective, &self.mesh, cores, &config, restarts as usize)
-                    }
+                    SearchMethod::MultiStartSa {
+                        config,
+                        restarts,
+                        budget,
+                    } => anneal_multistart_delta_budgeted(
+                        &objective,
+                        &self.mesh,
+                        cores,
+                        &config,
+                        restarts as usize,
+                        budget,
+                    ),
                     SearchMethod::Exhaustive => exhaustive(&objective, &self.mesh, cores),
                     SearchMethod::Random { samples, seed } => {
                         random_search(&objective, &self.mesh, cores, samples, seed)
@@ -262,6 +296,7 @@ mod tests {
             SearchMethod::MultiStartSa {
                 config: SaConfig::quick(3),
                 restarts: 3,
+                budget: RestartBudget::Total,
             },
             SearchMethod::Exhaustive,
             SearchMethod::Random {
@@ -281,6 +316,34 @@ mod tests {
                 assert!(outcome.evaluations > 0);
             }
         }
+    }
+
+    #[test]
+    fn routed_explorer_evaluates_under_its_routing() {
+        use noc_model::YxRouting;
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let explorer = Explorer::with_routing(
+            &cdcg,
+            mesh,
+            Technology::paper_example(),
+            SimParams::paper_example(),
+            &YxRouting,
+        );
+        assert_eq!(explorer.route_cache().routing_name(), "YX");
+        let outcome = explorer.explore(Strategy::Cdcm, SearchMethod::Exhaustive);
+        // The reported cost is the YX evaluation of the winner, not XY.
+        let want = noc_energy::total::evaluate_cdcm_with(
+            &cdcg,
+            explorer.mesh(),
+            &outcome.mapping,
+            explorer.technology(),
+            explorer.params(),
+            &YxRouting,
+        )
+        .unwrap()
+        .objective_pj();
+        assert_eq!(outcome.cost, want);
     }
 
     #[test]

@@ -76,4 +76,7 @@ pub use pareto::{pareto_front, ParetoPoint};
 pub use random_search::random_search;
 pub use report::{Comparison, TechComparison};
 pub use result::SearchOutcome;
-pub use sa::{anneal, anneal_delta, anneal_multistart, anneal_multistart_delta, SaConfig};
+pub use sa::{
+    anneal, anneal_delta, anneal_multistart, anneal_multistart_budgeted, anneal_multistart_delta,
+    anneal_multistart_delta_budgeted, RestartBudget, SaConfig,
+};

@@ -14,7 +14,7 @@
 //!   (listed by the paper as a natural extension).
 
 use noc_energy::{cwg_dynamic_energy_cached, CdcmCostEvaluator, Technology};
-use noc_model::{Cdcg, Cwg, Mapping, Mesh, RouteCache, TileId};
+use noc_model::{Cdcg, Cwg, Mapping, Mesh, RouteCache, RoutingAlgorithm, TileId};
 use noc_sim::{CostEvaluator, SimParams};
 use std::cell::RefCell;
 use std::sync::Arc;
@@ -45,7 +45,9 @@ pub trait SwapDeltaCost: CostFunction {
 /// The CWM objective (Equation 3): NoC dynamic energy of a CWG.
 ///
 /// Routes come from a shared [`RouteCache`], so neither full evaluations
-/// nor [`SwapDeltaCost::swap_delta`] re-derive XY paths.
+/// nor [`SwapDeltaCost::swap_delta`] re-derive paths. The cache may be
+/// built for any [`RoutingAlgorithm`] ([`Self::with_routing`]); [`Self::new`]
+/// defaults to XY, the paper's routing function.
 #[derive(Debug, Clone)]
 pub struct CwmObjective<'a> {
     cwg: &'a Cwg,
@@ -55,9 +57,25 @@ pub struct CwmObjective<'a> {
 
 impl<'a> CwmObjective<'a> {
     /// Creates the objective for an application CWG on a mesh at a
-    /// technology point.
+    /// technology point, under XY routing.
     pub fn new(cwg: &'a Cwg, mesh: &Mesh, tech: &'a Technology) -> Self {
         Self::with_cache(cwg, mesh, tech, Arc::new(RouteCache::new(mesh)))
+    }
+
+    /// Creates the objective under an explicit routing algorithm; all
+    /// evaluations (including swap deltas) use its cached routes.
+    pub fn with_routing(
+        cwg: &'a Cwg,
+        mesh: &Mesh,
+        tech: &'a Technology,
+        routing: &dyn RoutingAlgorithm,
+    ) -> Self {
+        Self::with_cache(
+            cwg,
+            mesh,
+            tech,
+            Arc::new(RouteCache::with_routing(mesh, routing)),
+        )
     }
 
     /// Creates the objective over an existing shared route cache.
@@ -158,12 +176,30 @@ pub struct CdcmObjective<'a> {
 }
 
 impl<'a> CdcmObjective<'a> {
-    /// Creates the objective for an application CDCG.
+    /// Creates the objective for an application CDCG, under XY routing.
     pub fn new(cdcg: &'a Cdcg, mesh: &'a Mesh, tech: &'a Technology, params: SimParams) -> Self {
         Self {
             cdcg,
             engine: RefCell::new(CdcmCostEvaluator::new(cdcg, mesh, tech, &params)),
         }
+    }
+
+    /// Creates the objective under an explicit routing algorithm; all
+    /// evaluations (including incremental swap deltas) use its cached
+    /// routes.
+    pub fn with_routing(
+        cdcg: &'a Cdcg,
+        mesh: &Mesh,
+        tech: &'a Technology,
+        params: SimParams,
+        routing: &dyn RoutingAlgorithm,
+    ) -> Self {
+        Self::with_cache(
+            cdcg,
+            tech,
+            params,
+            Arc::new(RouteCache::with_routing(mesh, routing)),
+        )
     }
 
     /// Creates the objective over an existing shared route cache.
@@ -182,6 +218,13 @@ impl<'a> CdcmObjective<'a> {
     /// The underlying CDCG.
     pub fn cdcg(&self) -> &Cdcg {
         self.cdcg
+    }
+
+    /// Counters of the incremental scheduler backing this objective
+    /// (useful to assert the delta path is exercised, not silently
+    /// falling back to full evaluation).
+    pub fn delta_stats(&self) -> noc_sim::DeltaStats {
+        self.engine.borrow().delta_stats()
     }
 }
 
@@ -208,6 +251,30 @@ impl CostFunction for CdcmObjective<'_> {
     }
 }
 
+impl SwapDeltaCost for CdcmObjective<'_> {
+    /// Incremental move evaluation: the schedule suffix is re-run only
+    /// from the first route-changed injection (see [`noc_sim::delta`]).
+    /// Both terms are computed with the exact floating-point operations
+    /// of [`CostFunction::cost`], so
+    /// `cost(m) + swap_delta(m, a, b) == cost(swap(m))` holds bitwise —
+    /// delta-driven annealing follows the same trajectory as full
+    /// re-evaluation, seed for seed.
+    fn swap_delta(&self, mapping: &Mapping, a: TileId, b: TileId) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        let mut engine = self.engine.borrow_mut();
+        let base = match engine.evaluate(mapping) {
+            Ok(c) => c.objective_pj,
+            Err(_) => return f64::INFINITY,
+        };
+        match engine.evaluate_swap(mapping, a, b) {
+            Ok(c) => c.objective_pj - base,
+            Err(_) => f64::INFINITY,
+        }
+    }
+}
+
 /// Pure execution-time objective (`texec` in nanoseconds), evaluated on
 /// the cost-only fast path.
 #[derive(Debug)]
@@ -216,11 +283,25 @@ pub struct ExecTimeObjective<'a> {
 }
 
 impl<'a> ExecTimeObjective<'a> {
-    /// Creates the objective.
+    /// Creates the objective, under XY routing.
     pub fn new(cdcg: &'a Cdcg, mesh: &'a Mesh, params: SimParams) -> Self {
         Self {
             engine: RefCell::new(CostEvaluator::new(cdcg, mesh, &params)),
         }
+    }
+
+    /// Creates the objective under an explicit routing algorithm.
+    pub fn with_routing(
+        cdcg: &'a Cdcg,
+        mesh: &Mesh,
+        params: SimParams,
+        routing: &dyn RoutingAlgorithm,
+    ) -> Self {
+        Self::with_cache(
+            cdcg,
+            params,
+            Arc::new(RouteCache::with_routing(mesh, routing)),
+        )
     }
 
     /// Creates the objective over an existing shared route cache.
@@ -276,6 +357,27 @@ impl<'a> WeightedObjective<'a> {
             energy_weight,
             time_weight,
         }
+    }
+
+    /// Creates the blended objective under an explicit routing algorithm.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_routing(
+        cdcg: &'a Cdcg,
+        mesh: &Mesh,
+        tech: &'a Technology,
+        params: SimParams,
+        routing: &dyn RoutingAlgorithm,
+        energy_weight: f64,
+        time_weight: f64,
+    ) -> Self {
+        Self::with_cache(
+            cdcg,
+            tech,
+            params,
+            Arc::new(RouteCache::with_routing(mesh, routing)),
+            energy_weight,
+            time_weight,
+        )
     }
 
     /// Creates the blended objective over an existing shared route cache.
@@ -409,6 +511,64 @@ mod tests {
             count += 1;
         });
         assert_eq!(count, 24);
+    }
+
+    #[test]
+    fn cdcm_swap_delta_is_exactly_the_cost_difference() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let tech = Technology::paper_example();
+        let obj = CdcmObjective::new(&cdcg, &mesh, &tech, SimParams::paper_example());
+        let m = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        for a in 0..4 {
+            for b in 0..4 {
+                let (a, b) = (TileId::new(a), TileId::new(b));
+                let delta = obj.swap_delta(&m, a, b);
+                let mut swapped = m.clone();
+                swapped.swap_tiles(a, b);
+                // Bitwise, not approximate: the delta path performs the
+                // exact floating-point operations of two cost() calls.
+                assert_eq!(delta, obj.cost(&swapped) - obj.cost(&m), "swap {a}-{b}");
+            }
+        }
+        assert!(obj.delta_stats().incremental_moves > 0);
+    }
+
+    #[test]
+    fn routed_objectives_follow_the_cache_routing() {
+        use noc_model::YxRouting;
+        let cdcg = figure1_cdcg();
+        let cwg = cdcg.to_cwg();
+        let mesh = Mesh::new(3, 2).unwrap();
+        let tech = Technology::paper_example();
+        let params = SimParams::paper_example();
+        let mapping = Mapping::from_tiles(&mesh, [5, 0, 1, 4].map(TileId::new)).unwrap();
+
+        let cdcm = CdcmObjective::with_routing(&cdcg, &mesh, &tech, params, &YxRouting);
+        let want = noc_energy::total::evaluate_cdcm_with(
+            &cdcg, &mesh, &mapping, &tech, &params, &YxRouting,
+        )
+        .unwrap()
+        .objective_pj();
+        assert_eq!(cdcm.cost(&mapping), want);
+
+        let cwm = CwmObjective::with_routing(&cwg, &mesh, &tech, &YxRouting);
+        let want_cwm =
+            noc_energy::total::evaluate_cwm_with(&cwg, &mesh, &mapping, &tech, &YxRouting)
+                .picojoules();
+        assert_eq!(cwm.cost(&mapping), want_cwm);
+        // Swap deltas stay consistent under the non-default routing.
+        let (a, b) = (TileId::new(0), TileId::new(3));
+        let mut swapped = mapping.clone();
+        swapped.swap_tiles(a, b);
+        assert_eq!(
+            cdcm.swap_delta(&mapping, a, b),
+            cdcm.cost(&swapped) - cdcm.cost(&mapping)
+        );
+        assert!(
+            (cwm.swap_delta(&mapping, a, b) - (cwm.cost(&swapped) - cwm.cost(&mapping))).abs()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -206,7 +206,10 @@ pub fn anneal_delta<C: SwapDeltaCost + ?Sized>(
         .max(1);
     let mut temperature = config.initial_temperature.unwrap_or_else(|| {
         let mut deltas = Vec::new();
-        for _ in 0..16 {
+        // Same budget-capped sample size as `anneal`, so the two
+        // variants consume identical evaluation counts here and tiny
+        // total budgets still bind exactly.
+        for _ in 0..16.min(config.max_evaluations.saturating_sub(1)) {
             let (a, b) = propose_swap(mesh, &mut rng);
             deltas.push(objective.swap_delta(&current, a, b).abs());
             evaluations += 1;
@@ -236,9 +239,12 @@ pub fn anneal_delta<C: SwapDeltaCost + ?Sized>(
                 }
             }
         }
-        // Re-synchronise against drift.
-        current_cost = objective.cost(&current);
-        evaluations += 1;
+        // Re-synchronise against drift (within the budget: the reported
+        // evaluation count must never exceed `max_evaluations`).
+        if evaluations < config.max_evaluations {
+            current_cost = objective.cost(&current);
+            evaluations += 1;
+        }
         temperature *= config.cooling;
         stall = if improved { 0 } else { stall + 1 };
     }
@@ -251,6 +257,39 @@ pub fn anneal_delta<C: SwapDeltaCost + ?Sized>(
         elapsed: start.elapsed(),
         method: "SA-delta".to_owned(),
         objective: objective.name(),
+    }
+}
+
+/// How `config.max_evaluations` is interpreted by a multi-start search.
+///
+/// Historically `anneal_multistart` ran the *per-restart* budget `N`
+/// times, so `--restarts N` silently spent `N×` the evaluations of a
+/// single-start run with the same configuration. [`RestartBudget::Total`]
+/// makes the budget an explicit total, divided across restarts — the mode
+/// fair comparisons (and the CLI) use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestartBudget {
+    /// Every restart gets the full `config.max_evaluations` (the
+    /// original behavior; total spend is `restarts ×` the budget).
+    PerRestart,
+    /// `config.max_evaluations` is the total across all restarts:
+    /// restart `i` gets `total / restarts`, with the remainder spread
+    /// over the first `total % restarts` restarts. Each restart always
+    /// performs at least its initial evaluation, so totals below
+    /// `restarts` are exceeded by that minimum.
+    Total,
+}
+
+impl RestartBudget {
+    /// The evaluation budget of restart `i` of `restarts`.
+    fn for_restart(self, total: u64, i: usize, restarts: usize) -> u64 {
+        match self {
+            Self::PerRestart => total,
+            Self::Total => {
+                let n = restarts as u64;
+                total / n + u64::from((i as u64) < total % n)
+            }
+        }
     }
 }
 
@@ -283,7 +322,13 @@ fn reduce_multistart(
 /// The objective is cloned once per restart *on the calling thread*
 /// (clones of the engine-backed objectives share the route cache but own
 /// their scratch), so `C` needs `Clone + Send` but not `Sync`.
-fn run_multistart<C, F>(objective: &C, config: &SaConfig, restarts: usize, run: F) -> SearchOutcome
+fn run_multistart<C, F>(
+    objective: &C,
+    config: &SaConfig,
+    restarts: usize,
+    budget: RestartBudget,
+    run: F,
+) -> SearchOutcome
 where
     C: Clone + Send,
     F: Fn(&C, SaConfig) -> SearchOutcome + Sync,
@@ -294,6 +339,7 @@ where
         .map(|i| {
             let config = SaConfig {
                 seed: config.seed.wrapping_add(i as u64),
+                max_evaluations: budget.for_restart(config.max_evaluations, i, restarts),
                 ..*config
             };
             (i, objective.clone(), config)
@@ -373,7 +419,39 @@ pub fn anneal_multistart<C>(
 where
     C: CostFunction + Clone + Send,
 {
-    run_multistart(objective, config, restarts, |obj, cfg| {
+    anneal_multistart_budgeted(
+        objective,
+        mesh,
+        core_count,
+        config,
+        restarts,
+        RestartBudget::PerRestart,
+    )
+}
+
+/// [`anneal_multistart`] with an explicit interpretation of
+/// `config.max_evaluations` — see [`RestartBudget`]. With
+/// [`RestartBudget::Total`], a multi-start run spends (approximately) the
+/// same number of evaluations as a single-start run of the same
+/// configuration, so `--method sa` and `--method sa-multi` compare
+/// fairly.
+///
+/// # Panics
+///
+/// Panics if `core_count` exceeds the number of tiles of `mesh`, or if a
+/// search worker panics.
+pub fn anneal_multistart_budgeted<C>(
+    objective: &C,
+    mesh: &Mesh,
+    core_count: usize,
+    config: &SaConfig,
+    restarts: usize,
+    budget: RestartBudget,
+) -> SearchOutcome
+where
+    C: CostFunction + Clone + Send,
+{
+    run_multistart(objective, config, restarts, budget, |obj, cfg| {
         anneal(obj, mesh, core_count, &cfg)
     })
 }
@@ -396,7 +474,35 @@ pub fn anneal_multistart_delta<C>(
 where
     C: SwapDeltaCost + Clone + Send,
 {
-    run_multistart(objective, config, restarts, |obj, cfg| {
+    anneal_multistart_delta_budgeted(
+        objective,
+        mesh,
+        core_count,
+        config,
+        restarts,
+        RestartBudget::PerRestart,
+    )
+}
+
+/// [`anneal_multistart_delta`] with an explicit budget interpretation —
+/// see [`RestartBudget`].
+///
+/// # Panics
+///
+/// Panics if `core_count` exceeds the number of tiles of `mesh`, or if a
+/// search worker panics.
+pub fn anneal_multistart_delta_budgeted<C>(
+    objective: &C,
+    mesh: &Mesh,
+    core_count: usize,
+    config: &SaConfig,
+    restarts: usize,
+    budget: RestartBudget,
+) -> SearchOutcome
+where
+    C: SwapDeltaCost + Clone + Send,
+{
+    run_multistart(objective, config, restarts, budget, |obj, cfg| {
         anneal_delta(obj, mesh, core_count, &cfg)
     })
 }
@@ -595,6 +701,53 @@ mod tests {
             .unwrap();
         assert_eq!(multi.cost, best.cost);
         assert_eq!(multi.mapping, best.mapping);
+    }
+
+    #[test]
+    fn total_budget_mode_pins_the_evaluation_count() {
+        // Regression: per-restart mode spends `restarts ×` the budget of a
+        // single run; total mode spends exactly the budget (including an
+        // uneven remainder split).
+        let cdcg = figure1_cdcg();
+        let cwg = cdcg.to_cwg();
+        let mesh = Mesh::new(3, 3).unwrap();
+        let tech = Technology::paper_example();
+        let obj = CwmObjective::new(&cwg, &mesh, &tech);
+        let mut config = SaConfig::quick(13);
+        config.max_evaluations = 42;
+        let restarts = 4;
+
+        let single = anneal(&obj, &mesh, 4, &config);
+        assert_eq!(single.evaluations, 42, "budget must bind on this instance");
+
+        let per = anneal_multistart(&obj, &mesh, 4, &config, restarts);
+        assert_eq!(per.evaluations, 42 * restarts as u64);
+
+        let total =
+            anneal_multistart_budgeted(&obj, &mesh, 4, &config, restarts, RestartBudget::Total);
+        // 42 over 4 restarts: budgets 11, 11, 10, 10 — exactly 42 total.
+        assert_eq!(total.evaluations, 42);
+
+        // The delta path — the one the explorer and CLI route through —
+        // must respect the same bound: calibration is budget-capped and
+        // the per-epoch resync never bills past the budget.
+        let delta_single = anneal_delta(&obj, &mesh, 4, &config);
+        assert_eq!(delta_single.evaluations, 42);
+        let delta_total = anneal_multistart_delta_budgeted(
+            &obj,
+            &mesh,
+            4,
+            &config,
+            restarts,
+            RestartBudget::Total,
+        );
+        assert_eq!(delta_total.evaluations, 42);
+
+        // Determinism is preserved in total mode.
+        let again =
+            anneal_multistart_budgeted(&obj, &mesh, 4, &config, restarts, RestartBudget::Total);
+        assert_eq!(total.mapping, again.mapping);
+        assert_eq!(total.cost, again.cost);
     }
 
     #[test]

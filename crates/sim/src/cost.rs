@@ -42,14 +42,14 @@ use std::sync::Arc;
 // Inject=0 < RouterEntry=1 < Decide=2 < LinkRequest=3, matching the
 // declaration order the derived `Ord` of `Phase` compares by) | `hop`
 // (32 bits, the tie-breaker *within* a variant, again as derived).
-const PACKET_LIMIT: usize = 1 << 30;
-const INJECT: u32 = 0;
+pub(crate) const PACKET_LIMIT: usize = 1 << 30;
+pub(crate) const INJECT: u32 = 0;
 const ROUTER_ENTRY: u32 = 1;
 const DECIDE: u32 = 2;
 const LINK_REQUEST: u32 = 3;
 
 #[inline]
-fn pack(time: u64, packet: usize, variant: u32, hop: u32) -> u128 {
+pub(crate) fn pack(time: u64, packet: usize, variant: u32, hop: u32) -> u128 {
     debug_assert!(packet < PACKET_LIMIT);
     ((time as u128) << 64) | ((packet as u128) << 34) | ((variant as u128) << 32) | hop as u128
 }
@@ -92,6 +92,10 @@ pub struct ScheduleScratch {
     /// Per packet: span of the resource walk inside the cache's flat
     /// link-id array (`start`, `len`), resolved once per evaluation.
     spans: Vec<(u32, u32)>,
+    /// Bitmask of delivered packets (used by the incremental evaluator's
+    /// convergence check; maintained by every run, one bit set per
+    /// delivery).
+    delivered_mask: Vec<u64>,
     heap: BinaryHeap<std::cmp::Reverse<u128>>,
 }
 
@@ -111,6 +115,11 @@ impl ScheduleScratch {
             self.flits.resize(n_packets, 0);
             self.spans.resize(n_packets, (0, 0));
         }
+        let words = n_packets.div_ceil(64);
+        if self.delivered_mask.len() < words {
+            self.delivered_mask.resize(words, 0);
+        }
+        self.delivered_mask[..words].fill(0);
         if self.fifo.len() < n_links {
             self.fifo.resize(n_links, FifoSlot::default());
         }
@@ -136,7 +145,9 @@ impl ScheduleScratch {
             slot.epoch = self.epoch;
             slot.busy = false;
             slot.clear = 0;
-            debug_assert!(slot.parked.is_empty(), "completed runs drain all FIFOs");
+            // Completed runs drain every FIFO, but a tail-converged
+            // incremental run stops mid-stream and may leave arrivals
+            // parked from its epoch.
             slot.parked.clear();
         }
         slot
@@ -150,7 +161,287 @@ impl ScheduleScratch {
             _ => 0,
         }
     }
+
+    /// Tests whether the live engine state and a snapshot are
+    /// *future-equivalent*: from here on, both evolve identically. This
+    /// is deliberately weaker than bitwise state equality — a rerouted
+    /// packet leaves permanent residue on the links of its old route
+    /// (`free` times, traversal counters) that can never influence a
+    /// future grant once it lies at or below the next event time. Rules:
+    ///
+    /// * heaps must hold the same event multiset (snapshot heaps are
+    ///   stored sorted; `heap_buf` is scratch for sorting the live one);
+    /// * the delivered-packet sets must be identical;
+    /// * traversal counters are ignored (pure diagnostics, never read by
+    ///   the event loop);
+    /// * a link's `free` (and a clear FIFO's `clear`) may differ if both
+    ///   values are `≤ T`, the next event time — every future request
+    ///   arrives at `≥ T`, so the grant outcome (`entry = request`) and
+    ///   the overwritten state are identical either way;
+    /// * FIFO ownership (`busy`) and parked queues must match exactly;
+    /// * `pending`/`ready` must match for every undelivered packet
+    ///   (delivered packets' cells are never read again).
+    pub(crate) fn converged_with(
+        &self,
+        n_packets: usize,
+        snap: &EngineSnapshot,
+        heap_buf: &mut Vec<u128>,
+    ) -> bool {
+        if self.heap.len() != snap.heap.len() {
+            return false;
+        }
+        // Every future request time is at least the next event's time
+        // (the loop processes events in increasing key order). With an
+        // empty heap there is no future at all and timing residue is
+        // vacuously irrelevant.
+        let horizon = self
+            .heap
+            .peek()
+            .map(|r| (r.0 >> 64) as u64)
+            .unwrap_or(u64::MAX);
+        // Links: sparse snapshot (touched slots only, sorted by id);
+        // live slots missing from it must be at the reset value.
+        {
+            let mut si = 0usize;
+            for (id, slot) in self.links[..snap.n_links].iter().enumerate() {
+                let snap_free = match snap.links.get(si) {
+                    Some(&(sid, free, _)) if sid as usize == id => {
+                        si += 1;
+                        free
+                    }
+                    _ => 0,
+                };
+                let cur_free = if slot.epoch == self.epoch {
+                    slot.free
+                } else {
+                    0
+                };
+                if cur_free != snap_free && (cur_free > horizon || snap_free > horizon) {
+                    return false;
+                }
+            }
+            if si != snap.links.len() {
+                return false;
+            }
+        }
+        // FIFOs likewise; parked queues are recorded in (link id, queue
+        // position) order and must match exactly.
+        let mut parked_seen = 0usize;
+        {
+            let mut si = 0usize;
+            for (id, slot) in self.fifo[..snap.n_links].iter().enumerate() {
+                let (snap_busy, snap_clear) = match snap.fifo.get(si) {
+                    Some(&(sid, busy, clear)) if sid as usize == id => {
+                        si += 1;
+                        (busy, clear)
+                    }
+                    _ => (false, 0),
+                };
+                let live = slot.epoch == self.epoch;
+                let (cur_busy, cur_clear) = if live {
+                    (slot.busy, slot.clear)
+                } else {
+                    (false, 0)
+                };
+                if cur_busy != snap_busy {
+                    return false;
+                }
+                if cur_clear != snap_clear && (cur_clear > horizon || snap_clear > horizon) {
+                    return false;
+                }
+                if !live {
+                    continue;
+                }
+                for &(p, hop, arrival) in &slot.parked {
+                    match snap.parked.get(parked_seen) {
+                        Some(&(l, sp, shop, sarr))
+                            if l as usize == id && (sp, shop, sarr) == (p, hop, arrival) =>
+                        {
+                            parked_seen += 1;
+                        }
+                        _ => return false,
+                    }
+                }
+            }
+            if si != snap.fifo.len() {
+                return false;
+            }
+        }
+        if parked_seen != snap.parked.len() {
+            return false;
+        }
+        let words = n_packets.div_ceil(64);
+        if self.delivered_mask[..words] != snap.delivered_mask[..words] {
+            return false;
+        }
+        for p in 0..n_packets {
+            if self.delivered_mask[p / 64] >> (p % 64) & 1 == 1 {
+                continue;
+            }
+            if self.pending[p] != snap.pending[p] {
+                return false;
+            }
+            // `ready` is consumed the moment `pending` hits zero (the
+            // inject event is pushed with it); afterwards the cell is
+            // dead and residue from rescheduled predecessors is fine.
+            if self.pending[p] > 0 && self.ready[p] != snap.ready[p] {
+                return false;
+            }
+        }
+        heap_buf.clear();
+        heap_buf.extend(self.heap.iter().map(|r| r.0));
+        heap_buf.sort_unstable();
+        heap_buf[..] == snap.heap[..]
+    }
+
+    /// Captures the complete mid-run engine state into `snap` (epoch-stale
+    /// slots normalize to their reset values), so an incremental evaluator
+    /// can later [`Self::restore_from`] it and resume the event loop
+    /// mid-stream. `n_links`/`n_packets` bound the instance being run.
+    pub(crate) fn capture_into(&self, n_links: usize, n_packets: usize, snap: &mut EngineSnapshot) {
+        snap.links.clear();
+        snap.fifo.clear();
+        snap.parked.clear();
+        snap.pending.clear();
+        snap.ready.clear();
+        snap.heap.clear();
+        snap.n_links = n_links;
+        // Sparse: only slots the run has touched. Early-timeline
+        // captures (where the dense checkpoint grid lives) record a
+        // handful of entries instead of the whole mesh.
+        for (id, slot) in self.links[..n_links].iter().enumerate() {
+            if slot.epoch == self.epoch {
+                snap.links.push((id as u32, slot.free, slot.traversals));
+            }
+            let f = &self.fifo[id];
+            if f.epoch == self.epoch {
+                snap.fifo.push((id as u32, f.busy, f.clear));
+                for &(p, hop, arrival) in &f.parked {
+                    snap.parked.push((id as u32, p, hop, arrival));
+                }
+            }
+        }
+        snap.pending.extend_from_slice(&self.pending[..n_packets]);
+        snap.ready.extend_from_slice(&self.ready[..n_packets]);
+        snap.delivered_mask.clear();
+        snap.delivered_mask
+            .extend_from_slice(&self.delivered_mask[..n_packets.div_ceil(64)]);
+        // Stored sorted so `converged_with` can compare heaps directly
+        // (restore order is irrelevant to a binary heap's semantics).
+        snap.heap.extend(self.heap.iter().map(|r| r.0));
+        snap.heap.sort_unstable();
+        snap.tail_texec = None;
+    }
+
+    /// Restores engine state captured by [`Self::capture_into`], bumping
+    /// the epoch so that untouched slots beyond the snapshot reset lazily.
+    /// `spans` and `flits` are *not* part of a snapshot — the caller
+    /// re-resolves them for the mapping it is about to run.
+    pub(crate) fn restore_from(&mut self, snap: &EngineSnapshot) {
+        // Bumping the epoch resets every slot lazily; only the sparse
+        // touched entries are written back.
+        self.epoch += 1;
+        for &(id, free, traversals) in &snap.links {
+            let slot = &mut self.links[id as usize];
+            slot.epoch = self.epoch;
+            slot.free = free;
+            slot.traversals = traversals;
+        }
+        for &(id, busy, clear) in &snap.fifo {
+            let slot = &mut self.fifo[id as usize];
+            slot.epoch = self.epoch;
+            slot.busy = busy;
+            slot.clear = clear;
+            slot.parked.clear();
+        }
+        for &(link, p, hop, arrival) in &snap.parked {
+            self.fifo[link as usize].parked.push_back((p, hop, arrival));
+        }
+        self.pending[..snap.pending.len()].copy_from_slice(&snap.pending);
+        self.ready[..snap.ready.len()].copy_from_slice(&snap.ready);
+        self.delivered_mask[..snap.delivered_mask.len()].copy_from_slice(&snap.delivered_mask);
+        self.heap.clear();
+        for &key in &snap.heap {
+            self.heap.push(std::cmp::Reverse(key));
+        }
+    }
+
+    /// The per-packet spans resolved by the most recent
+    /// [`init_run`] (read side for the incremental evaluator's baseline
+    /// bookkeeping).
+    pub(crate) fn spans(&self) -> &[(u32, u32)] {
+        &self.spans
+    }
+
+    /// Write access to the resolved per-packet spans (used by the
+    /// incremental evaluator to patch rerouted packets in place).
+    pub(crate) fn spans_mut(&mut self) -> &mut [(u32, u32)] {
+        &mut self.spans
+    }
 }
+
+/// A frozen mid-run state of the cost engine: everything the event loop
+/// mutates, captured between two event pops. Snapshots are plain data
+/// (no epochs); buffers are reused across captures.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct EngineSnapshot {
+    /// Key of the last event processed before the capture (`0` when no
+    /// event has been processed yet — see `events_done`).
+    pub(crate) last_key: u128,
+    /// Number of events processed before the capture.
+    pub(crate) events_done: u64,
+    /// Running `texec` (max delivery so far).
+    pub(crate) texec: u64,
+    /// Packets delivered so far.
+    pub(crate) delivered: usize,
+    /// Maximum delivery time over events *after* this snapshot, when
+    /// known for the run the snapshot belongs to (`None` after the
+    /// snapshot is grafted onto a different run by candidate promotion).
+    pub(crate) tail_texec: Option<u64>,
+    /// Dense-link table size of the instance the snapshot describes.
+    n_links: usize,
+    /// Touched links only, sorted by id: `(id, free, traversals)`.
+    links: Vec<(u32, u64, u64)>,
+    /// Touched FIFOs only, sorted by id: `(id, busy, clear)`.
+    fifo: Vec<(u32, bool, u64)>,
+    /// Parked FIFO arrivals: `(link, packet, hop, arrival)` in queue order.
+    parked: Vec<(u32, u32, u32, u64)>,
+    pending: Vec<u32>,
+    ready: Vec<u64>,
+    delivered_mask: Vec<u64>,
+    heap: Vec<u128>,
+}
+
+/// Hooks into the event loop of [`run_loop`]; the no-op impl compiles
+/// away, keeping [`schedule_cost`] as fast as before the refactor.
+pub(crate) trait RunObserver {
+    /// Called when an `Inject` event is popped (its time is the packet's
+    /// injection *request* time, `ready + comp_cycles`).
+    #[inline]
+    fn record_inject(&mut self, _packet: usize, _time: u64) {}
+    /// Called when a packet is delivered.
+    #[inline]
+    fn record_delivery(&mut self, _packet: usize, _delivery: u64) {}
+    /// Called after each event is fully processed; `scratch` is
+    /// quiescent. Returning `false` stops the loop early (the
+    /// incremental evaluator's tail-convergence exit).
+    #[inline]
+    fn after_event(
+        &mut self,
+        _key: u128,
+        _events_done: u64,
+        _texec: u64,
+        _delivered: usize,
+        _scratch: &ScheduleScratch,
+    ) -> bool {
+        true
+    }
+}
+
+/// Observer that does nothing (the plain [`schedule_cost`] path).
+pub(crate) struct NoopObserver;
+
+impl RunObserver for NoopObserver {}
 
 /// Computes the application execution time of `cdcg` on `mesh` under
 /// `mapping` — exactly [`schedule`](crate::schedule())'s `texec_cycles()`,
@@ -176,6 +467,36 @@ pub fn schedule_cost(
     cache: &RouteCache,
     scratch: &mut ScheduleScratch,
 ) -> Result<u64, SimError> {
+    init_run(cdcg, mesh, mapping, params, cache, scratch)?;
+    let (texec, delivered, _) = run_loop(
+        cdcg,
+        params,
+        cache.link_ids_flat(),
+        scratch,
+        0,
+        0,
+        0,
+        &mut NoopObserver,
+    );
+    debug_assert_eq!(
+        delivered,
+        cdcg.packet_count(),
+        "DAG execution must deliver all packets"
+    );
+    Ok(texec)
+}
+
+/// Validates the instance, sizes the scratch, resolves spans/flits and
+/// seeds the start events — everything [`schedule_cost`] does before its
+/// event loop.
+pub(crate) fn init_run(
+    cdcg: &Cdcg,
+    mesh: &Mesh,
+    mapping: &Mapping,
+    params: &SimParams,
+    cache: &RouteCache,
+    scratch: &mut ScheduleScratch,
+) -> Result<(), SimError> {
     assert_eq!(
         cache.mesh(),
         mesh,
@@ -199,11 +520,8 @@ pub fn schedule_cost(
         n_packets < PACKET_LIMIT,
         "cost evaluation supports up to 2^30 packets"
     );
-    let tl = params.link_cycles;
-    let tr = params.routing_cycles;
     scratch.ensure(cache.dense_link_count(), n_packets);
 
-    let flat = cache.link_ids_flat();
     for id in cdcg.packet_ids() {
         let i = id.index();
         let p = cdcg.packet(id);
@@ -222,9 +540,29 @@ pub fn schedule_cost(
             0,
         )));
     }
+    Ok(())
+}
 
-    let mut texec: u64 = 0;
-    let mut delivered = 0usize;
+/// The shared event loop of the cost engine. Starts from an initialized
+/// (or [restored](ScheduleScratch::restore_from)) scratch and runs the
+/// heap dry; `texec`/`delivered`/`events_done` seed the running tallies
+/// when resuming mid-stream. Returns the final tallies.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_loop<O: RunObserver>(
+    cdcg: &Cdcg,
+    params: &SimParams,
+    flat: &[u32],
+    scratch: &mut ScheduleScratch,
+    texec0: u64,
+    delivered0: usize,
+    events_done0: u64,
+    observer: &mut O,
+) -> (u64, usize, u64) {
+    let tl = params.link_cycles;
+    let tr = params.routing_cycles;
+    let mut texec: u64 = texec0;
+    let mut delivered = delivered0;
+    let mut events_done = events_done0;
 
     while let Some(std::cmp::Reverse(key)) = scratch.heap.pop() {
         let time = (key >> 64) as u64;
@@ -238,6 +576,7 @@ pub fn schedule_cost(
         let n = scratch.flits[p];
         match variant {
             INJECT => {
+                observer.record_inject(p, time);
                 let slot = scratch.link(path[0]);
                 let entry = if params.injection_serialization {
                     time.max(slot.free)
@@ -294,6 +633,8 @@ pub fn schedule_cost(
                     let delivery = entry + n * tl;
                     texec = texec.max(delivery);
                     delivered += 1;
+                    scratch.delivered_mask[p / 64] |= 1 << (p % 64);
+                    observer.record_delivery(p, delivery);
                     // Wake up dependent packets.
                     for &succ in cdcg.successors(PacketId::new(p)) {
                         let s = succ.index();
@@ -341,13 +682,13 @@ pub fn schedule_cost(
                 )));
             }
         }
+        events_done += 1;
+        if !observer.after_event(key, events_done, texec, delivered, scratch) {
+            break;
+        }
     }
 
-    debug_assert_eq!(
-        delivered, n_packets,
-        "DAG execution must deliver all packets"
-    );
-    Ok(texec)
+    (texec, delivered, events_done)
 }
 
 /// Releases the FIFO head of `link` at cycle `clear`, waking the next

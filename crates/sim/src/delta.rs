@@ -1,0 +1,946 @@
+//! Incremental CDCM rescheduling: delta evaluation of tile swaps.
+//!
+//! Full CDCM evaluation re-runs the whole contention-aware schedule per
+//! candidate mapping — `O(events)` per SA move even on the allocation-free
+//! [`schedule_cost`](crate::schedule_cost) path. [`IncrementalScheduler`]
+//! makes the *swap* move (the annealer's elementary move) cheaper by
+//! re-scheduling only the part of the timeline a swap can actually touch.
+//!
+//! ## The dirty set and the divergence frontier
+//!
+//! For a proposed swap of tiles `a` and `b` against a *baseline* mapping,
+//! the **dirty set** `D` is the set of packets whose route changes: the
+//! packets whose source or destination core sits on `a` or `b`. Everything
+//! else about the instance (flit counts, dependences, computation times)
+//! is mapping-independent, so `D` fully captures the input difference
+//! between the baseline evaluation and the swapped one.
+//!
+//! The event loop processes events in strictly increasing key order
+//! (`(time, packet, phase)` packed into a `u128`). A dirty packet touches
+//! no resource before its `Inject` event, and its injection *request*
+//! time (`ready + comp_cycles`) is produced by predecessor deliveries
+//! that are identical in both runs up to the first divergent event. By
+//! induction, **both runs are bit-identical for every event with key
+//! below the divergence frontier**
+//!
+//! ```text
+//!   t_key = min over p ∈ D of key(Inject(p))        (baseline times)
+//! ```
+//!
+//! — the earliest injection of a route-changed packet. Packets that never
+//! interact with the dirty packets' resources, directly or transitively
+//! (through link FCFS order, input-port FIFOs or dependence edges),
+//! replay identically in the suffix; packets that do are re-scheduled
+//! with full contention semantics, because the suffix runs the *same*
+//! event loop as the full path.
+//!
+//! ## Checkpointed prefix reuse
+//!
+//! During a baseline evaluation the engine snapshots its mid-run state
+//! ([`ScheduleScratch`]'s touched link free-times, FIFO states,
+//! pending/ready tables and the event heap — sparse, so early
+//! checkpoints cost almost nothing) every `stride` events, plus a denser
+//! grid below the first stride where divergence frontiers cluster. A
+//! swap evaluation then:
+//!
+//! 1. computes `D` and `t_key`; if `D` is empty (both tiles empty or the
+//!    moved cores exchange no packets) the swap provably cannot change
+//!    the schedule and the baseline `texec` is returned in `O(1)`;
+//! 2. restores the latest checkpoint whose last processed event key lies
+//!    strictly below `t_key` (the initial checkpoint, with zero events
+//!    processed, always qualifies — that is the **fallback to full
+//!    rescheduling**, counted in [`DeltaStats::full_restores`]);
+//! 3. patches the route spans of the dirty packets and re-runs the event
+//!    loop.
+//!
+//! The result is **bit-exact** with [`schedule_cost`] on the swapped
+//! mapping by construction: the restored prefix is a state both runs
+//! share, and the suffix is the unmodified algorithm.
+//!
+//! ## Tail convergence
+//!
+//! A swap's timing perturbation often dies out before the end of the
+//! timeline. Once every dirty packet has delivered (so no patched span
+//! can be read again), the suffix run compares its state against the
+//! baseline checkpoint at the equivalent event count (shifted by the
+//! dirty packets' event-count difference — a rerouted packet with a
+//! different hop count contributes a different number of events). The
+//! comparison is *future-equivalence*, not bitwise equality: traversal
+//! counters are ignored and a link's `free` (or a clear FIFO's `clear`)
+//! may differ as long as both values lie at or below the next event
+//! time, because every future request arrives later and overwrites the
+//! slot identically either way (see
+//! `ScheduleScratch::converged_with`). On a match the run stops and the
+//! candidate's `texec` is completed with the baseline's recorded
+//! tail-delivery maximum — the remaining events would have replayed the
+//! baseline verbatim.
+//!
+//! ## Invariants
+//!
+//! * Checkpoints are valid only for the baseline mapping they were
+//!   recorded under; the engine re-baselines (one full, taped run) when
+//!   asked about any other mapping.
+//! * A snapshot at `events_done = k` may be restored for a swap iff every
+//!   one of its `k` processed events has key `< t_key`; since keys are
+//!   unique and pop in increasing order, checking the *last* processed
+//!   key suffices.
+//! * Span tables in the scratch always describe the mapping being run;
+//!   snapshots deliberately exclude them and the evaluator re-patches
+//!   them after every restore.
+//! * When a swap is *accepted* by the caller (the next query is for the
+//!   swapped mapping), the engine promotes the candidate run to
+//!   baseline, keeping the shared checkpoint prefix (and, after a
+//!   tail-converged run, the shared tail) — acceptance costs no extra
+//!   full evaluation. Candidate runs are not taped, so promotions thin
+//!   the tape over the perturbed window; a rate-limited refresh
+//!   (`RETAPE_INTERVAL`) re-records it once it gets too sparse.
+//!
+//! Incremental evaluation falls back to a full re-run (still through the
+//! restored initial checkpoint) when the frontier precedes the first
+//! checkpoint — e.g. a swap touching a start packet — and to a full
+//! *re-baseline* when the queried mapping matches neither the baseline
+//! nor the pending candidate. [`DeltaStats`] exposes the counters so
+//! harnesses can assert the incremental path is actually taken.
+
+use crate::cost::{init_run, pack, run_loop, EngineSnapshot, RunObserver, ScheduleScratch, INJECT};
+use crate::error::SimError;
+use crate::params::SimParams;
+use noc_model::{Cdcg, Mapping, Mesh, PacketId, RouteCache, TileId};
+use std::sync::Arc;
+
+/// Counters describing how the incremental evaluator served its queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Swap evaluations answered by restoring a checkpoint and re-running
+    /// a suffix (includes `full_restores`).
+    pub incremental_moves: u64,
+    /// Swap evaluations answered in `O(1)` because no packet's route
+    /// changed.
+    pub route_unchanged_moves: u64,
+    /// Incremental moves that had to restore the initial checkpoint
+    /// (zero prefix reused — the fallback to full rescheduling).
+    pub full_restores: u64,
+    /// Incremental moves that stopped early because the perturbed state
+    /// re-converged with the baseline timeline (tail reused).
+    pub tail_converged_moves: u64,
+    /// Full evaluations of a new baseline mapping (includes
+    /// `tape_refreshes`).
+    pub full_rebaselines: u64,
+    /// Full re-runs triggered only to refresh a promotion-thinned
+    /// checkpoint tape (rate-limited to one per [`RETAPE_INTERVAL`]
+    /// queries).
+    pub tape_refreshes: u64,
+    /// Queries answered from the cached baseline (or promoted candidate)
+    /// without touching the event loop.
+    pub cache_hits: u64,
+    /// Events processed across all incremental suffix re-runs.
+    pub events_replayed: u64,
+    /// Events a full re-run would have processed for those same moves.
+    pub events_total: u64,
+}
+
+impl DeltaStats {
+    /// Fraction of event work skipped by prefix reuse over all
+    /// incremental moves (0 when none ran).
+    pub fn skip_fraction(&self) -> f64 {
+        if self.events_total == 0 {
+            0.0
+        } else {
+            1.0 - self.events_replayed as f64 / self.events_total as f64
+        }
+    }
+}
+
+/// One recorded evaluation: the mapping it ran, its result and the
+/// per-packet bookkeeping future delta queries need.
+#[derive(Debug, Clone, Default)]
+struct RunRecord {
+    /// `None` marks the record invalid (nothing recorded yet, or a
+    /// failed/stale run).
+    mapping: Option<Mapping>,
+    texec: u64,
+    /// Per packet: injection request time (`ready + comp_cycles`).
+    inject: Vec<u64>,
+    /// Per packet: resolved route span in the cache's flat link array.
+    spans: Vec<(u32, u32)>,
+    /// Whether checkpoints were recorded for this run.
+    taped: bool,
+    /// For candidates: event count at which the run tail-converged with
+    /// the baseline (`None` when it ran to completion).
+    converged_at: Option<u64>,
+    /// For candidates: the run is *identical* to the baseline (no route
+    /// changed), so promotion preserves every checkpoint and tail.
+    identical: bool,
+    /// Deterministic full-run event count of this record's spans.
+    total_events: u64,
+}
+
+/// Event-loop observer that records injection request times, periodic
+/// engine snapshots, baseline delivery times (for tail maxima) and — in
+/// candidate mode — watches for tail convergence with the baseline.
+struct TapeObserver<'b> {
+    inject: &'b mut [u64],
+    tape: Option<TapeState<'b>>,
+    /// Baseline runs: `(event index, delivery time)` per packet, in
+    /// event order, for post-run tail-maximum computation.
+    deliveries: Option<&'b mut Vec<(u64, u64)>>,
+    /// Candidate runs: tail-convergence watch.
+    converge: Option<ConvergeWatch<'b>>,
+    /// Events processed so far in this run (mirrors the loop's counter).
+    events_seen: u64,
+}
+
+struct TapeState<'b> {
+    snaps: &'b mut Vec<EngineSnapshot>,
+    pool: &'b mut Vec<EngineSnapshot>,
+    stride: u64,
+    /// Denser grid below the first full stride: divergence frontiers
+    /// cluster at the earliest dirty injection, which usually falls well
+    /// before `stride` events — without early checkpoints those moves
+    /// all degrade to full restores.
+    early: u64,
+    n_links: usize,
+    n_packets: usize,
+}
+
+impl TapeState<'_> {
+    #[inline]
+    fn boundary(&self, events_done: u64) -> bool {
+        events_done.is_multiple_of(self.stride)
+            || (events_done < self.stride && events_done.is_multiple_of(self.early))
+    }
+}
+
+struct ConvergeWatch<'b> {
+    /// Sorted dirty packet ids; convergence is impossible while any is
+    /// undelivered (its patched span could still be read).
+    dirty: &'b [u32],
+    remaining: usize,
+    /// The baseline checkpoints, sorted by `events_done`.
+    base_snaps: &'b [EngineSnapshot],
+    /// Next baseline checkpoint to compare against.
+    cursor: usize,
+    /// Event-count shift between the runs: a rerouted packet whose hop
+    /// count changed contributes a different number of events, so the
+    /// candidate's event counter at an equivalent state differs from the
+    /// baseline's by `baseline_total − candidate_total`. The comparison
+    /// targets baseline checkpoints at `events_done + shift`.
+    shift: i64,
+    heap_buf: &'b mut Vec<u128>,
+    n_packets: usize,
+    /// Set on detection: `(events_done, baseline tail texec)`.
+    converged: Option<(u64, u64)>,
+}
+
+impl TapeObserver<'_> {
+    /// Tracks the event index for delivery records (incremented in
+    /// `after_event`, so during processing the current event's index is
+    /// `events_seen + 1`).
+    fn event_index(&self) -> u64 {
+        self.events_seen + 1
+    }
+}
+
+impl RunObserver for TapeObserver<'_> {
+    #[inline]
+    fn record_inject(&mut self, packet: usize, time: u64) {
+        self.inject[packet] = time;
+    }
+
+    #[inline]
+    fn record_delivery(&mut self, packet: usize, delivery: u64) {
+        let index = self.event_index();
+        if let Some(deliveries) = &mut self.deliveries {
+            deliveries.push((index, delivery));
+        }
+        if let Some(watch) = &mut self.converge {
+            if watch.dirty.binary_search(&(packet as u32)).is_ok() {
+                watch.remaining -= 1;
+            }
+        }
+    }
+
+    #[inline]
+    fn after_event(
+        &mut self,
+        key: u128,
+        events_done: u64,
+        texec: u64,
+        delivered: usize,
+        scratch: &ScheduleScratch,
+    ) -> bool {
+        self.events_seen = events_done;
+        if let Some(tape) = &mut self.tape {
+            if tape.boundary(events_done) {
+                let mut snap = tape.pool.pop().unwrap_or_default();
+                scratch.capture_into(tape.n_links, tape.n_packets, &mut snap);
+                snap.last_key = key;
+                snap.events_done = events_done;
+                snap.texec = texec;
+                snap.delivered = delivered;
+                tape.snaps.push(snap);
+            }
+        }
+        if let Some(watch) = &mut self.converge {
+            let target = events_done as i64 + watch.shift;
+            while watch.cursor < watch.base_snaps.len()
+                && (watch.base_snaps[watch.cursor].events_done as i64) < target
+            {
+                watch.cursor += 1;
+            }
+            if watch.remaining == 0
+                && watch.cursor < watch.base_snaps.len()
+                && watch.base_snaps[watch.cursor].events_done as i64 == target
+            {
+                let snap = &watch.base_snaps[watch.cursor];
+                if let Some(tail) = snap.tail_texec {
+                    if scratch.converged_with(watch.n_packets, snap, watch.heap_buf) {
+                        // Everything from here on replays the baseline
+                        // verbatim; stop re-scheduling.
+                        watch.converged = Some((events_done, tail));
+                        return false;
+                    }
+                }
+                // A failed comparison at this checkpoint would repeat
+                // every event until the counter passes it; move on.
+                watch.cursor += 1;
+            }
+        }
+        true
+    }
+}
+
+/// Aim for about this many checkpoints per baseline run; the stride is
+/// derived from the (deterministic) total event count.
+const TARGET_CHECKPOINTS: u64 = 12;
+/// Never checkpoint more often than this — tiny instances re-run faster
+/// than they snapshot.
+const MIN_STRIDE: u64 = 16;
+/// Refresh the tape when promotions have thinned it below this many
+/// checkpoints…
+const MIN_TAPE_LEN: usize = 6;
+/// …but at most once per this many swap queries, bounding the re-taping
+/// overhead to ≈3 % even when accepted moves (which truncate the tape at
+/// their restore point) come frequently.
+const RETAPE_INTERVAL: u64 = 32;
+
+/// Incremental swap evaluation of the CDCM schedule cost. See the module
+/// docs for the algorithm and its invariants.
+///
+/// The engine owns private scratch and checkpoint state; cloning shares
+/// the (immutable) route cache but resets all baseline state, so clones
+/// can evaluate concurrently on different threads.
+#[derive(Debug)]
+pub struct IncrementalScheduler<'a> {
+    cdcg: &'a Cdcg,
+    params: SimParams,
+    cache: Arc<RouteCache>,
+    scratch: ScheduleScratch,
+    /// Per core: packets whose source or destination is that core.
+    touching: Vec<Vec<u32>>,
+    baseline: RunRecord,
+    /// Checkpoints of the baseline run, in `events_done` order; index 0
+    /// is always the initial state (zero events processed).
+    checkpoints: Vec<EngineSnapshot>,
+    candidate: RunRecord,
+    /// Baseline checkpoint index the candidate run restored from.
+    cand_restore_idx: usize,
+    /// Moves since the checkpoint tape was last recorded in full;
+    /// promotions thin the tape (candidate runs are not taped), so it is
+    /// refreshed at a bounded rate once it gets too sparse.
+    moves_since_retape: u64,
+    stride: u64,
+    /// Events a full evaluation of the baseline processes (deterministic
+    /// for a mapping; the denominator of the skip fraction).
+    baseline_total_events: u64,
+    /// Recycled snapshots (buffer reuse across moves).
+    pool: Vec<EngineSnapshot>,
+    dirty: Vec<u32>,
+    /// Baseline delivery log `(event index, delivery)` for tail maxima.
+    deliveries: Vec<(u64, u64)>,
+    /// Scratch for sorted-heap comparison in the convergence check.
+    heap_buf: Vec<u128>,
+    /// Scratch for splicing checkpoint tails during promotion.
+    tail_buf: Vec<EngineSnapshot>,
+    /// Set once any swap query arrives: from then on re-baselines are
+    /// taped so the delta path stays warm.
+    sticky_tape: bool,
+    stats: DeltaStats,
+}
+
+impl<'a> IncrementalScheduler<'a> {
+    /// Builds an engine for `cdcg` on `mesh`, constructing a fresh XY
+    /// route cache.
+    pub fn new(cdcg: &'a Cdcg, mesh: &Mesh, params: &SimParams) -> Self {
+        Self::with_cache(cdcg, params, Arc::new(RouteCache::new(mesh)))
+    }
+
+    /// Builds an engine over an existing shared route cache (any routing
+    /// algorithm — the evaluator is routing-generic).
+    pub fn with_cache(cdcg: &'a Cdcg, params: &SimParams, cache: Arc<RouteCache>) -> Self {
+        let mut touching = vec![Vec::new(); cdcg.core_count()];
+        for id in cdcg.packet_ids() {
+            let p = cdcg.packet(id);
+            touching[p.src.index()].push(id.index() as u32);
+            if p.dst != p.src {
+                touching[p.dst.index()].push(id.index() as u32);
+            }
+        }
+        Self {
+            cdcg,
+            params: *params,
+            cache,
+            scratch: ScheduleScratch::new(),
+            touching,
+            baseline: RunRecord::default(),
+            checkpoints: Vec::new(),
+            candidate: RunRecord::default(),
+            cand_restore_idx: 0,
+            moves_since_retape: 0,
+            stride: MIN_STRIDE,
+            baseline_total_events: 0,
+            pool: Vec::new(),
+            dirty: Vec::new(),
+            deliveries: Vec::new(),
+            heap_buf: Vec::new(),
+            tail_buf: Vec::new(),
+            sticky_tape: false,
+            stats: DeltaStats::default(),
+        }
+    }
+
+    /// The application being evaluated.
+    pub fn cdcg(&self) -> &'a Cdcg {
+        self.cdcg
+    }
+
+    /// The wormhole parameter set.
+    pub fn params(&self) -> &SimParams {
+        &self.params
+    }
+
+    /// The shared route cache.
+    pub fn cache(&self) -> &Arc<RouteCache> {
+        &self.cache
+    }
+
+    /// Counters for the queries served so far.
+    pub fn stats(&self) -> DeltaStats {
+        self.stats
+    }
+
+    /// Whether swapping tiles `a` and `b` of `mapping` changes any
+    /// packet's route — `false` exactly when the dirty set is empty
+    /// (both tiles empty, or the moved cores exchange no packets), in
+    /// which case the schedule *and* the per-packet hop counts are
+    /// provably unchanged.
+    pub fn swap_changes_routes(&self, mapping: &Mapping, a: TileId, b: TileId) -> bool {
+        a != b
+            && [a, b].into_iter().any(|tile| {
+                mapping
+                    .core_on(tile)
+                    .is_some_and(|core| !self.touching[core.index()].is_empty())
+            })
+    }
+
+    fn baseline_matches(&self, mapping: &Mapping) -> bool {
+        self.baseline.mapping.as_ref() == Some(mapping)
+    }
+
+    fn candidate_matches(&self, mapping: &Mapping) -> bool {
+        self.candidate.mapping.as_ref() == Some(mapping)
+    }
+
+    /// `texec` of `mapping` in cycles — bit-exact with
+    /// [`schedule_cost`](crate::schedule_cost). Served from cache when
+    /// `mapping` is the current baseline or the pending candidate
+    /// (promoting the latter); otherwise runs a full evaluation and makes
+    /// `mapping` the new baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`schedule_cost`](crate::schedule_cost).
+    pub fn texec_for(&mut self, mapping: &Mapping) -> Result<u64, SimError> {
+        if self.baseline_matches(mapping) {
+            self.stats.cache_hits += 1;
+            return Ok(self.baseline.texec);
+        }
+        if self.candidate_matches(mapping) {
+            self.promote();
+            self.stats.cache_hits += 1;
+            return Ok(self.baseline.texec);
+        }
+        self.rebaseline(mapping, self.sticky_tape)
+    }
+
+    /// `texec` of `mapping` with tiles `a` and `b` swapped, evaluated
+    /// incrementally against the baseline — bit-exact with running
+    /// [`schedule_cost`](crate::schedule_cost) on the swapped mapping.
+    ///
+    /// The result is retained as the *pending candidate*: if the next
+    /// query is for the swapped mapping (the caller accepted the move),
+    /// it is served by promotion instead of a full re-evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`schedule_cost`](crate::schedule_cost) for the baseline
+    /// evaluation of `mapping`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` lies outside the mesh (as
+    /// [`Mapping::swap_tiles`] would).
+    pub fn swap_texec(&mut self, mapping: &Mapping, a: TileId, b: TileId) -> Result<u64, SimError> {
+        if a == b {
+            return self.texec_for(mapping);
+        }
+        self.align_baseline(mapping)?;
+        let n_packets = self.cdcg.packet_count();
+        let base = self.baseline.mapping.as_ref().expect("baseline aligned");
+
+        // Dirty set: packets whose source or destination core moves.
+        self.dirty.clear();
+        for tile in [a, b] {
+            if let Some(core) = base.core_on(tile) {
+                self.dirty.extend_from_slice(&self.touching[core.index()]);
+            }
+        }
+        self.dirty.sort_unstable();
+        self.dirty.dedup();
+
+        // Materialize the candidate mapping (reusing its allocation).
+        match &mut self.candidate.mapping {
+            Some(m) => m.clone_from(base),
+            slot @ None => *slot = Some(base.clone()),
+        }
+        let cand = self.candidate.mapping.as_mut().expect("just set");
+        cand.swap_tiles(a, b);
+
+        if self.dirty.is_empty() {
+            // No route changes: the schedule provably cannot move.
+            self.stats.route_unchanged_moves += 1;
+            self.candidate.texec = self.baseline.texec;
+            self.candidate.inject.clone_from(&self.baseline.inject);
+            self.candidate.spans.clone_from(&self.baseline.spans);
+            self.candidate.taped = true;
+            self.candidate.converged_at = None;
+            self.candidate.identical = true;
+            self.candidate.total_events = self.baseline_total_events;
+            self.cand_restore_idx = self.checkpoints.len() - 1;
+            return Ok(self.baseline.texec);
+        }
+
+        // Divergence frontier: earliest injection of a dirty packet.
+        let t_key = self
+            .dirty
+            .iter()
+            .map(|&p| pack(self.baseline.inject[p as usize], p as usize, INJECT, 0))
+            .min()
+            .expect("dirty set non-empty");
+
+        // Latest checkpoint strictly before the frontier; index 0 (the
+        // initial state) always qualifies.
+        let idx = self
+            .checkpoints
+            .partition_point(|s| s.events_done == 0 || s.last_key < t_key)
+            - 1;
+
+        // Candidate spans: baseline spans with the dirty packets patched.
+        self.candidate.spans.clone_from(&self.baseline.spans);
+        {
+            let cand = self.candidate.mapping.as_ref().expect("just set");
+            for &p in &self.dirty {
+                let pkt = self.cdcg.packet(PacketId::new(p as usize));
+                let span = self
+                    .cache
+                    .link_span(cand.tile_of(pkt.src), cand.tile_of(pkt.dst));
+                self.candidate.spans[p as usize] =
+                    (span.start as u32, (span.end - span.start) as u32);
+            }
+        }
+        let cand_total_events = Self::total_events(&self.candidate.spans);
+        self.candidate.total_events = cand_total_events;
+
+        let (texec0, delivered0, events_done0) = {
+            let snap = &self.checkpoints[idx];
+            self.scratch.restore_from(snap);
+            (snap.texec, snap.delivered, snap.events_done)
+        };
+        self.scratch.spans_mut()[..n_packets].copy_from_slice(&self.candidate.spans);
+
+        self.candidate.inject.clone_from(&self.baseline.inject);
+        let mut observer = TapeObserver {
+            inject: &mut self.candidate.inject,
+            // Candidate runs are not taped: most are rejected, and a
+            // promoted candidate inherits the still-valid checkpoint
+            // prefix (plus the post-convergence tail). The thinned tape
+            // is refreshed at a bounded rate by `align_baseline`.
+            tape: None,
+            deliveries: None,
+            converge: Some(ConvergeWatch {
+                dirty: &self.dirty,
+                remaining: self.dirty.len(),
+                base_snaps: &self.checkpoints,
+                cursor: 0,
+                shift: self.baseline_total_events as i64 - cand_total_events as i64,
+                heap_buf: &mut self.heap_buf,
+                n_packets,
+                converged: None,
+            }),
+            events_seen: events_done0,
+        };
+        let (texec_run, delivered, events_done) = run_loop(
+            self.cdcg,
+            &self.params,
+            self.cache.link_ids_flat(),
+            &mut self.scratch,
+            texec0,
+            delivered0,
+            events_done0,
+            &mut observer,
+        );
+        let converged = observer.converge.as_ref().and_then(|w| w.converged);
+        let texec = match converged {
+            Some((_, tail)) => {
+                // The rest of the timeline replays the baseline verbatim;
+                // its deliveries are the baseline's recorded tail.
+                self.stats.tail_converged_moves += 1;
+                texec_run.max(tail)
+            }
+            None => {
+                debug_assert_eq!(delivered, n_packets, "suffix must deliver all packets");
+                texec_run
+            }
+        };
+
+        self.stats.incremental_moves += 1;
+        if idx == 0 {
+            self.stats.full_restores += 1;
+        }
+        self.stats.events_replayed += events_done - events_done0;
+        self.stats.events_total += cand_total_events;
+
+        self.candidate.texec = texec;
+        self.candidate.taped = true;
+        self.candidate.converged_at = converged.map(|(k, _)| k);
+        self.candidate.identical = false;
+        self.cand_restore_idx = idx;
+        Ok(texec)
+    }
+
+    /// Ensures the baseline is `mapping` with checkpoints recorded,
+    /// promoting the pending candidate when it matches; refreshes a
+    /// promotion-thinned tape at a bounded rate.
+    fn align_baseline(&mut self, mapping: &Mapping) -> Result<(), SimError> {
+        self.sticky_tape = true;
+        if self.candidate_matches(mapping) {
+            self.promote();
+        }
+        if self.baseline_matches(mapping) && self.baseline.taped {
+            self.moves_since_retape += 1;
+            if self.checkpoints.len() >= MIN_TAPE_LEN || self.moves_since_retape < RETAPE_INTERVAL {
+                return Ok(());
+            }
+            self.stats.tape_refreshes += 1;
+        }
+        self.rebaseline(mapping, true)?;
+        self.moves_since_retape = 0;
+        Ok(())
+    }
+
+    /// Promotes the pending candidate to baseline. Candidate runs are
+    /// not taped, so the new baseline keeps only the checkpoint prefix
+    /// up to the candidate's restore point (shared state) and — when the
+    /// run tail-converged — the old baseline's checkpoints past the
+    /// convergence point (shared state again, at shifted event counts).
+    /// The perturbed window in between is *uncovered* until the
+    /// rate-limited tape refresh in `align_baseline` re-records it.
+    fn promote(&mut self) {
+        debug_assert!(self.candidate.mapping.is_some(), "no candidate to promote");
+        std::mem::swap(&mut self.baseline.mapping, &mut self.candidate.mapping);
+        std::mem::swap(&mut self.baseline.inject, &mut self.candidate.inject);
+        std::mem::swap(&mut self.baseline.spans, &mut self.candidate.spans);
+        self.baseline.texec = self.candidate.texec;
+        self.baseline.taped = self.candidate.taped;
+        self.candidate.mapping = None;
+        if self.candidate.identical {
+            // Same schedule, same checkpoints, same tail maxima.
+            return;
+        }
+        // Checkpoints past the convergence point are valid for the new
+        // baseline (identical states); the ones inside the perturbed
+        // window are not. Their event counters are in the *old* run's
+        // counting and shift by the event-count difference of the
+        // rerouted packets.
+        let shift = self.baseline_total_events as i64 - self.candidate.total_events as i64;
+        let keep_from = match self.candidate.converged_at {
+            Some(k) => self
+                .checkpoints
+                .partition_point(|s| (s.events_done as i64) <= k as i64 + shift),
+            None => self.checkpoints.len(),
+        };
+        self.tail_buf.clear();
+        self.tail_buf.extend(self.checkpoints.drain(keep_from..));
+        self.pool
+            .extend(self.checkpoints.drain(self.cand_restore_idx + 1..));
+        // Tail maxima recorded for the old baseline cover the perturbed
+        // window for prefix snapshots — invalidate them. (Kept tail
+        // snapshots keep theirs: deliveries after the convergence point
+        // are shared.)
+        for snap in self.checkpoints.iter_mut() {
+            snap.tail_texec = None;
+        }
+        for snap in &mut self.tail_buf {
+            snap.events_done = (snap.events_done as i64 - shift) as u64;
+        }
+        self.checkpoints.append(&mut self.tail_buf);
+        // Route changes alter per-packet event counts.
+        self.baseline_total_events = self.candidate.total_events;
+    }
+
+    /// Spacing of the dense early checkpoint grid for a given stride.
+    fn early_stride(stride: u64) -> u64 {
+        (stride / 16).max(MIN_STRIDE)
+    }
+
+    /// Deterministic event count of a full run over these spans: 3 events
+    /// per router crossed (inject + per-hop entry/decide, link requests).
+    fn total_events(spans: &[(u32, u32)]) -> u64 {
+        spans
+            .iter()
+            .map(|&(_, len)| 3 * (len as u64).saturating_sub(1))
+            .sum()
+    }
+
+    /// Full evaluation of `mapping`, recording it (and, when `tape` is
+    /// set, its checkpoints) as the new baseline.
+    fn rebaseline(&mut self, mapping: &Mapping, tape: bool) -> Result<u64, SimError> {
+        self.baseline.mapping = None;
+        self.candidate.mapping = None;
+        self.pool.append(&mut self.checkpoints);
+
+        init_run(
+            self.cdcg,
+            self.cache.mesh(),
+            mapping,
+            &self.params,
+            &self.cache,
+            &mut self.scratch,
+        )?;
+
+        let n_packets = self.cdcg.packet_count();
+        let n_links = self.cache.dense_link_count();
+        self.baseline.spans.clear();
+        self.baseline
+            .spans
+            .extend_from_slice(&self.scratch.spans()[..n_packets]);
+        self.baseline_total_events = Self::total_events(&self.baseline.spans);
+        self.stride = (self.baseline_total_events / TARGET_CHECKPOINTS).max(MIN_STRIDE);
+
+        self.baseline.inject.clear();
+        self.baseline.inject.resize(n_packets, 0);
+        self.deliveries.clear();
+        if tape {
+            let mut snap = self.pool.pop().unwrap_or_default();
+            self.scratch.capture_into(n_links, n_packets, &mut snap);
+            snap.last_key = 0;
+            snap.events_done = 0;
+            snap.texec = 0;
+            snap.delivered = 0;
+            self.checkpoints.push(snap);
+        }
+        let mut observer = TapeObserver {
+            inject: &mut self.baseline.inject,
+            tape: if tape {
+                Some(TapeState {
+                    snaps: &mut self.checkpoints,
+                    pool: &mut self.pool,
+                    stride: self.stride,
+                    early: Self::early_stride(self.stride),
+                    n_links,
+                    n_packets,
+                })
+            } else {
+                None
+            },
+            deliveries: if tape {
+                Some(&mut self.deliveries)
+            } else {
+                None
+            },
+            converge: None,
+            events_seen: 0,
+        };
+        let (texec, delivered, _) = run_loop(
+            self.cdcg,
+            &self.params,
+            self.cache.link_ids_flat(),
+            &mut self.scratch,
+            0,
+            0,
+            0,
+            &mut observer,
+        );
+        debug_assert_eq!(delivered, n_packets, "run must deliver all packets");
+
+        // Tail maxima: for each checkpoint, the largest delivery time of
+        // any event after it (the value a tail-converged candidate run
+        // completes with). `deliveries` is in increasing event order.
+        let mut di = self.deliveries.len();
+        let mut tail_max = 0u64;
+        for snap in self.checkpoints.iter_mut().rev() {
+            while di > 0 && self.deliveries[di - 1].0 > snap.events_done {
+                di -= 1;
+                tail_max = tail_max.max(self.deliveries[di].1);
+            }
+            snap.tail_texec = Some(tail_max);
+        }
+
+        self.baseline.mapping = Some(mapping.clone());
+        self.baseline.texec = texec;
+        self.baseline.taped = tape;
+        self.stats.full_rebaselines += 1;
+        Ok(texec)
+    }
+}
+
+impl Clone for IncrementalScheduler<'_> {
+    /// Clones share the route cache but start with fresh scratch,
+    /// baseline and statistics.
+    fn clone(&self) -> Self {
+        Self::with_cache(self.cdcg, &self.params, Arc::clone(&self.cache))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::schedule_cost;
+    use noc_model::{Mesh, TileId};
+
+    fn figure1_cdcg() -> Cdcg {
+        let mut g = Cdcg::new();
+        let a = g.add_core("A");
+        let b = g.add_core("B");
+        let e = g.add_core("E");
+        let f = g.add_core("F");
+        let pab1 = g.add_packet(a, b, 6, 15).unwrap();
+        let pbf1 = g.add_packet(b, f, 10, 40).unwrap();
+        let pea1 = g.add_packet(e, a, 10, 20).unwrap();
+        let pea2 = g.add_packet(e, a, 20, 15).unwrap();
+        let paf1 = g.add_packet(a, f, 6, 15).unwrap();
+        let pfb1 = g.add_packet(f, b, 6, 15).unwrap();
+        g.add_dependence(pea1, pea2).unwrap();
+        g.add_dependence(pab1, paf1).unwrap();
+        g.add_dependence(pea1, paf1).unwrap();
+        g.add_dependence(pbf1, pfb1).unwrap();
+        g.add_dependence(paf1, pfb1).unwrap();
+        g
+    }
+
+    fn reference(
+        cdcg: &Cdcg,
+        mesh: &Mesh,
+        mapping: &Mapping,
+        params: &SimParams,
+        cache: &RouteCache,
+    ) -> u64 {
+        let mut scratch = ScheduleScratch::new();
+        schedule_cost(cdcg, mesh, mapping, params, cache, &mut scratch).unwrap()
+    }
+
+    #[test]
+    fn swap_matches_full_on_every_pair_of_the_paper_example() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
+        let cache = Arc::clone(engine.cache());
+        let base = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        for a in 0..4 {
+            for b in 0..4 {
+                let (a, b) = (TileId::new(a), TileId::new(b));
+                let got = engine.swap_texec(&base, a, b).unwrap();
+                let mut swapped = base.clone();
+                swapped.swap_tiles(a, b);
+                let want = reference(&cdcg, &mesh, &swapped, &params, &cache);
+                assert_eq!(got, want, "swap {a}-{b}");
+            }
+        }
+        assert!(engine.stats().incremental_moves > 0);
+    }
+
+    #[test]
+    fn accepted_swaps_promote_instead_of_rebaselining() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(3, 3).unwrap();
+        let params = SimParams::paper_example();
+        let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
+        let cache = Arc::clone(engine.cache());
+        let mut current = Mapping::from_tiles(&mesh, [0, 1, 3, 4].map(TileId::new)).unwrap();
+        // Accept a chain of swaps; each acceptance must be served without
+        // a fresh full re-baseline.
+        let swaps = [(0, 4), (1, 8), (3, 2), (4, 6), (0, 1)];
+        let _ = engine.swap_texec(&current, TileId::new(0), TileId::new(4));
+        let rebaselines_after_first = engine.stats().full_rebaselines;
+        for (i, &(a, b)) in swaps.iter().enumerate() {
+            let (a, b) = (TileId::new(a), TileId::new(b));
+            let got = engine.swap_texec(&current, a, b).unwrap();
+            current.swap_tiles(a, b);
+            let want = reference(&cdcg, &mesh, &current, &params, &cache);
+            assert_eq!(got, want, "accepted swap #{i}");
+            assert_eq!(engine.texec_for(&current).unwrap(), want);
+        }
+        assert_eq!(
+            engine.stats().full_rebaselines,
+            rebaselines_after_first,
+            "acceptances must promote, not re-run the baseline"
+        );
+    }
+
+    #[test]
+    fn empty_tile_swaps_with_no_traffic_are_constant_time() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(3, 3).unwrap();
+        let params = SimParams::paper_example();
+        let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
+        let base = Mapping::from_tiles(&mesh, [0, 1, 2, 3].map(TileId::new)).unwrap();
+        let t = engine.texec_for(&base).unwrap();
+        // Tiles 4..9 are empty: swapping two of them changes no route.
+        let got = engine
+            .swap_texec(&base, TileId::new(5), TileId::new(7))
+            .unwrap();
+        assert_eq!(got, t);
+        assert_eq!(engine.stats().route_unchanged_moves, 1);
+        assert_eq!(engine.stats().incremental_moves, 0);
+    }
+
+    #[test]
+    fn texec_for_caches_the_baseline() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
+        let m = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        assert_eq!(engine.texec_for(&m).unwrap(), 100);
+        assert_eq!(engine.texec_for(&m).unwrap(), 100);
+        assert_eq!(engine.stats().full_rebaselines, 1);
+        assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_mappings_like_schedule_cost() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
+        let bad = Mapping::identity(&mesh, 3).unwrap();
+        assert!(matches!(
+            engine.texec_for(&bad),
+            Err(SimError::CoreCountMismatch { .. })
+        ));
+        // The engine must stay usable after an error.
+        let m = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+        assert_eq!(engine.texec_for(&m).unwrap(), 90);
+    }
+}

@@ -28,6 +28,13 @@
 //!   evaluate millions of candidate mappings. Allocation-free after
 //!   warm-up, several times faster, and guaranteed to return exactly the
 //!   full path's `texec_cycles()` on every input.
+//! * **Incremental swap evaluation** ([`delta`] /
+//!   [`IncrementalScheduler`]) — when the search loop proposes *tile
+//!   swaps* against a current mapping: a dirty-set delta evaluator that
+//!   restores a checkpointed prefix of the event timeline and re-runs
+//!   only from the first route-changed injection, still bit-exact with
+//!   [`schedule_cost`]. See the [`delta`] module docs for the dirty-set
+//!   invariants and the fallback-to-full conditions.
 //!
 //! Supporting modules: [`params`] (the `tr`/`tl`/`λ`/flit-width parameter
 //! set), [`wormhole`] (Equations 6–8 in closed form), [`gantt`] (the
@@ -64,6 +71,7 @@
 
 pub mod analysis;
 pub mod cost;
+pub mod delta;
 pub mod des;
 pub mod error;
 mod event;
@@ -75,6 +83,7 @@ pub mod schedule;
 pub mod wormhole;
 
 pub use cost::{schedule_cost, CostEvaluator, ScheduleScratch};
+pub use delta::{DeltaStats, IncrementalScheduler};
 pub use error::SimError;
 pub use interval::CycleInterval;
 pub use params::SimParams;

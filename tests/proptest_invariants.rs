@@ -36,8 +36,17 @@ fn permuted_mapping(mesh: &Mesh, cores: usize, seed: u64) -> Mapping {
     Mapping::from_tiles(mesh, tiles.into_iter().take(cores)).expect("injective")
 }
 
+/// Cases per property; the scheduled CI fuzz job raises this through
+/// `NOC_FUZZ_CASES`.
+fn fuzz_cases() -> u32 {
+    std::env::var("NOC_FUZZ_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
 
     /// Every XY route is minimal and stays inside the mesh.
     #[test]
