@@ -36,6 +36,14 @@ pub enum TrafficPattern {
         /// Index of the hotspot core.
         hotspot: usize,
     },
+    /// Core `i` sends to core `(i + stride) mod n` — the classic
+    /// shift/tornado family. With `stride = 1` traffic is
+    /// nearest-neighbour on a row-major mesh; with `stride = width` it is
+    /// vertical-neighbour; with `stride ≈ n/2` it crosses the whole mesh.
+    Shift {
+        /// Destination offset; `stride % cores` must be non-zero.
+        stride: usize,
+    },
 }
 
 impl TrafficPattern {
@@ -57,6 +65,10 @@ impl TrafficPattern {
                 (dst != src).then_some(dst)
             }
             Self::Hotspot { hotspot } => (src != hotspot).then_some(hotspot),
+            Self::Shift { stride } => {
+                let dst = (src + stride) % cores;
+                (dst != src).then_some(dst)
+            }
         }
     }
 }
@@ -106,6 +118,12 @@ pub fn synthetic(config: &SyntheticConfig) -> Cdcg {
         TrafficPattern::Hotspot { hotspot } => {
             assert!(hotspot < config.cores, "hotspot core out of range");
         }
+        TrafficPattern::Shift { stride } => {
+            assert!(
+                !stride.is_multiple_of(config.cores),
+                "shift stride must not be a multiple of the core count"
+            );
+        }
         _ => {}
     }
 
@@ -130,6 +148,55 @@ pub fn synthetic(config: &SyntheticConfig) -> Cdcg {
             if let Some(prev) = prev_of_core[src] {
                 g.add_dependence(prev, id)
                     .expect("wave ordering is acyclic");
+            }
+            prev_of_core[src] = Some(id);
+        }
+    }
+    g
+}
+
+/// A mesh-filling workload for large-mesh scaling runs: one core per
+/// tile of a `width × height` mesh, each round sending along a
+/// different shift stride — nearest-neighbour (`1`), vertical
+/// (`width`), diagonal (`width + 1`) and cross-mesh (`n/2 + 1`) — so
+/// the traffic exercises short hops, long hops and wrap candidates at
+/// once. A core's packet in round `r + 1` depends on its round-`r`
+/// packet, like [`synthetic`]'s waves.
+///
+/// The point of this generator is route-provisioning scale: on a 64×64
+/// or 128×128 mesh the resulting instance cannot be evaluated over the
+/// dense `RouteCache` at all and must run on the on-demand or implicit
+/// provider tiers.
+///
+/// # Panics
+///
+/// Panics if the mesh has fewer than two tiles or `rounds == 0`.
+pub fn large_mesh_workload(width: usize, height: usize, rounds: usize) -> Cdcg {
+    let cores = width * height;
+    assert!(cores >= 2, "need at least two tiles");
+    assert!(rounds > 0, "need at least one round");
+    // Degenerate shapes (one row, two tiles) collapse some candidates
+    // onto a full cycle (stride ≡ 0 mod n, every core would target
+    // itself); keep only the strides that make every core send, so the
+    // per-round and per-core-chain contracts hold on every mesh. Stride
+    // 1 always survives (`cores ≥ 2`).
+    let strides: Vec<usize> = [1, width, width + 1, cores / 2 + 1]
+        .into_iter()
+        .filter(|s| !s.is_multiple_of(cores))
+        .collect();
+    let mut g = Cdcg::new();
+    let ids: Vec<CoreId> = (0..cores).map(|i| g.add_core(format!("t{i}"))).collect();
+    let mut prev_of_core: Vec<Option<PacketId>> = vec![None; cores];
+    for round in 0..rounds {
+        let stride = strides[round % strides.len()];
+        for src in 0..cores {
+            let dst = (src + stride) % cores;
+            let id = g
+                .add_packet(ids[src], ids[dst], 8, 256)
+                .expect("shift packets are valid");
+            if let Some(prev) = prev_of_core[src] {
+                g.add_dependence(prev, id)
+                    .expect("round ordering is acyclic");
             }
             prev_of_core[src] = Some(id);
         }
@@ -239,5 +306,69 @@ mod tests {
             8,
             TrafficPattern::Transpose { side: 3 },
         ));
+    }
+
+    #[test]
+    fn shift_pattern_offsets_destinations() {
+        let g = synthetic(&SyntheticConfig::new(
+            10,
+            TrafficPattern::Shift { stride: 3 },
+        ));
+        assert_eq!(g.packet_count(), 10 * 4);
+        for id in g.packet_ids() {
+            let p = g.packet(id);
+            assert_eq!(p.dst.index(), (p.src.index() + 3) % 10);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn shift_full_cycle_panics() {
+        let _ = synthetic(&SyntheticConfig::new(
+            5,
+            TrafficPattern::Shift { stride: 10 },
+        ));
+    }
+
+    #[test]
+    fn large_mesh_workload_fills_the_mesh() {
+        let g = large_mesh_workload(8, 4, 4);
+        assert_eq!(g.core_count(), 32);
+        // Every round every core sends (no stride is a multiple of n).
+        assert_eq!(g.packet_count(), 32 * 4);
+        g.validate().unwrap();
+        // Rounds are chained per core.
+        for src in 0..32 {
+            let sends: Vec<PacketId> = g
+                .packet_ids()
+                .filter(|&id| g.packet(id).src.index() == src)
+                .collect();
+            assert_eq!(sends.len(), 4);
+            for w in sends.windows(2) {
+                assert!(g.predecessors(w[1]).contains(&w[0]));
+            }
+        }
+        // Strides vary across rounds: round 0 is nearest-neighbour,
+        // round 3 crosses half the mesh.
+        let first = g.packet_ids().next().unwrap();
+        assert_eq!(g.packet(first).dst.index(), 1);
+    }
+
+    #[test]
+    fn large_mesh_workload_handles_degenerate_shapes() {
+        // One-row meshes and 2-tile meshes collapse some stride
+        // candidates onto full cycles; every round must still make
+        // every core send exactly once (regression test).
+        for (w, h) in [(6, 1), (2, 1), (1, 2), (2, 2)] {
+            let g = large_mesh_workload(w, h, 4);
+            let cores = w * h;
+            assert_eq!(g.packet_count(), cores * 4, "{w}x{h}");
+            for id in g.packet_ids() {
+                let p = g.packet(id);
+                assert_ne!(p.src, p.dst, "{w}x{h}");
+            }
+            g.validate().unwrap();
+        }
     }
 }

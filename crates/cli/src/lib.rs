@@ -27,9 +27,7 @@ use noc_mapping::{
     anneal_constrained, CdcmObjective, Constraints, CwmObjective, Explorer, RestartBudget,
     SaConfig, SearchMethod, Strategy,
 };
-use noc_model::{
-    Cdcg, Mapping, Mesh, RoutingAlgorithm, TileId, TorusXyRouting, XyRouting, YxRouting,
-};
+use noc_model::{Cdcg, Mapping, Mesh, RouteProvider, RoutingKind, TileId};
 use noc_sim::gantt::GanttChart;
 use noc_sim::SimParams;
 use std::error::Error;
@@ -158,12 +156,33 @@ pub fn parse_mapping(spec: &str, mesh: &Mesh) -> Result<Mapping, CliError> {
 /// # Errors
 ///
 /// Returns an error for unknown names.
-pub fn parse_routing(name: &str) -> Result<&'static dyn RoutingAlgorithm, CliError> {
+pub fn parse_routing(name: &str) -> Result<RoutingKind, CliError> {
+    RoutingKind::from_name(name.trim())
+        .ok_or_else(|| format!("unknown routing `{}` (xy|yx|torus-xy)", name.trim()).into())
+}
+
+/// Builds the route provider for a `--route-cache` tier name
+/// (`auto`, `dense`, `on-demand`, `implicit`).
+///
+/// # Errors
+///
+/// Returns an error for unknown tier names, and for `dense` on meshes
+/// too large to precompute (the typed
+/// [`noc_model::ModelError::RouteCacheTooLarge`], surfaced instead of a
+/// panic — pick `on-demand` or `implicit` there).
+pub fn parse_route_provider(
+    name: &str,
+    mesh: &Mesh,
+    kind: RoutingKind,
+) -> Result<RouteProvider, CliError> {
     match name.trim().to_ascii_lowercase().as_str() {
-        "xy" => Ok(&XyRouting),
-        "yx" => Ok(&YxRouting),
-        "torus-xy" | "torus" => Ok(&TorusXyRouting),
-        other => Err(format!("unknown routing `{other}` (xy|yx|torus-xy)").into()),
+        "auto" => Ok(RouteProvider::auto(mesh, kind)),
+        "dense" => Ok(RouteProvider::dense(mesh, kind)?),
+        "on-demand" | "ondemand" | "lazy" => Ok(RouteProvider::on_demand(mesh, kind)),
+        "implicit" => Ok(RouteProvider::implicit(mesh, kind)),
+        other => {
+            Err(format!("unknown route cache `{other}` (auto|dense|on-demand|implicit)").into())
+        }
     }
 }
 
@@ -290,18 +309,26 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
         .into());
     }
     let tech = parse_technology(options.get("--tech").unwrap_or("0.07"))?;
-    let routing = parse_routing(options.get("--routing").unwrap_or("xy"))?;
+    let kind = parse_routing(options.get("--routing").unwrap_or("xy"))?;
+    let routing = kind.algorithm();
+    let provider =
+        parse_route_provider(options.get("--route-cache").unwrap_or("auto"), &mesh, kind)?;
     let strategy = match options.get("--strategy").unwrap_or("cdcm") {
         "cwm" | "CWM" => Strategy::Cwm,
         "cdcm" | "CDCM" => Strategy::Cdcm,
         other => return Err(format!("unknown strategy `{other}` (cwm|cdcm)").into()),
     };
     let seed: u64 = options.get_parsed("--seed", 0)?;
-    let sa_config = if options.flag("--quick") {
+    let mut sa_config = if options.flag("--quick") {
         SaConfig::quick(seed)
     } else {
         SaConfig::new(seed)
     };
+    if let Some(evals) = options.get("--evals") {
+        sa_config.max_evaluations = evals
+            .parse()
+            .map_err(|_| format!("invalid value `{evals}` for `--evals`"))?;
+    }
     let method = match options.get("--method").unwrap_or("sa") {
         "sa" | "SA" => SearchMethod::SimulatedAnnealing(sa_config),
         // The total budget is divided across restarts, so `sa-multi`
@@ -326,36 +353,39 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
     };
 
     let params = SimParams::new();
-    let explorer = Explorer::with_routing(&app, mesh, tech.clone(), params, routing);
+    let tier = provider.tier();
+    let explorer = Explorer::with_provider(
+        &app,
+        mesh,
+        tech.clone(),
+        params,
+        std::sync::Arc::new(provider),
+    );
     let outcome = match options.get("--pin") {
         Some(pin_spec) => {
             // Constrained search: pinned cores stay on their tiles.
             let pins = parse_pins(pin_spec)?;
             pins.validate(&mesh, app.core_count())?;
-            let sa = if options.flag("--quick") {
-                SaConfig::quick(seed)
-            } else {
-                SaConfig::new(seed)
-            };
-            // Objectives share the explorer's route cache (already built
-            // for `routing`) instead of deriving a second one.
+            let sa = sa_config;
+            // Objectives share the explorer's route provider (already
+            // built for `routing`) instead of deriving a second one.
             match strategy {
                 Strategy::Cwm => {
                     let cwg = explorer.cwg().clone();
-                    let objective = CwmObjective::with_cache(
+                    let objective = CwmObjective::with_provider(
                         &cwg,
                         &mesh,
                         &tech,
-                        std::sync::Arc::clone(explorer.route_cache()),
+                        std::sync::Arc::clone(explorer.route_provider()),
                     );
                     anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
                 }
                 Strategy::Cdcm => {
-                    let objective = CdcmObjective::with_cache(
+                    let objective = CdcmObjective::with_provider(
                         &app,
                         &tech,
                         params,
-                        std::sync::Arc::clone(explorer.route_cache()),
+                        std::sync::Arc::clone(explorer.route_provider()),
                     );
                     anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
                 }
@@ -379,6 +409,7 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
         outcome.objective, outcome.method
     );
     let _ = writeln!(out, "routing:      {}", routing.name());
+    let _ = writeln!(out, "route cache:  {}", tier.name());
     let _ = writeln!(out, "mapping:      {}", outcome.mapping);
     let tiles: Vec<String> = outcome
         .mapping
@@ -413,7 +444,7 @@ pub fn cmd_evaluate(options: &Options) -> Result<String, CliError> {
         .into());
     }
     let tech = parse_technology(options.get("--tech").unwrap_or("0.07"))?;
-    let routing = parse_routing(options.get("--routing").unwrap_or("xy"))?;
+    let routing = parse_routing(options.get("--routing").unwrap_or("xy"))?.algorithm();
     let params = SimParams::new();
     let eval = evaluate_cdcm_with(&app, &mesh, &mapping, &tech, &params, routing)?;
 
@@ -496,7 +527,8 @@ USAGE:
   noc-cli map      --app app.json --mesh WxH [--strategy cwm|cdcm]
                    [--method sa|sa-multi|es|random|greedy] [--restarts N]
                    [--tech paper|0.35|0.07] [--routing xy|yx|torus-xy]
-                   [--seed S] [--quick] [--pin c0:t3,c2:t0]
+                   [--route-cache auto|dense|on-demand|implicit]
+                   [--seed S] [--quick] [--evals N] [--pin c0:t3,c2:t0]
   noc-cli evaluate --app app.json --mesh WxH --mapping t0,t1,...
                    [--tech paper|0.35|0.07] [--routing xy|yx|torus-xy]
                    [--gantt]
@@ -506,6 +538,11 @@ USAGE:
 `generate` without --cores emits the paper's Figure 1 example.
 `sa-multi` divides the evaluation budget across restarts (same total
 spend as `sa`); search and reporting both follow `--routing`.
+`--route-cache` picks the route-provisioning tier: `auto` (default)
+precomputes densely on small meshes and switches to the bounded-memory
+on-demand cache on large ones; `implicit` stores no routes at all.
+Results are identical across tiers. `--evals N` caps the SA evaluation
+budget.
 "
     .to_owned()
 }
@@ -819,6 +856,107 @@ mod tests {
             .next()
             .unwrap();
         assert_eq!(first, "0", "{out}");
+    }
+
+    #[test]
+    fn route_cache_tiers_parse() {
+        let mesh = parse_mesh("4x4").unwrap();
+        let kind = parse_routing("xy").unwrap();
+        for (name, tier) in [
+            ("auto", noc_model::RouteTier::Dense),
+            ("dense", noc_model::RouteTier::Dense),
+            ("on-demand", noc_model::RouteTier::OnDemand),
+            ("implicit", noc_model::RouteTier::Implicit),
+        ] {
+            assert_eq!(
+                parse_route_provider(name, &mesh, kind).unwrap().tier(),
+                tier,
+                "{name}"
+            );
+        }
+        assert!(parse_route_provider("hashmap", &mesh, kind).is_err());
+        // Auto on a large mesh degrades to on-demand instead of failing.
+        let large = parse_mesh("64x64").unwrap();
+        assert_eq!(
+            parse_route_provider("auto", &large, kind).unwrap().tier(),
+            noc_model::RouteTier::OnDemand
+        );
+    }
+
+    fn write_generated_app(cores: usize, packets: usize) -> tempfile::TempPath {
+        let app = noc_apps::generate(&noc_apps::TgffConfig::new(
+            cores,
+            packets,
+            64 * packets as u64,
+            9,
+        ));
+        let json = serde_json::to_string(&app).expect("serializes");
+        let dir = std::env::temp_dir().join(format!("noc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join(format!(
+            "gen-{cores}-{packets}-{}.json",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("time")
+                .as_nanos()
+        ));
+        std::fs::write(&path, json).expect("write");
+        tempfile::TempPath(path)
+    }
+
+    #[test]
+    fn map_completes_on_a_64x64_mesh_with_fallback_tiers() {
+        // The acceptance scenario: a 64x64-mesh CDCM SA run through the
+        // CLI on both large-mesh tiers — the mesh the dense cache refuses.
+        let path = write_generated_app(16, 40);
+        let mut tile_lists = Vec::new();
+        for tier in ["on-demand", "implicit"] {
+            let out = run(&strs(&[
+                "map",
+                "--app",
+                path.as_str(),
+                "--mesh",
+                "64x64",
+                "--method",
+                "sa",
+                "--quick",
+                "--evals",
+                "300",
+                "--seed",
+                "3",
+                "--route-cache",
+                tier,
+            ]))
+            .unwrap();
+            assert!(out.contains(&format!("route cache:  {tier}")), "{out}");
+            assert!(out.contains("texec:"), "{out}");
+            tile_lists.push(
+                out.lines()
+                    .find(|l| l.starts_with("tile list:"))
+                    .map(str::to_owned)
+                    .expect("tile list printed"),
+            );
+        }
+        // Same seed, different tiers: identical search trajectory.
+        assert_eq!(tile_lists[0], tile_lists[1]);
+    }
+
+    #[test]
+    fn dense_tier_fails_gracefully_on_a_large_mesh() {
+        let path = write_example_app();
+        let err = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "64x64",
+            "--route-cache",
+            "dense",
+            "--quick",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("route provider"), "{err}");
     }
 
     #[test]

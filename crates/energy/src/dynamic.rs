@@ -9,7 +9,11 @@
 
 use crate::technology::Technology;
 use crate::units::Energy;
-use noc_model::{Cdcg, Communication, Cwg, Mapping, Mesh, RouteCache, RoutingAlgorithm, XyRouting};
+#[allow(unused_imports)] // `RouteCache` appears in doc links.
+use noc_model::RouteCache;
+use noc_model::{
+    Cdcg, Communication, Cwg, Mapping, Mesh, RouteSource, RoutingAlgorithm, XyRouting,
+};
 
 /// Dynamic energy of one communication: `EBit_ab = w_ab × EBit_ij` with
 /// `EBit_ij` from Equation 2 and the router count taken from the routed
@@ -73,36 +77,37 @@ pub fn cdcg_dynamic_energy_with(
         .sum()
 }
 
-/// Equation 4 over a precomputed [`RouteCache`]: no route is re-derived
-/// per call, router counts are `O(1)` lookups. Bit-exact with
-/// [`cdcg_dynamic_energy_with`] for the cache's routing algorithm (same
-/// per-packet terms, same summation order).
-pub fn cdcg_dynamic_energy_cached(
+/// Equation 4 over any cached/implicit [`RouteSource`] (a dense
+/// [`RouteCache`] or any [`noc_model::RouteProvider`] tier): no route is
+/// re-derived per call, router counts are `O(1)` lookups or closed
+/// forms. Bit-exact with [`cdcg_dynamic_energy_with`] for the source's
+/// routing algorithm (same per-packet terms, same summation order).
+pub fn cdcg_dynamic_energy_cached<S: RouteSource + ?Sized>(
     cdcg: &Cdcg,
-    cache: &RouteCache,
+    routes: &S,
     mapping: &Mapping,
     tech: &Technology,
 ) -> Energy {
     cdcg.packet_ids()
         .map(|id| {
             let p = cdcg.packet(id);
-            let k = cache.router_count(mapping.tile_of(p.src), mapping.tile_of(p.dst));
+            let k = routes.router_count(mapping.tile_of(p.src), mapping.tile_of(p.dst));
             tech.bit_energy.per_transfer(k, p.bits)
         })
         .sum()
 }
 
-/// Equation 3 over a precomputed [`RouteCache`]; bit-exact with
-/// [`cwg_dynamic_energy_with`] for the cache's routing algorithm.
-pub fn cwg_dynamic_energy_cached(
+/// Equation 3 over any cached/implicit [`RouteSource`]; bit-exact with
+/// [`cwg_dynamic_energy_with`] for the source's routing algorithm.
+pub fn cwg_dynamic_energy_cached<S: RouteSource + ?Sized>(
     cwg: &Cwg,
-    cache: &RouteCache,
+    routes: &S,
     mapping: &Mapping,
     tech: &Technology,
 ) -> Energy {
     cwg.communications()
         .map(|c| {
-            let k = cache.router_count(mapping.tile_of(c.src), mapping.tile_of(c.dst));
+            let k = routes.router_count(mapping.tile_of(c.src), mapping.tile_of(c.dst));
             tech.bit_energy.per_transfer(k, c.bits)
         })
         .sum()

@@ -13,7 +13,10 @@ use crate::dynamic::{
 use crate::statics::noc_static_energy;
 use crate::technology::Technology;
 use crate::units::Energy;
-use noc_model::{Cdcg, Cwg, Mapping, Mesh, RouteCache, RoutingAlgorithm, XyRouting};
+use noc_model::{
+    Cdcg, Cwg, Mapping, Mesh, RouteCache, RouteProvider, RouteSource, RoutingAlgorithm,
+    RoutingKind, XyRouting,
+};
 use noc_sim::{schedule_with, IncrementalScheduler, Schedule, SimError, SimParams};
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -158,9 +161,11 @@ pub struct CdcmCost {
 /// [`evaluate_cdcm`].
 ///
 /// Wraps `noc-sim`'s [`IncrementalScheduler`] (cost-only contention-aware
-/// schedule over a shared [`RouteCache`], with checkpointed incremental
-/// swap evaluation) and adds the Equation 10 energy terms, computed from
-/// cached hop counts instead of re-derived routes. For every input,
+/// schedule over a shared [`RouteProvider`] — dense, on-demand or
+/// implicit, so arbitrarily large meshes work — with checkpointed
+/// incremental swap evaluation) and adds the Equation 10 energy terms,
+/// computed from cached hop counts instead of re-derived routes. For
+/// every input,
 /// [`CdcmCostEvaluator::evaluate`] returns exactly the `objective_pj()`,
 /// `texec_cycles` and `texec_ns` of [`evaluate_cdcm`] — bit-exact, it
 /// only skips building the artifacts. [`CdcmCostEvaluator::evaluate_swap`]
@@ -182,30 +187,54 @@ pub struct CdcmCostEvaluator<'a> {
 }
 
 impl<'a> CdcmCostEvaluator<'a> {
-    /// Builds the engine, constructing a fresh XY route cache for `mesh`.
+    /// Builds the engine for `mesh` under XY routing, with an
+    /// automatically sized route provider (dense for small meshes,
+    /// on-demand beyond).
     pub fn new(cdcg: &'a Cdcg, mesh: &Mesh, tech: &'a Technology, params: &SimParams) -> Self {
-        Self::with_cache(cdcg, tech, params, Arc::new(RouteCache::new(mesh)))
+        Self::with_provider(
+            cdcg,
+            tech,
+            params,
+            Arc::new(RouteProvider::auto(mesh, RoutingKind::Xy)),
+        )
     }
 
-    /// Builds the engine over an existing shared route cache (any routing
-    /// algorithm; results then match [`evaluate_cdcm_with`] for it).
+    /// Builds the engine over an existing shared dense route cache (any
+    /// routing algorithm; results then match [`evaluate_cdcm_with`] for
+    /// it).
     pub fn with_cache(
         cdcg: &'a Cdcg,
         tech: &'a Technology,
         params: &SimParams,
         cache: Arc<RouteCache>,
     ) -> Self {
+        Self::with_provider(
+            cdcg,
+            tech,
+            params,
+            Arc::new(RouteProvider::from_cache(cache)),
+        )
+    }
+
+    /// Builds the engine over an existing shared route provider (any
+    /// tier; results are bit-identical across tiers).
+    pub fn with_provider(
+        cdcg: &'a Cdcg,
+        tech: &'a Technology,
+        params: &SimParams,
+        routes: Arc<RouteProvider>,
+    ) -> Self {
         Self {
-            engine: IncrementalScheduler::with_cache(cdcg, params, cache),
+            engine: IncrementalScheduler::with_provider(cdcg, params, routes),
             tech,
             swapped: None,
             last: None,
         }
     }
 
-    /// The shared route cache.
-    pub fn cache(&self) -> &Arc<RouteCache> {
-        self.engine.cache()
+    /// The shared route provider.
+    pub fn provider(&self) -> &Arc<RouteProvider> {
+        self.engine.provider()
     }
 
     /// Counters of the underlying incremental scheduler.
@@ -215,9 +244,9 @@ impl<'a> CdcmCostEvaluator<'a> {
 
     fn cost_at(&mut self, texec_cycles: u64, mapping: &Mapping) -> CdcmCost {
         let texec_ns = self.engine.params().cycles_to_ns(texec_cycles);
-        let dynamic =
-            cdcg_dynamic_energy_cached(self.engine.cdcg(), self.engine.cache(), mapping, self.tech);
-        let static_energy = noc_static_energy(self.engine.cache().mesh(), self.tech, texec_ns);
+        let routes = self.engine.provider().as_ref();
+        let dynamic = cdcg_dynamic_energy_cached(self.engine.cdcg(), routes, mapping, self.tech);
+        let static_energy = noc_static_energy(routes.mesh(), self.tech, texec_ns);
         CdcmCost {
             // Mirror `EnergyBreakdown::total().picojoules()` exactly.
             objective_pj: (dynamic + static_energy).picojoules(),
@@ -449,7 +478,7 @@ mod tests {
         let mesh = Mesh::new(2, 2).unwrap();
         let tech = Technology::paper_example();
         let params = SimParams::paper_example();
-        let cache = Arc::new(RouteCache::with_routing(&mesh, &YxRouting));
+        let cache = Arc::new(RouteCache::with_routing(&mesh, &YxRouting).unwrap());
         let mut fast = CdcmCostEvaluator::with_cache(&cdcg, &tech, &params, cache);
         for tiles in [[1, 0, 3, 2], [3, 0, 1, 2], [0, 1, 2, 3]] {
             let mapping = Mapping::from_tiles(&mesh, tiles.map(TileId::new)).unwrap();

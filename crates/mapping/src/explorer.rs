@@ -14,7 +14,7 @@ use crate::random_search::random_search;
 use crate::result::SearchOutcome;
 use crate::sa::{anneal_delta, anneal_multistart_delta_budgeted, RestartBudget, SaConfig};
 use noc_energy::Technology;
-use noc_model::{Cdcg, Cwg, Mesh, RouteCache, RoutingAlgorithm};
+use noc_model::{Cdcg, Cwg, Mesh, RouteProvider, RouteSource, RoutingAlgorithm};
 use noc_sim::SimParams;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -80,24 +80,33 @@ pub struct Explorer<'a> {
     mesh: Mesh,
     tech: Technology,
     params: SimParams,
-    /// Routes of `mesh`, computed once and shared by every objective this
-    /// explorer builds (and by their per-thread clones).
-    cache: Arc<RouteCache>,
+    /// Route provider of `mesh`, built once and shared by every objective
+    /// this explorer builds (and by their per-thread clones). The tier is
+    /// size-aware by default (dense for small meshes, on-demand beyond),
+    /// so arbitrarily large meshes explore out of the box.
+    routes: Arc<RouteProvider>,
 }
 
 impl<'a> Explorer<'a> {
     /// Creates an explorer; the CWG used by the CWM strategy is collapsed
-    /// from `cdcg` once, up front, and the mesh's routes are cached once
-    /// (under XY routing, the paper's default) for every objective the
-    /// explorer runs.
+    /// from `cdcg` once, up front, and the mesh's route provider is built
+    /// once (under XY routing, the paper's default) for every objective
+    /// the explorer runs.
     pub fn new(cdcg: &'a Cdcg, mesh: Mesh, tech: Technology, params: SimParams) -> Self {
         Self::with_routing(cdcg, mesh, tech, params, &noc_model::XyRouting)
     }
 
     /// [`Explorer::new`] with an explicit routing algorithm: every
     /// objective built by this explorer (both strategies, all search
-    /// methods) evaluates over the routing's cached routes — the fast
+    /// methods) evaluates over the routing's provided routes — the fast
     /// path, not a per-evaluation route derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics only for a *custom* routing algorithm on a mesh too large
+    /// to cache densely; library routings never panic (they fall back to
+    /// the on-demand tier). Use [`Explorer::with_provider`] to choose a
+    /// tier explicitly.
     pub fn with_routing(
         cdcg: &'a Cdcg,
         mesh: Mesh,
@@ -105,19 +114,45 @@ impl<'a> Explorer<'a> {
         params: SimParams,
         routing: &dyn RoutingAlgorithm,
     ) -> Self {
+        let routes = Arc::new(
+            RouteProvider::for_algorithm(&mesh, routing)
+                .expect("custom routing algorithms need a dense-cacheable mesh"),
+        );
+        Self::with_provider(cdcg, mesh, tech, params, routes)
+    }
+
+    /// [`Explorer::new`] over an explicit shared route provider (any
+    /// tier — dense, on-demand or implicit; search results are
+    /// bit-identical across tiers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` was built for a different mesh than `mesh`.
+    pub fn with_provider(
+        cdcg: &'a Cdcg,
+        mesh: Mesh,
+        tech: Technology,
+        params: SimParams,
+        routes: Arc<RouteProvider>,
+    ) -> Self {
+        assert_eq!(
+            routes.mesh(),
+            &mesh,
+            "route provider was built for a different mesh"
+        );
         Self {
             cdcg,
             cwg: cdcg.to_cwg(),
-            cache: Arc::new(RouteCache::with_routing(&mesh, routing)),
+            routes,
             mesh,
             tech,
             params,
         }
     }
 
-    /// The shared route cache of the target mesh.
-    pub fn route_cache(&self) -> &Arc<RouteCache> {
-        &self.cache
+    /// The shared route provider of the target mesh.
+    pub fn route_provider(&self) -> &Arc<RouteProvider> {
+        &self.routes
     }
 
     /// The application graph.
@@ -151,11 +186,11 @@ impl<'a> Explorer<'a> {
         let cores = self.cdcg.core_count();
         match strategy {
             Strategy::Cwm => {
-                let objective = CwmObjective::with_cache(
+                let objective = CwmObjective::with_provider(
                     &self.cwg,
                     &self.mesh,
                     &self.tech,
-                    Arc::clone(&self.cache),
+                    Arc::clone(&self.routes),
                 );
                 match method {
                     SearchMethod::SimulatedAnnealing(config) => {
@@ -186,11 +221,11 @@ impl<'a> Explorer<'a> {
                 }
             }
             Strategy::Cdcm => {
-                let objective = CdcmObjective::with_cache(
+                let objective = CdcmObjective::with_provider(
                     self.cdcg,
                     &self.tech,
                     self.params,
-                    Arc::clone(&self.cache),
+                    Arc::clone(&self.routes),
                 );
                 match method {
                     SearchMethod::SimulatedAnnealing(config) => {
@@ -330,7 +365,7 @@ mod tests {
             SimParams::paper_example(),
             &YxRouting,
         );
-        assert_eq!(explorer.route_cache().routing_name(), "YX");
+        assert_eq!(explorer.route_provider().routing_name(), "YX");
         let outcome = explorer.explore(Strategy::Cdcm, SearchMethod::Exhaustive);
         // The reported cost is the YX evaluation of the winner, not XY.
         let want = noc_energy::total::evaluate_cdcm_with(

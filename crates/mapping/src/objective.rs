@@ -14,10 +14,28 @@
 //!   (listed by the paper as a natural extension).
 
 use noc_energy::{cwg_dynamic_energy_cached, CdcmCostEvaluator, Technology};
-use noc_model::{Cdcg, Cwg, Mapping, Mesh, RouteCache, RoutingAlgorithm, TileId};
+use noc_model::{
+    Cdcg, Cwg, Mapping, Mesh, RouteCache, RouteProvider, RouteSource, RoutingAlgorithm,
+    RoutingKind, TileId,
+};
 use noc_sim::{CostEvaluator, SimParams};
 use std::cell::RefCell;
 use std::sync::Arc;
+
+/// Builds the size-aware provider objectives default to for an explicit
+/// routing algorithm: library routings (XY/YX/torus-XY) pick a tier by
+/// mesh size and never fail; custom algorithms require the dense tier.
+///
+/// # Panics
+///
+/// Panics only for a *custom* routing algorithm on a mesh too large to
+/// cache densely — use `with_provider` with an explicit tier there.
+fn provider_for(mesh: &Mesh, routing: &dyn RoutingAlgorithm) -> Arc<RouteProvider> {
+    Arc::new(
+        RouteProvider::for_algorithm(mesh, routing)
+            .expect("custom routing algorithms need a dense-cacheable mesh"),
+    )
+}
 
 /// A mapping objective: smaller is better.
 ///
@@ -44,22 +62,29 @@ pub trait SwapDeltaCost: CostFunction {
 
 /// The CWM objective (Equation 3): NoC dynamic energy of a CWG.
 ///
-/// Routes come from a shared [`RouteCache`], so neither full evaluations
-/// nor [`SwapDeltaCost::swap_delta`] re-derive paths. The cache may be
-/// built for any [`RoutingAlgorithm`] ([`Self::with_routing`]); [`Self::new`]
+/// Routes come from a shared [`RouteProvider`], so neither full
+/// evaluations nor [`SwapDeltaCost::swap_delta`] re-derive paths —
+/// hop counts are `O(1)` table lookups (dense tier) or closed forms
+/// (on-demand/implicit tiers). The provider may be built for any
+/// [`RoutingAlgorithm`] ([`Self::with_routing`]); [`Self::new`]
 /// defaults to XY, the paper's routing function.
 #[derive(Debug, Clone)]
 pub struct CwmObjective<'a> {
     cwg: &'a Cwg,
     tech: &'a Technology,
-    cache: Arc<RouteCache>,
+    routes: Arc<RouteProvider>,
 }
 
 impl<'a> CwmObjective<'a> {
     /// Creates the objective for an application CWG on a mesh at a
-    /// technology point, under XY routing.
+    /// technology point, under XY routing (size-aware provider tier).
     pub fn new(cwg: &'a Cwg, mesh: &Mesh, tech: &'a Technology) -> Self {
-        Self::with_cache(cwg, mesh, tech, Arc::new(RouteCache::new(mesh)))
+        Self::with_provider(
+            cwg,
+            mesh,
+            tech,
+            Arc::new(RouteProvider::auto(mesh, RoutingKind::Xy)),
+        )
     }
 
     /// Creates the objective under an explicit routing algorithm; all
@@ -70,15 +95,10 @@ impl<'a> CwmObjective<'a> {
         tech: &'a Technology,
         routing: &dyn RoutingAlgorithm,
     ) -> Self {
-        Self::with_cache(
-            cwg,
-            mesh,
-            tech,
-            Arc::new(RouteCache::with_routing(mesh, routing)),
-        )
+        Self::with_provider(cwg, mesh, tech, provider_for(mesh, routing))
     }
 
-    /// Creates the objective over an existing shared route cache.
+    /// Creates the objective over an existing shared dense route cache.
     ///
     /// # Panics
     ///
@@ -89,12 +109,27 @@ impl<'a> CwmObjective<'a> {
         tech: &'a Technology,
         cache: Arc<RouteCache>,
     ) -> Self {
+        Self::with_provider(cwg, mesh, tech, Arc::new(RouteProvider::from_cache(cache)))
+    }
+
+    /// Creates the objective over an existing shared route provider (any
+    /// tier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes` was built for a different mesh than `mesh`.
+    pub fn with_provider(
+        cwg: &'a Cwg,
+        mesh: &Mesh,
+        tech: &'a Technology,
+        routes: Arc<RouteProvider>,
+    ) -> Self {
         assert_eq!(
-            cache.mesh(),
+            routes.mesh(),
             mesh,
-            "route cache was built for a different mesh"
+            "route provider was built for a different mesh"
         );
-        Self { cwg, tech, cache }
+        Self { cwg, tech, routes }
     }
 
     /// The underlying CWG.
@@ -102,15 +137,15 @@ impl<'a> CwmObjective<'a> {
         self.cwg
     }
 
-    /// The shared route cache.
-    pub fn cache(&self) -> &Arc<RouteCache> {
-        &self.cache
+    /// The shared route provider.
+    pub fn provider(&self) -> &Arc<RouteProvider> {
+        &self.routes
     }
 }
 
 impl CostFunction for CwmObjective<'_> {
     fn cost(&self, mapping: &Mapping) -> f64 {
-        cwg_dynamic_energy_cached(self.cwg, &self.cache, mapping, self.tech).picojoules()
+        cwg_dynamic_energy_cached(self.cwg, self.routes.as_ref(), mapping, self.tech).picojoules()
     }
 
     fn name(&self) -> String {
@@ -147,11 +182,11 @@ impl SwapDeltaCost for CwmObjective<'_> {
             let old = self
                 .tech
                 .bit_energy
-                .per_transfer(self.cache.router_count(src_old, dst_old), comm.bits);
+                .per_transfer(self.routes.router_count(src_old, dst_old), comm.bits);
             let new = self
                 .tech
                 .bit_energy
-                .per_transfer(self.cache.router_count(src_new, dst_new), comm.bits);
+                .per_transfer(self.routes.router_count(src_new, dst_new), comm.bits);
             delta += new.picojoules() - old.picojoules();
         }
         delta
@@ -194,24 +229,37 @@ impl<'a> CdcmObjective<'a> {
         params: SimParams,
         routing: &dyn RoutingAlgorithm,
     ) -> Self {
-        Self::with_cache(
-            cdcg,
-            tech,
-            params,
-            Arc::new(RouteCache::with_routing(mesh, routing)),
-        )
+        Self::with_provider(cdcg, tech, params, provider_for(mesh, routing))
     }
 
-    /// Creates the objective over an existing shared route cache.
+    /// Creates the objective over an existing shared dense route cache.
     pub fn with_cache(
         cdcg: &'a Cdcg,
         tech: &'a Technology,
         params: SimParams,
         cache: Arc<RouteCache>,
     ) -> Self {
+        Self::with_provider(
+            cdcg,
+            tech,
+            params,
+            Arc::new(RouteProvider::from_cache(cache)),
+        )
+    }
+
+    /// Creates the objective over an existing shared route provider (any
+    /// tier; costs are bit-identical across tiers).
+    pub fn with_provider(
+        cdcg: &'a Cdcg,
+        tech: &'a Technology,
+        params: SimParams,
+        routes: Arc<RouteProvider>,
+    ) -> Self {
         Self {
             cdcg,
-            engine: RefCell::new(CdcmCostEvaluator::with_cache(cdcg, tech, &params, cache)),
+            engine: RefCell::new(CdcmCostEvaluator::with_provider(
+                cdcg, tech, &params, routes,
+            )),
         }
     }
 
@@ -297,17 +345,18 @@ impl<'a> ExecTimeObjective<'a> {
         params: SimParams,
         routing: &dyn RoutingAlgorithm,
     ) -> Self {
-        Self::with_cache(
-            cdcg,
-            params,
-            Arc::new(RouteCache::with_routing(mesh, routing)),
-        )
+        Self::with_provider(cdcg, params, provider_for(mesh, routing))
     }
 
-    /// Creates the objective over an existing shared route cache.
+    /// Creates the objective over an existing shared dense route cache.
     pub fn with_cache(cdcg: &'a Cdcg, params: SimParams, cache: Arc<RouteCache>) -> Self {
+        Self::with_provider(cdcg, params, Arc::new(RouteProvider::from_cache(cache)))
+    }
+
+    /// Creates the objective over an existing shared route provider.
+    pub fn with_provider(cdcg: &'a Cdcg, params: SimParams, routes: Arc<RouteProvider>) -> Self {
         Self {
-            engine: RefCell::new(CostEvaluator::with_cache(cdcg, &params, cache)),
+            engine: RefCell::new(CostEvaluator::with_provider(cdcg, &params, routes)),
         }
     }
 }
@@ -370,17 +419,18 @@ impl<'a> WeightedObjective<'a> {
         energy_weight: f64,
         time_weight: f64,
     ) -> Self {
-        Self::with_cache(
+        Self::with_provider(
             cdcg,
             tech,
             params,
-            Arc::new(RouteCache::with_routing(mesh, routing)),
+            provider_for(mesh, routing),
             energy_weight,
             time_weight,
         )
     }
 
-    /// Creates the blended objective over an existing shared route cache.
+    /// Creates the blended objective over an existing shared dense route
+    /// cache.
     pub fn with_cache(
         cdcg: &'a Cdcg,
         tech: &'a Technology,
@@ -389,8 +439,30 @@ impl<'a> WeightedObjective<'a> {
         energy_weight: f64,
         time_weight: f64,
     ) -> Self {
+        Self::with_provider(
+            cdcg,
+            tech,
+            params,
+            Arc::new(RouteProvider::from_cache(cache)),
+            energy_weight,
+            time_weight,
+        )
+    }
+
+    /// Creates the blended objective over an existing shared route
+    /// provider.
+    pub fn with_provider(
+        cdcg: &'a Cdcg,
+        tech: &'a Technology,
+        params: SimParams,
+        routes: Arc<RouteProvider>,
+        energy_weight: f64,
+        time_weight: f64,
+    ) -> Self {
         Self {
-            engine: RefCell::new(CdcmCostEvaluator::with_cache(cdcg, tech, &params, cache)),
+            engine: RefCell::new(CdcmCostEvaluator::with_provider(
+                cdcg, tech, &params, routes,
+            )),
             energy_weight,
             time_weight,
         }

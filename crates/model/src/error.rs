@@ -58,6 +58,15 @@ pub enum ModelError {
         /// Number of cores the application has.
         expected: usize,
     },
+    /// The dense per-pair route cache would be too large for this mesh;
+    /// use an on-demand or implicit route provider instead
+    /// (`noc_model::route_provider`).
+    RouteCacheTooLarge {
+        /// Tiles of the offending mesh.
+        tiles: usize,
+        /// Estimated table entries the dense cache would need.
+        entries: u128,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -89,6 +98,13 @@ impl fmt::Display for ModelError {
             }
             Self::IncompleteMapping { mapped, expected } => {
                 write!(f, "mapping covers {mapped} of {expected} cores")
+            }
+            Self::RouteCacheTooLarge { tiles, entries } => {
+                write!(
+                    f,
+                    "dense route cache for {tiles} tiles needs ~{entries} table entries; \
+                     use an on-demand or implicit route provider"
+                )
             }
         }
     }
@@ -139,6 +155,10 @@ mod tests {
             ModelError::IncompleteMapping {
                 mapped: 3,
                 expected: 4,
+            },
+            ModelError::RouteCacheTooLarge {
+                tiles: 4096,
+                entries: 1 << 40,
             },
         ];
         for v in variants {

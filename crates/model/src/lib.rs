@@ -54,6 +54,7 @@ pub mod error;
 pub mod ids;
 pub mod mapping;
 pub mod route_cache;
+pub mod route_provider;
 pub mod routing;
 
 pub use cdcg::{Cdcg, Packet};
@@ -63,4 +64,5 @@ pub use error::ModelError;
 pub use ids::{CoreId, PacketId, TileId};
 pub use mapping::Mapping;
 pub use route_cache::RouteCache;
-pub use routing::{Path, RoutingAlgorithm, TorusXyRouting, XyRouting, YxRouting};
+pub use route_provider::{ImplicitRoutes, OnDemandRoutes, RouteProvider, RouteSource, RouteTier};
+pub use routing::{Path, RoutingAlgorithm, RoutingKind, TorusXyRouting, XyRouting, YxRouting};

@@ -1,4 +1,5 @@
-//! Precomputed routes for every tile pair of a mesh.
+//! Precomputed routes for every tile pair of a mesh — the **dense** tier
+//! of the route-provisioning stack.
 //!
 //! Mapping search evaluates the same mesh millions of times: every cost
 //! call routes each packet between two *tiles*, and under deterministic
@@ -17,13 +18,31 @@
 //! and immutable after construction, so it is shared freely across search
 //! threads (`Arc<RouteCache>` in the evaluation engine).
 //!
-//! Memory is `O(n² · diameter)`; for the mesh sizes the paper's flow
-//! targets (up to a few hundred tiles) that is at most a few megabytes.
+//! ## Memory, honestly
+//!
+//! The tables are `O(n² · diameter)`: negligible for the paper's flow
+//! (a few hundred tiles ⇒ a few megabytes), but growing fast — roughly
+//! 150 MB at 32×32 and over 3 GB at 64×64. Construction therefore
+//! *refuses* meshes whose tables would be unreasonably large
+//! ([`ModelError::RouteCacheTooLarge`], checked analytically **before**
+//! any allocation) instead of thrashing or overflowing the `u32` offset
+//! space. Larger meshes are served by the other two tiers of
+//! [`crate::route_provider`]: the bounded-memory on-demand pair cache and
+//! the allocation-free implicit walker.
+//! [`RouteProvider::auto`](crate::route_provider::RouteProvider::auto)
+//! picks a tier by size so callers never hit the limit accidentally.
 
 use crate::crg::{Link, Mesh};
+use crate::error::ModelError;
 use crate::ids::TileId;
 use crate::routing::{RoutingAlgorithm, XyRouting};
 use std::collections::HashMap;
+
+/// Hard ceiling on the estimated dense table entries a [`RouteCache`]
+/// will agree to precompute (~1 GB of tables). Beyond it construction
+/// returns [`ModelError::RouteCacheTooLarge`]; use the on-demand or
+/// implicit provider tiers instead.
+pub const MAX_DENSE_ENTRIES: u128 = 1 << 27;
 
 /// All routes of a mesh under one deterministic routing function, with
 /// dense link numbering. See the module docs.
@@ -40,16 +59,57 @@ pub struct RouteCache {
     link_ids: Vec<u32>,
     /// Dense id → physical link.
     links: Vec<Link>,
+    /// Physical link → dense id (the interning map retained from
+    /// construction, so reverse lookups are `O(1)`).
+    index: HashMap<Link, u32>,
 }
 
 impl RouteCache {
     /// Builds the cache for `mesh` under XY routing (the paper's default).
-    pub fn new(mesh: &Mesh) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RouteCacheTooLarge`] when the dense tables
+    /// would exceed [`MAX_DENSE_ENTRIES`]; no allocation happens in that
+    /// case.
+    pub fn new(mesh: &Mesh) -> Result<Self, ModelError> {
         Self::with_routing(mesh, &XyRouting)
     }
 
+    /// Estimated total table entries (routers + link ids + offsets) the
+    /// dense cache needs for `mesh` under any *minimal* routing, in
+    /// closed form: the sum of Manhattan distances over all ordered tile
+    /// pairs plus the per-pair constants. Non-minimal custom routings may
+    /// exceed this; construction still guards the `u32` offset space for
+    /// them.
+    pub fn dense_entry_estimate(mesh: &Mesh) -> u128 {
+        let w = mesh.width() as u128;
+        let h = mesh.height() as u128;
+        let n = mesh.tile_count() as u128;
+        let pairs = n * n;
+        // Σ over ordered pairs of |x1−x2| is H²·W(W²−1)/3; same for y.
+        let manhattan_sum = h * h * w * (w * w - 1) / 3 + w * w * h * (h * h - 1) / 3;
+        let routers = pairs + manhattan_sum; // K = distance + 1 per pair
+        let links = routers + pairs; // K + 1 link ids per pair
+        routers + links + pairs + 1 // + the offsets table
+    }
+
     /// Builds the cache for `mesh` under an explicit routing algorithm.
-    pub fn with_routing(mesh: &Mesh, routing: &dyn RoutingAlgorithm) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RouteCacheTooLarge`] when the estimated
+    /// tables exceed [`MAX_DENSE_ENTRIES`] (checked before allocating),
+    /// or when a non-minimal routing overflows the `u32` offset space
+    /// mid-construction.
+    pub fn with_routing(mesh: &Mesh, routing: &dyn RoutingAlgorithm) -> Result<Self, ModelError> {
+        let estimate = Self::dense_entry_estimate(mesh);
+        if estimate > MAX_DENSE_ENTRIES {
+            return Err(ModelError::RouteCacheTooLarge {
+                tiles: mesh.tile_count(),
+                entries: estimate,
+            });
+        }
         let n = mesh.tile_count();
         let mut offsets = Vec::with_capacity(n * n + 1);
         let mut routers = Vec::new();
@@ -72,19 +132,26 @@ impl RouteCache {
                 }
                 link_ids.push(intern(Link::Ejection(dst), &mut links));
                 routers.extend_from_slice(path.routers());
-                let offset = u32::try_from(routers.len())
-                    .expect("route cache exceeds u32 offsets; mesh too large to cache");
+                let offset = u32::try_from(routers.len()).map_err(|_| {
+                    // Only reachable for non-minimal custom routings that
+                    // blow past the analytic estimate.
+                    ModelError::RouteCacheTooLarge {
+                        tiles: n,
+                        entries: estimate.max(routers.len() as u128),
+                    }
+                })?;
                 offsets.push(offset);
             }
         }
-        Self {
+        Ok(Self {
             mesh: *mesh,
             routing_name: routing.name(),
             offsets,
             routers,
             link_ids,
             links,
-        }
+            index,
+        })
     }
 
     /// The mesh the cache was built for.
@@ -158,11 +225,10 @@ impl RouteCache {
         self.links[id as usize]
     }
 
-    /// Dense id of a physical link, if any route uses it.
+    /// Dense id of a physical link, if any route uses it — an `O(1)`
+    /// lookup in the interning map retained from construction.
     pub fn dense_id(&self, link: Link) -> Option<u32> {
-        // Linear scan: only used by tests and diagnostics, never on the
-        // evaluation hot path (which reads precomputed `link_ids`).
-        self.links.iter().position(|&l| l == link).map(|i| i as u32)
+        self.index.get(&link).copied()
     }
 }
 
@@ -174,7 +240,7 @@ mod tests {
     #[test]
     fn matches_direct_routing_on_every_pair() {
         let mesh = Mesh::new(4, 3).unwrap();
-        let cache = RouteCache::new(&mesh);
+        let cache = RouteCache::new(&mesh).unwrap();
         for src in mesh.tiles() {
             for dst in mesh.tiles() {
                 let path = XyRouting.route(&mesh, src, dst);
@@ -193,7 +259,7 @@ mod tests {
     #[test]
     fn respects_the_routing_algorithm() {
         let mesh = Mesh::new(3, 3).unwrap();
-        let yx = RouteCache::with_routing(&mesh, &YxRouting);
+        let yx = RouteCache::with_routing(&mesh, &YxRouting).unwrap();
         assert_eq!(yx.routing_name(), "YX");
         for src in mesh.tiles() {
             for dst in mesh.tiles() {
@@ -206,23 +272,73 @@ mod tests {
     }
 
     #[test]
-    fn dense_ids_are_consistent() {
-        let mesh = Mesh::new(3, 2).unwrap();
-        let cache = RouteCache::new(&mesh);
-        for id in 0..cache.dense_link_count() as u32 {
-            assert_eq!(cache.dense_id(cache.link_of(id)), Some(id));
+    fn dense_ids_round_trip_for_every_id() {
+        // `dense_id(link_of(id)) == id` must hold for every dense id —
+        // this exercises the O(1) interning-map reverse lookup.
+        for (mesh, routing) in [
+            (
+                Mesh::new(3, 2).unwrap(),
+                &XyRouting as &dyn RoutingAlgorithm,
+            ),
+            (Mesh::new(5, 4).unwrap(), &XyRouting),
+            (Mesh::new(4, 4).unwrap(), &YxRouting),
+        ] {
+            let cache = RouteCache::with_routing(&mesh, routing).unwrap();
+            for id in 0..cache.dense_link_count() as u32 {
+                assert_eq!(cache.dense_id(cache.link_of(id)), Some(id));
+            }
+            // Every injection and ejection link is used (self-routes).
+            assert!(cache.dense_link_count() >= 2 * mesh.tile_count());
         }
-        // Every injection and ejection link is used (self-routes), plus
-        // every internal link an XY route can take.
-        assert!(cache.dense_link_count() >= 2 * mesh.tile_count());
+    }
+
+    #[test]
+    fn dense_id_misses_unused_links() {
+        let mesh = Mesh::new(2, 2).unwrap();
+        let cache = RouteCache::new(&mesh).unwrap();
+        let foreign = Link::between(TileId::new(7), TileId::new(8));
+        assert_eq!(cache.dense_id(foreign), None);
     }
 
     #[test]
     fn single_tile_mesh() {
         let mesh = Mesh::new(1, 1).unwrap();
-        let cache = RouteCache::new(&mesh);
+        let cache = RouteCache::new(&mesh).unwrap();
         let t = TileId::new(0);
         assert_eq!(cache.router_count(t, t), 1);
         assert_eq!(cache.link_ids(t, t).len(), 2); // inj + ej
+    }
+
+    #[test]
+    fn oversized_meshes_are_rejected_before_allocating() {
+        // 64×64 estimates past MAX_DENSE_ENTRIES: typed error, no panic,
+        // and the check fires before any table is allocated.
+        let mesh = Mesh::new(64, 64).unwrap();
+        assert!(RouteCache::dense_entry_estimate(&mesh) > MAX_DENSE_ENTRIES);
+        match RouteCache::new(&mesh) {
+            Err(ModelError::RouteCacheTooLarge { tiles, entries }) => {
+                assert_eq!(tiles, 4096);
+                assert!(entries > MAX_DENSE_ENTRIES);
+            }
+            other => panic!("expected RouteCacheTooLarge, got {other:?}"),
+        }
+        // Degenerate thin meshes trip the guard too (long routes).
+        assert!(RouteCache::new(&Mesh::new(4096, 1).unwrap()).is_err());
+        // A mesh inside the limit still builds.
+        assert!(RouteCache::new(&Mesh::new(16, 16).unwrap()).is_ok());
+    }
+
+    #[test]
+    fn entry_estimate_matches_actual_tables_on_small_meshes() {
+        for (w, h) in [(1, 1), (2, 2), (4, 3), (6, 5)] {
+            let mesh = Mesh::new(w, h).unwrap();
+            let cache = RouteCache::new(&mesh).unwrap();
+            let actual = (cache.routers.len() + cache.link_ids.len() + cache.offsets.len()) as u128;
+            assert_eq!(
+                RouteCache::dense_entry_estimate(&mesh),
+                actual,
+                "{w}x{h}: the closed form must be exact for minimal routing"
+            );
+        }
     }
 }

@@ -1,0 +1,790 @@
+//! Tiered route provisioning: dense, on-demand and implicit routes.
+//!
+//! The evaluation engine consumes routes as *dense-link-id walks*: per
+//! packet, the ordered list of `u32` resource ids (injection link,
+//! inter-router links, ejection link) that per-link state vectors are
+//! indexed by. [`RouteCache`] precomputes every pair's walk — unbeatable
+//! for small meshes, but its `O(n²·diameter)` tables stop fitting well
+//! before the meshes the large-scale NoC-mapping literature evaluates
+//! (3D and hundred-by-hundred grids). [`RouteProvider`] generalizes the
+//! supply side into three tiers behind one interface ([`RouteSource`]):
+//!
+//! * **[`RouteProvider::Dense`]** — the precomputed [`RouteCache`],
+//!   unchanged fast path for meshes up to roughly 32×32. Walks are spans
+//!   into the cache's shared flat array; resolving one allocates and
+//!   copies nothing.
+//! * **[`RouteProvider::OnDemand`]** — a sharded pair cache
+//!   ([`OnDemandRoutes`]) that routes lazily on first use and interns the
+//!   walk, with bounded memory: each shard clears itself when its walk
+//!   arena exceeds its cap, so the provider never grows past a fixed
+//!   budget no matter how many pairs a search touches. Resolving a walk
+//!   copies it into the caller's buffer (the shards are internally
+//!   locked, so the provider stays `Sync` for multi-start search).
+//! * **[`RouteProvider::Implicit`]** — no stored routes at all
+//!   ([`ImplicitRoutes`]): XY/YX/torus-XY walks are generated directly
+//!   from tile coordinates into the caller's buffer, and link ids come
+//!   from a closed-form numbering ([`6·n` slots](ImplicitRoutes), one per
+//!   injection/ejection link plus four outgoing directions per tile).
+//!   Zero resident memory; `O(route length)` per resolution.
+//!
+//! Dense ids differ between the tiers (first-use interning order versus
+//! the closed form), but evaluation results do not: the ids are a
+//! bijection onto the same physical links, and the timing/energy engines
+//! depend only on which walks share which resources. The repository's
+//! property tests pin bit-identical costs across all three tiers.
+//!
+//! [`RouteProvider::auto`] picks dense while the estimated tables stay
+//! small and falls back to on-demand beyond — large meshes work out of
+//! the box instead of failing at construction time. The CLI exposes the
+//! choice as `--route-cache dense|on-demand|implicit|auto`.
+
+use crate::crg::{Coord, Link, Mesh};
+use crate::error::ModelError;
+use crate::ids::TileId;
+use crate::route_cache::RouteCache;
+use crate::routing::{ring_step, RoutingAlgorithm, RoutingKind};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Entry-estimate threshold below which [`RouteProvider::auto`] picks
+/// the dense tier (≈ a 32×32 mesh; ~250 MB of tables at the boundary).
+pub const AUTO_DENSE_MAX_ENTRIES: u128 = 1 << 25;
+
+/// Default total walk-arena budget of the on-demand tier, in `u32`
+/// entries across all shards (≈ 64 MB).
+const ON_DEMAND_DEFAULT_CAPACITY: usize = 1 << 24;
+
+/// Number of independently locked shards of [`OnDemandRoutes`].
+const ON_DEMAND_SHARDS: usize = 64;
+
+/// A supplier of routes in the dense-link-id form the evaluation engine
+/// consumes. Implemented by [`RouteCache`] (shared flat array) and
+/// [`RouteProvider`] (all three tiers).
+pub trait RouteSource {
+    /// The mesh the routes traverse.
+    fn mesh(&self) -> &Mesh;
+
+    /// Name of the routing algorithm ("XY", "YX", "torus-XY", …).
+    fn routing_name(&self) -> &'static str;
+
+    /// Exclusive upper bound of the dense link-id space — the size for
+    /// per-link state vectors. Ids below it need not all be in use.
+    fn dense_link_count(&self) -> usize;
+
+    /// Number of routers on the pair's route (the paper's `K`), `O(1)`.
+    fn router_count(&self, src: TileId, dst: TileId) -> usize;
+
+    /// Resolves the pair's resource walk, returning `(start, len)` into
+    /// the flat array [`Self::flat`] yields. Sources with a shared
+    /// precomputed array leave `buf` untouched and span it directly; the
+    /// other tiers append the walk to `buf` and span the appended region.
+    fn walk_span(&self, src: TileId, dst: TileId, buf: &mut Vec<u32>) -> (u32, u32);
+
+    /// The flat array the spans of [`Self::walk_span`] index: the shared
+    /// precomputed array for the dense tier, `buf` itself otherwise.
+    fn flat<'s>(&'s self, buf: &'s [u32]) -> &'s [u32];
+
+    /// The physical link behind a dense id, if the id is in use (for
+    /// diagnostics; never on the evaluation hot path).
+    fn link_at(&self, id: u32) -> Option<Link>;
+}
+
+impl RouteSource for RouteCache {
+    fn mesh(&self) -> &Mesh {
+        self.mesh()
+    }
+
+    fn routing_name(&self) -> &'static str {
+        self.routing_name()
+    }
+
+    fn dense_link_count(&self) -> usize {
+        self.dense_link_count()
+    }
+
+    fn router_count(&self, src: TileId, dst: TileId) -> usize {
+        self.router_count(src, dst)
+    }
+
+    fn walk_span(&self, src: TileId, dst: TileId, _buf: &mut Vec<u32>) -> (u32, u32) {
+        let span = self.link_span(src, dst);
+        (span.start as u32, (span.end - span.start) as u32)
+    }
+
+    fn flat<'s>(&'s self, _buf: &'s [u32]) -> &'s [u32] {
+        self.link_ids_flat()
+    }
+
+    fn link_at(&self, id: u32) -> Option<Link> {
+        ((id as usize) < self.dense_link_count()).then(|| self.link_of(id))
+    }
+}
+
+/// Closed-form dense link numbering shared by the implicit and on-demand
+/// tiers: injection links occupy ids `0..n`, ejection links `n..2n`, and
+/// the outgoing internal links of tile `t` occupy `2n + 4t + direction`
+/// (north, south, east, west). Border slots stay unused on meshes; wrap
+/// steps of the torus router are canonicalized onto the direction the
+/// coordinate delta implies, so a 2-wide ring maps both ways onto the
+/// same `Link` — exactly the identity [`Link::between`] gives them.
+#[derive(Debug, Clone, Copy)]
+struct LinkNumbering {
+    width: usize,
+    height: usize,
+}
+
+const DIR_NORTH: u32 = 0;
+const DIR_SOUTH: u32 = 1;
+const DIR_EAST: u32 = 2;
+const DIR_WEST: u32 = 3;
+
+impl LinkNumbering {
+    fn new(mesh: &Mesh) -> Self {
+        Self {
+            width: mesh.width(),
+            height: mesh.height(),
+        }
+    }
+
+    fn tiles(self) -> usize {
+        self.width * self.height
+    }
+
+    fn id_count(self) -> usize {
+        6 * self.tiles()
+    }
+
+    fn injection(self, tile: TileId) -> u32 {
+        tile.index() as u32
+    }
+
+    fn ejection(self, tile: TileId) -> u32 {
+        (self.tiles() + tile.index()) as u32
+    }
+
+    /// Direction code of one routing step `a → b`, direct adjacency
+    /// first, torus wrap second — so when both apply (a 2-long ring) the
+    /// direct reading wins and both "directions" share one id, matching
+    /// the endpoint-pair identity of [`Link::between`].
+    fn step_dir(self, a: Coord, b: Coord) -> u32 {
+        if a.x != b.x {
+            if b.x == a.x + 1 {
+                DIR_EAST
+            } else if b.x + 1 == a.x {
+                DIR_WEST
+            } else if a.x == self.width - 1 && b.x == 0 {
+                DIR_EAST
+            } else {
+                debug_assert!(a.x == 0 && b.x == self.width - 1, "non-adjacent x step");
+                DIR_WEST
+            }
+        } else if b.y == a.y + 1 {
+            DIR_SOUTH
+        } else if b.y + 1 == a.y {
+            DIR_NORTH
+        } else if a.y == self.height - 1 && b.y == 0 {
+            DIR_SOUTH
+        } else {
+            debug_assert!(a.y == 0 && b.y == self.height - 1, "non-adjacent y step");
+            DIR_NORTH
+        }
+    }
+
+    fn internal(self, a: Coord, b: Coord) -> u32 {
+        let from = (a.y * self.width + a.x) as u32;
+        (2 * self.tiles()) as u32 + 4 * from + self.step_dir(a, b)
+    }
+
+    /// Decodes an id back to its physical link; `None` for ids the
+    /// encoder never produces (border slots, or the collapsed wrap slot
+    /// of a 2-long ring). `wrap` enables torus neighbours.
+    fn link_at(self, id: u32, wrap: bool) -> Option<Link> {
+        let n = self.tiles();
+        let id = id as usize;
+        if id < n {
+            return Some(Link::Injection(TileId::new(id)));
+        }
+        if id < 2 * n {
+            return Some(Link::Ejection(TileId::new(id - n)));
+        }
+        if id >= 6 * n {
+            return None;
+        }
+        let rest = id - 2 * n;
+        let tile = rest / 4;
+        let dir = (rest % 4) as u32;
+        let a = Coord::new(tile % self.width, tile / self.width);
+        let b = match dir {
+            DIR_NORTH if a.y > 0 => Coord::new(a.x, a.y - 1),
+            DIR_NORTH if wrap && self.height > 1 => Coord::new(a.x, self.height - 1),
+            DIR_SOUTH if a.y + 1 < self.height => Coord::new(a.x, a.y + 1),
+            DIR_SOUTH if wrap && self.height > 1 => Coord::new(a.x, 0),
+            DIR_EAST if a.x + 1 < self.width => Coord::new(a.x + 1, a.y),
+            DIR_EAST if wrap && self.width > 1 => Coord::new(0, a.y),
+            DIR_WEST if a.x > 0 => Coord::new(a.x - 1, a.y),
+            DIR_WEST if wrap && self.width > 1 => Coord::new(self.width - 1, a.y),
+            _ => return None,
+        };
+        // Reject slots the canonical encoder would map elsewhere (the
+        // wrap duplicate on a 2-long ring).
+        if self.step_dir(a, b) != dir {
+            return None;
+        }
+        let to = TileId::new(b.y * self.width + b.x);
+        Some(Link::between(TileId::new(tile), to))
+    }
+}
+
+/// The implicit tier: allocation-free coordinate walks, no stored routes.
+/// See the module docs.
+#[derive(Debug, Clone)]
+pub struct ImplicitRoutes {
+    mesh: Mesh,
+    kind: RoutingKind,
+    numbering: LinkNumbering,
+}
+
+impl ImplicitRoutes {
+    /// Creates the walker for `mesh` under `kind`.
+    pub fn new(mesh: &Mesh, kind: RoutingKind) -> Self {
+        Self {
+            mesh: *mesh,
+            kind,
+            numbering: LinkNumbering::new(mesh),
+        }
+    }
+
+    /// The routing kind being walked.
+    pub fn kind(&self) -> RoutingKind {
+        self.kind
+    }
+
+    /// Visits every routing step `a → b` of the pair's route, in order —
+    /// the same steps the corresponding [`RoutingAlgorithm`] would take.
+    fn for_each_step(&self, src: TileId, dst: TileId, mut f: impl FnMut(Coord, Coord)) {
+        let to = self.mesh.coord(dst);
+        let mut cur = self.mesh.coord(src);
+        let (w, h) = (self.mesh.width(), self.mesh.height());
+        match self.kind {
+            RoutingKind::Xy => {
+                while cur.x != to.x {
+                    let next = Coord::new(if cur.x < to.x { cur.x + 1 } else { cur.x - 1 }, cur.y);
+                    f(cur, next);
+                    cur = next;
+                }
+                while cur.y != to.y {
+                    let next = Coord::new(cur.x, if cur.y < to.y { cur.y + 1 } else { cur.y - 1 });
+                    f(cur, next);
+                    cur = next;
+                }
+            }
+            RoutingKind::Yx => {
+                while cur.y != to.y {
+                    let next = Coord::new(cur.x, if cur.y < to.y { cur.y + 1 } else { cur.y - 1 });
+                    f(cur, next);
+                    cur = next;
+                }
+                while cur.x != to.x {
+                    let next = Coord::new(if cur.x < to.x { cur.x + 1 } else { cur.x - 1 }, cur.y);
+                    f(cur, next);
+                    cur = next;
+                }
+            }
+            RoutingKind::TorusXy => {
+                while cur.x != to.x {
+                    let next = Coord::new(ring_step(cur.x, to.x, w), cur.y);
+                    f(cur, next);
+                    cur = next;
+                }
+                while cur.y != to.y {
+                    let next = Coord::new(cur.x, ring_step(cur.y, to.y, h));
+                    f(cur, next);
+                    cur = next;
+                }
+            }
+        }
+    }
+}
+
+impl RouteSource for ImplicitRoutes {
+    fn mesh(&self) -> &Mesh {
+        &self.mesh
+    }
+
+    fn routing_name(&self) -> &'static str {
+        self.kind.name()
+    }
+
+    fn dense_link_count(&self) -> usize {
+        self.numbering.id_count()
+    }
+
+    fn router_count(&self, src: TileId, dst: TileId) -> usize {
+        self.kind.hop_distance(&self.mesh, src, dst) + 1
+    }
+
+    fn walk_span(&self, src: TileId, dst: TileId, buf: &mut Vec<u32>) -> (u32, u32) {
+        let start = buf.len();
+        buf.push(self.numbering.injection(src));
+        self.for_each_step(src, dst, |a, b| buf.push(self.numbering.internal(a, b)));
+        buf.push(self.numbering.ejection(dst));
+        (start as u32, (buf.len() - start) as u32)
+    }
+
+    fn flat<'s>(&'s self, buf: &'s [u32]) -> &'s [u32] {
+        buf
+    }
+
+    fn link_at(&self, id: u32) -> Option<Link> {
+        self.numbering
+            .link_at(id, self.kind == RoutingKind::TorusXy)
+    }
+}
+
+/// One shard of the on-demand pair cache: memoized walks in a bump arena
+/// plus the pair → span map.
+#[derive(Debug, Default)]
+struct Shard {
+    spans: HashMap<u64, (u32, u32)>,
+    walks: Vec<u32>,
+}
+
+/// The on-demand tier: lazily routed, interned pair walks with bounded
+/// memory. See the module docs.
+#[derive(Debug)]
+pub struct OnDemandRoutes {
+    walker: ImplicitRoutes,
+    shards: Box<[Mutex<Shard>]>,
+    /// Per-shard walk-arena cap; a shard exceeding it clears itself
+    /// before interning the next walk (epoch eviction).
+    shard_capacity: usize,
+}
+
+impl OnDemandRoutes {
+    /// Creates the pair cache with the default memory budget (~64 MB).
+    pub fn new(mesh: &Mesh, kind: RoutingKind) -> Self {
+        Self::with_capacity(mesh, kind, ON_DEMAND_DEFAULT_CAPACITY)
+    }
+
+    /// Creates the pair cache with an explicit total walk-arena budget
+    /// (in `u32` entries, split evenly across the internal shards).
+    pub fn with_capacity(mesh: &Mesh, kind: RoutingKind, capacity: usize) -> Self {
+        let shards = (0..ON_DEMAND_SHARDS)
+            .map(|_| Mutex::new(Shard::default()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            walker: ImplicitRoutes::new(mesh, kind),
+            shards,
+            shard_capacity: (capacity / ON_DEMAND_SHARDS).max(64),
+        }
+    }
+
+    /// The routing kind being cached.
+    pub fn kind(&self) -> RoutingKind {
+        self.walker.kind()
+    }
+
+    /// Number of pair walks currently memoized (diagnostics).
+    pub fn cached_pairs(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).spans.len())
+            .sum()
+    }
+}
+
+impl RouteSource for OnDemandRoutes {
+    fn mesh(&self) -> &Mesh {
+        self.walker.mesh()
+    }
+
+    fn routing_name(&self) -> &'static str {
+        self.walker.routing_name()
+    }
+
+    fn dense_link_count(&self) -> usize {
+        self.walker.dense_link_count()
+    }
+
+    fn router_count(&self, src: TileId, dst: TileId) -> usize {
+        self.walker.router_count(src, dst)
+    }
+
+    fn walk_span(&self, src: TileId, dst: TileId, buf: &mut Vec<u32>) -> (u32, u32) {
+        let n = self.walker.mesh().tile_count() as u64;
+        let key = src.index() as u64 * n + dst.index() as u64;
+        let mut shard = self.shards[key as usize % self.shards.len()]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let start = buf.len();
+        let (s, l) = match shard.spans.get(&key) {
+            Some(&span) => span,
+            None => {
+                if shard.walks.len() >= self.shard_capacity {
+                    // Bounded memory: evict the whole shard rather than
+                    // track per-entry recency.
+                    shard.spans.clear();
+                    shard.walks.clear();
+                }
+                let span = self.walker.walk_span(src, dst, &mut shard.walks);
+                shard.spans.insert(key, span);
+                span
+            }
+        };
+        buf.extend_from_slice(&shard.walks[s as usize..(s + l) as usize]);
+        (start as u32, l)
+    }
+
+    fn flat<'s>(&'s self, buf: &'s [u32]) -> &'s [u32] {
+        buf
+    }
+
+    fn link_at(&self, id: u32) -> Option<Link> {
+        self.walker.link_at(id)
+    }
+}
+
+/// Which tier a [`RouteProvider`] is running.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteTier {
+    /// Full per-pair precomputation ([`RouteCache`]).
+    Dense,
+    /// Lazily interned pair walks with bounded memory.
+    OnDemand,
+    /// Coordinate walks, no stored routes.
+    Implicit,
+}
+
+impl RouteTier {
+    /// Display/CLI name of the tier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dense => "dense",
+            Self::OnDemand => "on-demand",
+            Self::Implicit => "implicit",
+        }
+    }
+}
+
+/// A tiered route supplier: one of the three strategies behind the
+/// [`RouteSource`] interface. See the module docs for the tiers and
+/// their trade-offs.
+#[derive(Debug)]
+pub enum RouteProvider {
+    /// The dense precomputed cache.
+    Dense(Arc<RouteCache>),
+    /// The bounded-memory on-demand pair cache.
+    OnDemand(OnDemandRoutes),
+    /// The allocation-free implicit walker.
+    Implicit(ImplicitRoutes),
+}
+
+impl RouteProvider {
+    /// Dense tier for `mesh` under `kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RouteCacheTooLarge`] when the mesh exceeds
+    /// what the dense cache agrees to precompute.
+    pub fn dense(mesh: &Mesh, kind: RoutingKind) -> Result<Self, ModelError> {
+        Ok(Self::Dense(Arc::new(RouteCache::with_routing(
+            mesh,
+            kind.algorithm(),
+        )?)))
+    }
+
+    /// Wraps an already-built dense cache.
+    pub fn from_cache(cache: Arc<RouteCache>) -> Self {
+        Self::Dense(cache)
+    }
+
+    /// On-demand tier for `mesh` under `kind`.
+    pub fn on_demand(mesh: &Mesh, kind: RoutingKind) -> Self {
+        Self::OnDemand(OnDemandRoutes::new(mesh, kind))
+    }
+
+    /// Implicit tier for `mesh` under `kind`.
+    pub fn implicit(mesh: &Mesh, kind: RoutingKind) -> Self {
+        Self::Implicit(ImplicitRoutes::new(mesh, kind))
+    }
+
+    /// Size-based automatic tier choice: dense while the estimated
+    /// tables stay below [`AUTO_DENSE_MAX_ENTRIES`], on-demand beyond.
+    /// Never fails and never precomputes more than the threshold allows.
+    pub fn auto(mesh: &Mesh, kind: RoutingKind) -> Self {
+        if RouteCache::dense_entry_estimate(mesh) <= AUTO_DENSE_MAX_ENTRIES {
+            if let Ok(provider) = Self::dense(mesh, kind) {
+                return provider;
+            }
+        }
+        Self::on_demand(mesh, kind)
+    }
+
+    /// Automatic tier choice for any routing algorithm: library
+    /// algorithms resolve to their [`RoutingKind`] and go through
+    /// [`Self::auto`]; unknown custom algorithms require the dense tier
+    /// (only it can call back into arbitrary `route` implementations).
+    ///
+    /// Resolution is **by name**: the names `"XY"`, `"YX"` and
+    /// `"torus-XY"` are reserved for the library algorithms (see
+    /// [`RoutingAlgorithm::name`]) — a custom algorithm reporting one of
+    /// them is served by the corresponding coordinate walker, not by its
+    /// own `route` implementation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::RouteCacheTooLarge`] only for *custom*
+    /// algorithms on meshes too large to cache densely.
+    pub fn for_algorithm(mesh: &Mesh, routing: &dyn RoutingAlgorithm) -> Result<Self, ModelError> {
+        match RoutingKind::from_name(routing.name()) {
+            Some(kind) => Ok(Self::auto(mesh, kind)),
+            None => Ok(Self::Dense(Arc::new(RouteCache::with_routing(
+                mesh, routing,
+            )?))),
+        }
+    }
+
+    /// The tier this provider runs.
+    pub fn tier(&self) -> RouteTier {
+        match self {
+            Self::Dense(_) => RouteTier::Dense,
+            Self::OnDemand(_) => RouteTier::OnDemand,
+            Self::Implicit(_) => RouteTier::Implicit,
+        }
+    }
+
+    /// The dense cache, when this is the dense tier.
+    pub fn as_dense(&self) -> Option<&Arc<RouteCache>> {
+        match self {
+            Self::Dense(cache) => Some(cache),
+            _ => None,
+        }
+    }
+}
+
+impl RouteSource for RouteProvider {
+    fn mesh(&self) -> &Mesh {
+        match self {
+            Self::Dense(c) => c.mesh(),
+            Self::OnDemand(o) => o.mesh(),
+            Self::Implicit(i) => i.mesh(),
+        }
+    }
+
+    fn routing_name(&self) -> &'static str {
+        match self {
+            Self::Dense(c) => c.routing_name(),
+            Self::OnDemand(o) => o.routing_name(),
+            Self::Implicit(i) => i.routing_name(),
+        }
+    }
+
+    fn dense_link_count(&self) -> usize {
+        match self {
+            Self::Dense(c) => c.dense_link_count(),
+            Self::OnDemand(o) => o.dense_link_count(),
+            Self::Implicit(i) => RouteSource::dense_link_count(i),
+        }
+    }
+
+    fn router_count(&self, src: TileId, dst: TileId) -> usize {
+        match self {
+            Self::Dense(c) => c.router_count(src, dst),
+            Self::OnDemand(o) => o.router_count(src, dst),
+            Self::Implicit(i) => RouteSource::router_count(i, src, dst),
+        }
+    }
+
+    fn walk_span(&self, src: TileId, dst: TileId, buf: &mut Vec<u32>) -> (u32, u32) {
+        match self {
+            Self::Dense(c) => RouteSource::walk_span(c.as_ref(), src, dst, buf),
+            Self::OnDemand(o) => o.walk_span(src, dst, buf),
+            Self::Implicit(i) => RouteSource::walk_span(i, src, dst, buf),
+        }
+    }
+
+    fn flat<'s>(&'s self, buf: &'s [u32]) -> &'s [u32] {
+        match self {
+            Self::Dense(c) => c.link_ids_flat(),
+            Self::OnDemand(_) | Self::Implicit(_) => buf,
+        }
+    }
+
+    fn link_at(&self, id: u32) -> Option<Link> {
+        match self {
+            Self::Dense(c) => RouteSource::link_at(c.as_ref(), id),
+            Self::OnDemand(o) => o.link_at(id),
+            Self::Implicit(i) => RouteSource::link_at(i, id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_walk<S: RouteSource>(source: &S, src: TileId, dst: TileId) -> Vec<Link> {
+        let mut buf = Vec::new();
+        let (start, len) = source.walk_span(src, dst, &mut buf);
+        let flat = source.flat(&buf);
+        flat[start as usize..(start + len) as usize]
+            .iter()
+            .map(|&id| source.link_at(id).expect("walk ids decode"))
+            .collect()
+    }
+
+    fn kinds() -> [RoutingKind; 3] {
+        [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::TorusXy]
+    }
+
+    #[test]
+    fn implicit_walks_match_the_dense_cache() {
+        for (w, h) in [(1, 1), (1, 4), (2, 2), (2, 3), (4, 4), (5, 3)] {
+            let mesh = Mesh::new(w, h).unwrap();
+            for kind in kinds() {
+                let dense = RouteCache::with_routing(&mesh, kind.algorithm()).unwrap();
+                let implicit = ImplicitRoutes::new(&mesh, kind);
+                for src in mesh.tiles() {
+                    for dst in mesh.tiles() {
+                        let want = decode_walk(&dense, src, dst);
+                        let got = decode_walk(&implicit, src, dst);
+                        assert_eq!(got, want, "{kind:?} {w}x{h} {src}->{dst}");
+                        assert_eq!(
+                            RouteSource::router_count(&implicit, src, dst),
+                            dense.router_count(src, dst)
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn on_demand_matches_implicit_and_caches() {
+        let mesh = Mesh::new(4, 3).unwrap();
+        for kind in kinds() {
+            let implicit = ImplicitRoutes::new(&mesh, kind);
+            let lazy = OnDemandRoutes::new(&mesh, kind);
+            for src in mesh.tiles() {
+                for dst in mesh.tiles() {
+                    // Query twice: miss path, then memoized path.
+                    for _ in 0..2 {
+                        assert_eq!(
+                            decode_walk(&lazy, src, dst),
+                            decode_walk(&implicit, src, dst),
+                            "{kind:?} {src}->{dst}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(lazy.cached_pairs(), mesh.tile_count() * mesh.tile_count());
+        }
+    }
+
+    #[test]
+    fn on_demand_memory_stays_bounded() {
+        let mesh = Mesh::new(6, 6).unwrap();
+        // A budget far below the full pair table forces shard eviction.
+        let lazy = OnDemandRoutes::with_capacity(&mesh, RoutingKind::Xy, 64 * ON_DEMAND_SHARDS);
+        let implicit = ImplicitRoutes::new(&mesh, RoutingKind::Xy);
+        let mut buf = Vec::new();
+        for src in mesh.tiles() {
+            for dst in mesh.tiles() {
+                buf.clear();
+                lazy.walk_span(src, dst, &mut buf);
+                assert_eq!(
+                    decode_walk(&lazy, src, dst),
+                    decode_walk(&implicit, src, dst)
+                );
+            }
+        }
+        let per_shard_cap = (64 * ON_DEMAND_SHARDS) / ON_DEMAND_SHARDS;
+        for shard in lazy.shards.iter() {
+            let shard = shard.lock().unwrap();
+            // One walk may straddle the cap before eviction triggers.
+            assert!(shard.walks.len() <= per_shard_cap + mesh.tile_count());
+        }
+    }
+
+    #[test]
+    fn auto_picks_dense_small_and_on_demand_large() {
+        let small = Mesh::new(8, 8).unwrap();
+        assert_eq!(
+            RouteProvider::auto(&small, RoutingKind::Xy).tier(),
+            RouteTier::Dense
+        );
+        let large = Mesh::new(64, 64).unwrap();
+        let provider = RouteProvider::auto(&large, RoutingKind::Xy);
+        assert_eq!(provider.tier(), RouteTier::OnDemand);
+        assert!(provider.as_dense().is_none());
+        // Tier names for CLI/reporting.
+        assert_eq!(RouteTier::Dense.name(), "dense");
+        assert_eq!(RouteTier::OnDemand.name(), "on-demand");
+        assert_eq!(RouteTier::Implicit.name(), "implicit");
+    }
+
+    #[test]
+    fn dense_tier_surfaces_the_typed_error() {
+        let large = Mesh::new(64, 64).unwrap();
+        assert!(matches!(
+            RouteProvider::dense(&large, RoutingKind::Xy),
+            Err(ModelError::RouteCacheTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn for_algorithm_resolves_library_routings_on_large_meshes() {
+        use crate::routing::{TorusXyRouting, YxRouting};
+        let large = Mesh::new(96, 96).unwrap();
+        for algo in [
+            &crate::routing::XyRouting as &dyn RoutingAlgorithm,
+            &YxRouting,
+            &TorusXyRouting,
+        ] {
+            let provider = RouteProvider::for_algorithm(&large, algo).unwrap();
+            assert_eq!(provider.tier(), RouteTier::OnDemand);
+            assert_eq!(RouteSource::routing_name(&provider), algo.name());
+        }
+    }
+
+    #[test]
+    fn numbering_decode_rejects_unused_slots() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let implicit = ImplicitRoutes::new(&mesh, RoutingKind::Xy);
+        // North slot of tile 0 (top row) has no neighbour.
+        let n = mesh.tile_count() as u32;
+        assert_eq!(implicit.link_at(2 * n + DIR_NORTH), None);
+        // Out-of-range ids decode to nothing.
+        assert_eq!(implicit.link_at(6 * n), None);
+        // Every id an actual walk produces decodes, and round-trips
+        // uniquely: two distinct ids never decode to the same link.
+        let mut seen = std::collections::HashMap::new();
+        for id in 0..RouteSource::dense_link_count(&implicit) as u32 {
+            if let Some(link) = implicit.link_at(id) {
+                assert!(
+                    seen.insert(link, id).is_none(),
+                    "link {link} decoded from two ids"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_wide_torus_collapses_wrap_links() {
+        // On a 2-wide ring, east-wrap and west from the same tile land on
+        // the same neighbour: one physical link, one id — matching the
+        // dense cache's interning of `Link::between`.
+        let mesh = Mesh::new(2, 1).unwrap();
+        let implicit = ImplicitRoutes::new(&mesh, RoutingKind::TorusXy);
+        let dense = RouteCache::with_routing(&mesh, RoutingKind::TorusXy.algorithm()).unwrap();
+        for src in mesh.tiles() {
+            for dst in mesh.tiles() {
+                assert_eq!(
+                    decode_walk(&implicit, src, dst),
+                    decode_walk(&dense, src, dst)
+                );
+            }
+        }
+    }
+}

@@ -99,6 +99,12 @@ pub trait RoutingAlgorithm: fmt::Debug {
     fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path;
 
     /// Short human-readable name ("XY", "YX", …).
+    ///
+    /// The names of the library algorithms (`"XY"`, `"YX"`,
+    /// `"torus-XY"`) are **reserved**: route-provider tier selection
+    /// ([`crate::route_provider::RouteProvider::for_algorithm`])
+    /// dispatches on this name, so a custom implementation must only
+    /// report one of them if it produces identical routes.
     fn name(&self) -> &'static str;
 }
 
@@ -175,6 +181,71 @@ impl RoutingAlgorithm for YxRouting {
     }
 }
 
+/// The routing algorithms the library ships, as a closed enum.
+///
+/// The `dyn RoutingAlgorithm` objects above are open for extension; this
+/// enum is the *closed* subset the implicit and on-demand route providers
+/// (see [`crate::route_provider`]) can walk directly from coordinates,
+/// with closed-form hop distances and no stored routes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoutingKind {
+    /// [`XyRouting`] — the paper's default.
+    Xy,
+    /// [`YxRouting`].
+    Yx,
+    /// [`TorusXyRouting`].
+    TorusXy,
+}
+
+impl RoutingKind {
+    /// The corresponding routing algorithm object.
+    pub fn algorithm(self) -> &'static dyn RoutingAlgorithm {
+        match self {
+            Self::Xy => &XyRouting,
+            Self::Yx => &YxRouting,
+            Self::TorusXy => &TorusXyRouting,
+        }
+    }
+
+    /// The algorithm's display name (identical to
+    /// [`RoutingAlgorithm::name`] of [`Self::algorithm`]).
+    pub fn name(self) -> &'static str {
+        self.algorithm().name()
+    }
+
+    /// Resolves an algorithm name ("XY", "yx", "torus-xy", …) back to its
+    /// kind; `None` for algorithms outside the closed set.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "xy" => Some(Self::Xy),
+            "yx" => Some(Self::Yx),
+            "torus-xy" | "torus" => Some(Self::TorusXy),
+            _ => None,
+        }
+    }
+
+    /// Number of inter-router hops of the route from `src` to `dst`
+    /// (`router_count - 1`), in closed form — `O(1)`, no route is walked.
+    pub fn hop_distance(self, mesh: &Mesh, src: TileId, dst: TileId) -> usize {
+        match self {
+            // Both dimension orders traverse the same Manhattan distance.
+            Self::Xy | Self::Yx => mesh.manhattan(src, dst),
+            Self::TorusXy => {
+                let a = mesh.coord(src);
+                let b = mesh.coord(dst);
+                ring_dist(a.x, b.x, mesh.width()) + ring_dist(a.y, b.y, mesh.height())
+            }
+        }
+    }
+}
+
+/// Minimal distance along a ring of length `len`.
+pub(crate) fn ring_dist(from: usize, to: usize, len: usize) -> usize {
+    let forward = (to + len - from) % len;
+    let backward = (from + len - to) % len;
+    forward.min(backward)
+}
+
 /// Dimension-ordered XY routing on a **torus** (the mesh with wrap-around
 /// links in both dimensions). Each dimension moves in the direction of
 /// the shorter way around (ties go the positive way), so routes are
@@ -205,7 +276,7 @@ pub struct TorusXyRouting;
 
 /// One minimal step along a ring of length `len` from `from` towards
 /// `to`, preferring the positive direction on ties.
-fn ring_step(from: usize, to: usize, len: usize) -> usize {
+pub(crate) fn ring_step(from: usize, to: usize, len: usize) -> usize {
     debug_assert_ne!(from, to);
     let forward = (to + len - from) % len;
     let backward = (from + len - to) % len;
@@ -413,5 +484,31 @@ mod tests {
     #[should_panic(expected = "at least one router")]
     fn empty_path_panics() {
         let _ = Path::new(Vec::new());
+    }
+
+    #[test]
+    fn routing_kind_round_trips_names() {
+        for kind in [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::TorusXy] {
+            assert_eq!(RoutingKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.algorithm().name(), kind.name());
+        }
+        assert_eq!(RoutingKind::from_name("torus"), Some(RoutingKind::TorusXy));
+        assert_eq!(RoutingKind::from_name("zigzag"), None);
+    }
+
+    #[test]
+    fn hop_distance_matches_walked_routes() {
+        let m = Mesh::new(5, 3).unwrap();
+        for kind in [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::TorusXy] {
+            for src in m.tiles() {
+                for dst in m.tiles() {
+                    assert_eq!(
+                        kind.hop_distance(&m, src, dst) + 1,
+                        kind.algorithm().route(&m, src, dst).router_count(),
+                        "{kind:?} {src}->{dst}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -9,8 +9,9 @@
 //! [`OccupancyMap`](crate::OccupancyMap) or a contention log, and it
 //! performs **no per-call allocation**: all working state lives in a
 //! reusable [`ScheduleScratch`] whose per-link tables are indexed by the
-//! dense link ids of a shared [`RouteCache`] instead of `HashMap<Link,
-//! _>`.
+//! dense link ids of a shared route source — a dense [`RouteCache`] or
+//! any tier of [`noc_model::RouteProvider`] (see [`schedule_cost_with`])
+//! — instead of `HashMap<Link, _>`.
 //!
 //! The contract, enforced by unit tests here and by the repository's
 //! property tests: for every application, mesh, mapping and parameter
@@ -30,7 +31,9 @@ use crate::error::SimError;
 use crate::params::SimParams;
 #[cfg(test)]
 use noc_model::TileId;
-use noc_model::{Cdcg, Link, Mapping, Mesh, PacketId, RouteCache};
+use noc_model::{
+    Cdcg, Link, Mapping, Mesh, PacketId, RouteCache, RouteProvider, RouteSource, RoutingKind,
+};
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
@@ -96,6 +99,11 @@ pub struct ScheduleScratch {
     /// convergence check; maintained by every run, one bit set per
     /// delivery).
     delivered_mask: Vec<u64>,
+    /// Walk arena for route sources without a shared flat array
+    /// (on-demand / implicit providers): packet walks are appended here
+    /// by `init_run` and `spans` index into it. Stays empty under a
+    /// dense source, whose spans index the cache's own flat array.
+    pub(crate) walks: Vec<u32>,
     heap: BinaryHeap<std::cmp::Reverse<u128>>,
 }
 
@@ -467,17 +475,42 @@ pub fn schedule_cost(
     cache: &RouteCache,
     scratch: &mut ScheduleScratch,
 ) -> Result<u64, SimError> {
-    init_run(cdcg, mesh, mapping, params, cache, scratch)?;
+    schedule_cost_with(cdcg, mesh, mapping, params, cache, scratch)
+}
+
+/// [`schedule_cost`] over any [`RouteSource`] — a dense [`RouteCache`]
+/// or any tier of [`RouteProvider`]. Results are bit-identical across
+/// sources built for the same mesh and routing algorithm: the engine
+/// depends only on which walks share which links, not on the numbering.
+///
+/// # Errors
+///
+/// Same as [`schedule_cost`].
+///
+/// # Panics
+///
+/// Panics if `routes` was built for a different mesh than `mesh`.
+pub fn schedule_cost_with<S: RouteSource + ?Sized>(
+    cdcg: &Cdcg,
+    mesh: &Mesh,
+    mapping: &Mapping,
+    params: &SimParams,
+    routes: &S,
+    scratch: &mut ScheduleScratch,
+) -> Result<u64, SimError> {
+    init_run(cdcg, mesh, mapping, params, routes, scratch)?;
+    let walks = std::mem::take(&mut scratch.walks);
     let (texec, delivered, _) = run_loop(
         cdcg,
         params,
-        cache.link_ids_flat(),
+        routes.flat(&walks),
         scratch,
         0,
         0,
         0,
         &mut NoopObserver,
     );
+    scratch.walks = walks;
     debug_assert_eq!(
         delivered,
         cdcg.packet_count(),
@@ -488,19 +521,21 @@ pub fn schedule_cost(
 
 /// Validates the instance, sizes the scratch, resolves spans/flits and
 /// seeds the start events — everything [`schedule_cost`] does before its
-/// event loop.
-pub(crate) fn init_run(
+/// event loop. For buffering route sources the packet walks land in
+/// `scratch.walks` (cleared first); dense sources leave it empty and
+/// span their shared flat array.
+pub(crate) fn init_run<S: RouteSource + ?Sized>(
     cdcg: &Cdcg,
     mesh: &Mesh,
     mapping: &Mapping,
     params: &SimParams,
-    cache: &RouteCache,
+    routes: &S,
     scratch: &mut ScheduleScratch,
 ) -> Result<(), SimError> {
     assert_eq!(
-        cache.mesh(),
+        routes.mesh(),
         mesh,
-        "route cache was built for a different mesh"
+        "route source was built for a different mesh"
     );
     if mapping.core_count() != cdcg.core_count() {
         return Err(SimError::CoreCountMismatch {
@@ -520,13 +555,18 @@ pub(crate) fn init_run(
         n_packets < PACKET_LIMIT,
         "cost evaluation supports up to 2^30 packets"
     );
-    scratch.ensure(cache.dense_link_count(), n_packets);
+    scratch.ensure(routes.dense_link_count(), n_packets);
+    scratch.walks.clear();
 
     for id in cdcg.packet_ids() {
         let i = id.index();
         let p = cdcg.packet(id);
-        let span = cache.link_span(mapping.tile_of(p.src), mapping.tile_of(p.dst));
-        scratch.spans[i] = (span.start as u32, (span.end - span.start) as u32);
+        let span = routes.walk_span(
+            mapping.tile_of(p.src),
+            mapping.tile_of(p.dst),
+            &mut scratch.walks,
+        );
+        scratch.spans[i] = span;
         scratch.flits[i] = params.flits(p.bits).max(1);
         scratch.pending[i] = cdcg.predecessors(id).len() as u32;
         scratch.ready[i] = 0;
@@ -712,32 +752,43 @@ fn release_fifo(scratch: &mut ScheduleScratch, link: u32, applies: bool, clear: 
 }
 
 /// A reusable cost-evaluation engine: one application plus a shared route
-/// cache plus a private scratch.
+/// provider plus a private scratch.
 ///
-/// Cloning an evaluator shares the (immutable) route cache via `Arc` but
-/// gives the clone its own scratch, so clones can evaluate concurrently
-/// on different threads — the layout parallel multi-start search uses.
+/// Cloning an evaluator shares the (immutable) route provider via `Arc`
+/// but gives the clone its own scratch, so clones can evaluate
+/// concurrently on different threads — the layout parallel multi-start
+/// search uses.
 #[derive(Debug, Clone)]
 pub struct CostEvaluator<'a> {
     cdcg: &'a Cdcg,
     params: SimParams,
-    cache: Arc<RouteCache>,
+    routes: Arc<RouteProvider>,
     scratch: ScheduleScratch,
 }
 
 impl<'a> CostEvaluator<'a> {
-    /// Builds an evaluator for `cdcg` on `mesh`, constructing a fresh XY
-    /// route cache.
+    /// Builds an evaluator for `cdcg` on `mesh` under XY routing, with an
+    /// automatically sized route provider (dense for small meshes,
+    /// on-demand beyond — never fails, never panics on mesh size).
     pub fn new(cdcg: &'a Cdcg, mesh: &Mesh, params: &SimParams) -> Self {
-        Self::with_cache(cdcg, params, Arc::new(RouteCache::new(mesh)))
+        Self::with_provider(
+            cdcg,
+            params,
+            Arc::new(RouteProvider::auto(mesh, RoutingKind::Xy)),
+        )
     }
 
-    /// Builds an evaluator sharing an existing route cache.
+    /// Builds an evaluator sharing an existing dense route cache.
     pub fn with_cache(cdcg: &'a Cdcg, params: &SimParams, cache: Arc<RouteCache>) -> Self {
+        Self::with_provider(cdcg, params, Arc::new(RouteProvider::from_cache(cache)))
+    }
+
+    /// Builds an evaluator sharing an existing route provider (any tier).
+    pub fn with_provider(cdcg: &'a Cdcg, params: &SimParams, routes: Arc<RouteProvider>) -> Self {
         Self {
             cdcg,
             params: *params,
-            cache,
+            routes,
             scratch: ScheduleScratch::new(),
         }
     }
@@ -752,9 +803,9 @@ impl<'a> CostEvaluator<'a> {
         &self.params
     }
 
-    /// The shared route cache.
-    pub fn cache(&self) -> &Arc<RouteCache> {
-        &self.cache
+    /// The shared route provider.
+    pub fn provider(&self) -> &Arc<RouteProvider> {
+        &self.routes
     }
 
     /// `texec` of `mapping` in cycles; bit-exact with
@@ -764,12 +815,12 @@ impl<'a> CostEvaluator<'a> {
     ///
     /// Same as [`schedule_cost`].
     pub fn texec_cycles(&mut self, mapping: &Mapping) -> Result<u64, SimError> {
-        schedule_cost(
+        schedule_cost_with(
             self.cdcg,
-            self.cache.mesh(),
+            self.routes.mesh(),
             mapping,
             &self.params,
-            &self.cache,
+            self.routes.as_ref(),
             &mut self.scratch,
         )
     }
@@ -787,9 +838,9 @@ impl<'a> CostEvaluator<'a> {
     /// Per-link traversal counts of the most recent evaluation, for load
     /// diagnostics: `(link, traversals)` for every traversed link.
     pub fn link_traversals(&self) -> impl Iterator<Item = (Link, u64)> + '_ {
-        (0..self.cache.dense_link_count() as u32).filter_map(move |id| {
+        (0..self.routes.dense_link_count() as u32).filter_map(move |id| {
             let n = self.scratch.link_traversals(id);
-            (n > 0).then(|| (self.cache.link_of(id), n))
+            (n > 0).then(|| (self.routes.link_at(id).expect("traversed ids decode"), n))
         })
     }
 }
@@ -977,7 +1028,7 @@ mod tests {
         let eval = CostEvaluator::new(&cdcg, &mesh, &params);
         let mut clone_a = eval.clone();
         let mut clone_b = eval.clone();
-        assert!(Arc::ptr_eq(clone_a.cache(), clone_b.cache()));
+        assert!(Arc::ptr_eq(clone_a.provider(), clone_b.provider()));
         let mapping = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
         assert_eq!(clone_a.texec_cycles(&mapping).unwrap(), 100);
         assert_eq!(clone_b.texec_cycles(&mapping).unwrap(), 100);

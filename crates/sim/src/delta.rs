@@ -105,7 +105,9 @@
 use crate::cost::{init_run, pack, run_loop, EngineSnapshot, RunObserver, ScheduleScratch, INJECT};
 use crate::error::SimError;
 use crate::params::SimParams;
-use noc_model::{Cdcg, Mapping, Mesh, PacketId, RouteCache, TileId};
+use noc_model::{
+    Cdcg, Mapping, Mesh, PacketId, RouteCache, RouteProvider, RouteSource, RoutingKind, TileId,
+};
 use std::sync::Arc;
 
 /// Counters describing how the incremental evaluator served its queries.
@@ -334,7 +336,7 @@ const RETAPE_INTERVAL: u64 = 32;
 pub struct IncrementalScheduler<'a> {
     cdcg: &'a Cdcg,
     params: SimParams,
-    cache: Arc<RouteCache>,
+    routes: Arc<RouteProvider>,
     scratch: ScheduleScratch,
     /// Per core: packets whose source or destination is that core.
     touching: Vec<Vec<u32>>,
@@ -353,6 +355,11 @@ pub struct IncrementalScheduler<'a> {
     /// Events a full evaluation of the baseline processes (deterministic
     /// for a mapping; the denominator of the skip fraction).
     baseline_total_events: u64,
+    /// Length of the scratch walk arena that live (baseline) spans
+    /// reference; candidate walks appended past it are discarded when
+    /// the candidate is rejected, so rejection streaks cannot grow the
+    /// arena without bound. Grows on promotion, resets on re-baseline.
+    walks_base: usize,
     /// Recycled snapshots (buffer reuse across moves).
     pool: Vec<EngineSnapshot>,
     dirty: Vec<u32>,
@@ -369,15 +376,26 @@ pub struct IncrementalScheduler<'a> {
 }
 
 impl<'a> IncrementalScheduler<'a> {
-    /// Builds an engine for `cdcg` on `mesh`, constructing a fresh XY
-    /// route cache.
+    /// Builds an engine for `cdcg` on `mesh` under XY routing, with an
+    /// automatically sized route provider (dense for small meshes,
+    /// on-demand beyond).
     pub fn new(cdcg: &'a Cdcg, mesh: &Mesh, params: &SimParams) -> Self {
-        Self::with_cache(cdcg, params, Arc::new(RouteCache::new(mesh)))
+        Self::with_provider(
+            cdcg,
+            params,
+            Arc::new(RouteProvider::auto(mesh, RoutingKind::Xy)),
+        )
     }
 
-    /// Builds an engine over an existing shared route cache (any routing
-    /// algorithm — the evaluator is routing-generic).
+    /// Builds an engine over an existing shared dense route cache (any
+    /// routing algorithm — the evaluator is routing-generic).
     pub fn with_cache(cdcg: &'a Cdcg, params: &SimParams, cache: Arc<RouteCache>) -> Self {
+        Self::with_provider(cdcg, params, Arc::new(RouteProvider::from_cache(cache)))
+    }
+
+    /// Builds an engine over an existing shared route provider (any
+    /// tier; results are bit-identical across tiers).
+    pub fn with_provider(cdcg: &'a Cdcg, params: &SimParams, routes: Arc<RouteProvider>) -> Self {
         let mut touching = vec![Vec::new(); cdcg.core_count()];
         for id in cdcg.packet_ids() {
             let p = cdcg.packet(id);
@@ -389,7 +407,7 @@ impl<'a> IncrementalScheduler<'a> {
         Self {
             cdcg,
             params: *params,
-            cache,
+            routes,
             scratch: ScheduleScratch::new(),
             touching,
             baseline: RunRecord::default(),
@@ -399,6 +417,7 @@ impl<'a> IncrementalScheduler<'a> {
             moves_since_retape: 0,
             stride: MIN_STRIDE,
             baseline_total_events: 0,
+            walks_base: 0,
             pool: Vec::new(),
             dirty: Vec::new(),
             deliveries: Vec::new(),
@@ -419,9 +438,9 @@ impl<'a> IncrementalScheduler<'a> {
         &self.params
     }
 
-    /// The shared route cache.
-    pub fn cache(&self) -> &Arc<RouteCache> {
-        &self.cache
+    /// The shared route provider.
+    pub fn provider(&self) -> &Arc<RouteProvider> {
+        &self.routes
     }
 
     /// Counters for the queries served so far.
@@ -546,16 +565,22 @@ impl<'a> IncrementalScheduler<'a> {
             - 1;
 
         // Candidate spans: baseline spans with the dirty packets patched.
+        // Buffering providers append the rerouted walks to the scratch's
+        // walk arena; a previously rejected candidate's appends are dead
+        // by now (`align_baseline` already promoted a matching one), so
+        // drop them first — baseline spans all lie below `walks_base`.
+        self.scratch.walks.truncate(self.walks_base);
         self.candidate.spans.clone_from(&self.baseline.spans);
         {
             let cand = self.candidate.mapping.as_ref().expect("just set");
             for &p in &self.dirty {
                 let pkt = self.cdcg.packet(PacketId::new(p as usize));
-                let span = self
-                    .cache
-                    .link_span(cand.tile_of(pkt.src), cand.tile_of(pkt.dst));
-                self.candidate.spans[p as usize] =
-                    (span.start as u32, (span.end - span.start) as u32);
+                let span = self.routes.walk_span(
+                    cand.tile_of(pkt.src),
+                    cand.tile_of(pkt.dst),
+                    &mut self.scratch.walks,
+                );
+                self.candidate.spans[p as usize] = span;
             }
         }
         let cand_total_events = Self::total_events(&self.candidate.spans);
@@ -589,16 +614,18 @@ impl<'a> IncrementalScheduler<'a> {
             }),
             events_seen: events_done0,
         };
+        let walks = std::mem::take(&mut self.scratch.walks);
         let (texec_run, delivered, events_done) = run_loop(
             self.cdcg,
             &self.params,
-            self.cache.link_ids_flat(),
+            self.routes.flat(&walks),
             &mut self.scratch,
             texec0,
             delivered0,
             events_done0,
             &mut observer,
         );
+        self.scratch.walks = walks;
         let converged = observer.converge.as_ref().and_then(|w| w.converged);
         let texec = match converged {
             Some((_, tail)) => {
@@ -628,9 +655,20 @@ impl<'a> IncrementalScheduler<'a> {
         Ok(texec)
     }
 
+    /// Upper bound on the walk arena before it is compacted by a
+    /// re-baseline: a few times the live baseline footprint. Promotions
+    /// leave the old baseline's walks as garbage in the arena; without
+    /// this cap an accept-heavy run whose promotions never thin the
+    /// checkpoint tape would grow the arena without bound.
+    fn arena_budget(&self) -> usize {
+        let live = self.baseline_total_events as usize / 3 + 2 * self.cdcg.packet_count();
+        4 * live + 1024
+    }
+
     /// Ensures the baseline is `mapping` with checkpoints recorded,
     /// promoting the pending candidate when it matches; refreshes a
-    /// promotion-thinned tape at a bounded rate.
+    /// promotion-thinned tape (or a garbage-bloated walk arena) at a
+    /// bounded rate.
     fn align_baseline(&mut self, mapping: &Mapping) -> Result<(), SimError> {
         self.sticky_tape = true;
         if self.candidate_matches(mapping) {
@@ -638,7 +676,9 @@ impl<'a> IncrementalScheduler<'a> {
         }
         if self.baseline_matches(mapping) && self.baseline.taped {
             self.moves_since_retape += 1;
-            if self.checkpoints.len() >= MIN_TAPE_LEN || self.moves_since_retape < RETAPE_INTERVAL {
+            let healthy_tape =
+                self.checkpoints.len() >= MIN_TAPE_LEN || self.moves_since_retape < RETAPE_INTERVAL;
+            if healthy_tape && self.scratch.walks.len() <= self.arena_budget() {
                 return Ok(());
             }
             self.stats.tape_refreshes += 1;
@@ -663,6 +703,8 @@ impl<'a> IncrementalScheduler<'a> {
         self.baseline.texec = self.candidate.texec;
         self.baseline.taped = self.candidate.taped;
         self.candidate.mapping = None;
+        // The candidate's appended walks are baseline-referenced now.
+        self.walks_base = self.scratch.walks.len();
         if self.candidate.identical {
             // Same schedule, same checkpoints, same tail maxima.
             return;
@@ -721,15 +763,16 @@ impl<'a> IncrementalScheduler<'a> {
 
         init_run(
             self.cdcg,
-            self.cache.mesh(),
+            self.routes.mesh(),
             mapping,
             &self.params,
-            &self.cache,
+            self.routes.as_ref(),
             &mut self.scratch,
         )?;
+        self.walks_base = self.scratch.walks.len();
 
         let n_packets = self.cdcg.packet_count();
-        let n_links = self.cache.dense_link_count();
+        let n_links = self.routes.dense_link_count();
         self.baseline.spans.clear();
         self.baseline
             .spans
@@ -771,16 +814,18 @@ impl<'a> IncrementalScheduler<'a> {
             converge: None,
             events_seen: 0,
         };
+        let walks = std::mem::take(&mut self.scratch.walks);
         let (texec, delivered, _) = run_loop(
             self.cdcg,
             &self.params,
-            self.cache.link_ids_flat(),
+            self.routes.flat(&walks),
             &mut self.scratch,
             0,
             0,
             0,
             &mut observer,
         );
+        self.scratch.walks = walks;
         debug_assert_eq!(delivered, n_packets, "run must deliver all packets");
 
         // Tail maxima: for each checkpoint, the largest delivery time of
@@ -805,17 +850,17 @@ impl<'a> IncrementalScheduler<'a> {
 }
 
 impl Clone for IncrementalScheduler<'_> {
-    /// Clones share the route cache but start with fresh scratch,
+    /// Clones share the route provider but start with fresh scratch,
     /// baseline and statistics.
     fn clone(&self) -> Self {
-        Self::with_cache(self.cdcg, &self.params, Arc::clone(&self.cache))
+        Self::with_provider(self.cdcg, &self.params, Arc::clone(&self.routes))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cost::schedule_cost;
+    use noc_model::RouteProvider;
     use noc_model::{Mesh, TileId};
 
     fn figure1_cdcg() -> Cdcg {
@@ -843,10 +888,10 @@ mod tests {
         mesh: &Mesh,
         mapping: &Mapping,
         params: &SimParams,
-        cache: &RouteCache,
+        routes: &RouteProvider,
     ) -> u64 {
         let mut scratch = ScheduleScratch::new();
-        schedule_cost(cdcg, mesh, mapping, params, cache, &mut scratch).unwrap()
+        crate::cost::schedule_cost_with(cdcg, mesh, mapping, params, routes, &mut scratch).unwrap()
     }
 
     #[test]
@@ -855,7 +900,7 @@ mod tests {
         let mesh = Mesh::new(2, 2).unwrap();
         let params = SimParams::paper_example();
         let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
-        let cache = Arc::clone(engine.cache());
+        let routes = Arc::clone(engine.provider());
         let base = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
         for a in 0..4 {
             for b in 0..4 {
@@ -863,7 +908,7 @@ mod tests {
                 let got = engine.swap_texec(&base, a, b).unwrap();
                 let mut swapped = base.clone();
                 swapped.swap_tiles(a, b);
-                let want = reference(&cdcg, &mesh, &swapped, &params, &cache);
+                let want = reference(&cdcg, &mesh, &swapped, &params, &routes);
                 assert_eq!(got, want, "swap {a}-{b}");
             }
         }
@@ -876,7 +921,7 @@ mod tests {
         let mesh = Mesh::new(3, 3).unwrap();
         let params = SimParams::paper_example();
         let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
-        let cache = Arc::clone(engine.cache());
+        let routes = Arc::clone(engine.provider());
         let mut current = Mapping::from_tiles(&mesh, [0, 1, 3, 4].map(TileId::new)).unwrap();
         // Accept a chain of swaps; each acceptance must be served without
         // a fresh full re-baseline.
@@ -887,7 +932,7 @@ mod tests {
             let (a, b) = (TileId::new(a), TileId::new(b));
             let got = engine.swap_texec(&current, a, b).unwrap();
             current.swap_tiles(a, b);
-            let want = reference(&cdcg, &mesh, &current, &params, &cache);
+            let want = reference(&cdcg, &mesh, &current, &params, &routes);
             assert_eq!(got, want, "accepted swap #{i}");
             assert_eq!(engine.texec_for(&current).unwrap(), want);
         }
@@ -926,6 +971,38 @@ mod tests {
         assert_eq!(engine.texec_for(&m).unwrap(), 100);
         assert_eq!(engine.stats().full_rebaselines, 1);
         assert_eq!(engine.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn walk_arena_stays_bounded_on_buffering_providers() {
+        // Buffering providers append rerouted walks to the scratch
+        // arena per swap query; rejected candidates must be truncated
+        // and accept-heavy garbage compacted, or long SA runs grow the
+        // arena without bound (regression test).
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(4, 4).unwrap();
+        let params = SimParams::paper_example();
+        let provider = Arc::new(RouteProvider::implicit(&mesh, RoutingKind::Xy));
+        let mut engine = IncrementalScheduler::with_provider(&cdcg, &params, Arc::clone(&provider));
+        let mut current = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        for i in 0..300usize {
+            let a = TileId::new(i % 16);
+            let b = TileId::new((i * 7 + 3) % 16);
+            let got = engine.swap_texec(&current, a, b).unwrap();
+            let mut swapped = current.clone();
+            swapped.swap_tiles(a, b);
+            assert_eq!(got, reference(&cdcg, &mesh, &swapped, &params, &provider));
+            if i % 5 == 0 {
+                // Accept some moves: exercises promotion bookkeeping too.
+                current = swapped;
+            }
+            assert!(
+                engine.scratch.walks.len() <= engine.arena_budget(),
+                "walk arena grew past its budget after move {i}: {} > {}",
+                engine.scratch.walks.len(),
+                engine.arena_budget()
+            );
+        }
     }
 
     #[test]

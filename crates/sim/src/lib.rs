@@ -17,8 +17,9 @@
 //! [`cost`]: the same algorithm (shared event types, identical
 //! arbitration and tie-breaking, bit-exact `texec`) evaluated without
 //! materializing schedules, occupancy maps or contention logs, over
-//! preallocated scratch state ([`ScheduleScratch`]) and a shared
-//! [`noc_model::RouteCache`]. The contract:
+//! preallocated scratch state ([`ScheduleScratch`]) and a shared route
+//! source — a dense [`noc_model::RouteCache`] or any tier of the
+//! large-mesh [`noc_model::RouteProvider`]. The contract:
 //!
 //! * **Full evaluation** ([`schedule`]) — when the *artifacts* matter:
 //!   occupancy lists, per-packet timelines, contention events, Gantt
@@ -82,7 +83,7 @@ pub mod resource;
 pub mod schedule;
 pub mod wormhole;
 
-pub use cost::{schedule_cost, CostEvaluator, ScheduleScratch};
+pub use cost::{schedule_cost, schedule_cost_with, CostEvaluator, ScheduleScratch};
 pub use delta::{DeltaStats, IncrementalScheduler};
 pub use error::SimError;
 pub use interval::CycleInterval;

@@ -11,7 +11,7 @@ use noc::apps::TgffConfig;
 use noc::energy::Technology;
 use noc::mapping::{anneal, anneal_delta, CdcmObjective, CostFunction, SaConfig, SwapDeltaCost};
 use noc::model::{Cdcg, Mapping, Mesh, TileId};
-use noc::sim::{schedule_cost, IncrementalScheduler, ScheduleScratch, SimParams};
+use noc::sim::{IncrementalScheduler, ScheduleScratch, SimParams};
 use proptest::prelude::*;
 
 /// Cases per property; override with `NOC_FUZZ_CASES` (the scheduled CI
@@ -74,10 +74,11 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
-        let cache = std::sync::Arc::clone(engine.cache());
+        let routes = std::sync::Arc::clone(engine.provider());
         let mut scratch = ScheduleScratch::new();
         let mut reference = |m: &Mapping| {
-            schedule_cost(&cdcg, &mesh, m, &params, &cache, &mut scratch).expect("schedules")
+            noc::sim::schedule_cost_with(&cdcg, &mesh, m, &params, routes.as_ref(), &mut scratch)
+                .expect("schedules")
         };
 
         let mut current = permuted_mapping(&mesh, cdcg.core_count(), seed);
