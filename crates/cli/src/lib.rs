@@ -24,8 +24,9 @@
 use noc_energy::total::{evaluate_cdcm_with, evaluate_cwm_with};
 use noc_energy::Technology;
 use noc_mapping::{
-    anneal_constrained, CdcmObjective, Constraints, CwmObjective, Explorer, RestartBudget,
-    SaConfig, SearchMethod, Strategy,
+    anneal_constrained, AdaptiveConfig, CdcmObjective, Constraints, Crossover, CwmObjective,
+    Explorer, GaConfig, PortfolioConfig, RestartBudget, SaConfig, SearchMethod, SearchTelemetry,
+    Strategy, TabuConfig,
 };
 use noc_model::{Cdcg, Mapping, Mesh, RouteProvider, RoutingKind, TileId};
 use noc_sim::gantt::GanttChart;
@@ -51,7 +52,7 @@ impl Options {
     /// Returns an error for a dangling `--key` without a value when the
     /// key is not a known flag.
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
-        const FLAGS: [&str; 3] = ["--gantt", "--quick", "--cwg"];
+        const FLAGS: [&str; 4] = ["--gantt", "--quick", "--cwg", "--telemetry"];
         let mut options = Options::default();
         let mut i = 0;
         while i < args.len() {
@@ -329,6 +330,7 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
             .parse()
             .map_err(|_| format!("invalid value `{evals}` for `--evals`"))?;
     }
+    let budget = sa_config.max_evaluations;
     let method = match options.get("--method").unwrap_or("sa") {
         "sa" | "SA" => SearchMethod::SimulatedAnnealing(sa_config),
         // The total budget is divided across restarts, so `sa-multi`
@@ -338,6 +340,42 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
             restarts: options.get_parsed("--restarts", 8u32)?,
             budget: RestartBudget::Total,
         },
+        // The adaptive/GA/tabu/portfolio strategies share the same total
+        // budget (`--evals` / the SA profile), so all methods compare at
+        // equal evaluation spend.
+        "adaptive" => {
+            let mut config = AdaptiveConfig::new(seed);
+            config.budget = budget;
+            config.population = options.get_parsed("--population", config.population)?;
+            config.rounds = options.get_parsed("--rounds", config.rounds)?;
+            SearchMethod::Adaptive(config)
+        }
+        "ga" | "genetic" => {
+            let mut config = GaConfig::new(seed);
+            config.budget = budget;
+            config.population = options.get_parsed("--population", config.population)?;
+            config.crossover = match options.get("--crossover").unwrap_or("pmx") {
+                "pmx" => Crossover::Pmx,
+                "cycle" => Crossover::Cycle,
+                other => return Err(format!("unknown crossover `{other}` (pmx|cycle)").into()),
+            };
+            SearchMethod::Genetic(config)
+        }
+        "tabu" => {
+            let mut config = TabuConfig::new(seed);
+            config.budget = budget;
+            config.tenure = options.get_parsed("--tenure", config.tenure)?;
+            config.neighborhood = options.get_parsed("--neighborhood", config.neighborhood)?;
+            SearchMethod::Tabu(config)
+        }
+        "portfolio" => {
+            let mut config = PortfolioConfig::new(seed);
+            config.budget = budget;
+            config.restarts = options.get_parsed("--restarts", 8u32)? as usize;
+            config.population = options.get_parsed("--population", config.population)?;
+            config.rounds = options.get_parsed("--rounds", config.rounds)?;
+            SearchMethod::Portfolio(config)
+        }
         "exhaustive" | "es" | "ES" => SearchMethod::Exhaustive,
         "random" => SearchMethod::Random {
             samples: 10_000,
@@ -348,7 +386,10 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
             seed,
         },
         other => {
-            return Err(format!("unknown method `{other}` (sa|sa-multi|es|random|greedy)").into())
+            return Err(format!(
+                "unknown method `{other}` (sa|sa-multi|adaptive|ga|tabu|portfolio|es|random|greedy)"
+            )
+            .into())
         }
     };
 
@@ -361,7 +402,7 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
         params,
         std::sync::Arc::new(provider),
     );
-    let outcome = match options.get("--pin") {
+    let (outcome, telemetry) = match options.get("--pin") {
         Some(pin_spec) => {
             // Constrained search: pinned cores stay on their tiles.
             let pins = parse_pins(pin_spec)?;
@@ -369,7 +410,7 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
             let sa = sa_config;
             // Objectives share the explorer's route provider (already
             // built for `routing`) instead of deriving a second one.
-            match strategy {
+            let outcome = match strategy {
                 Strategy::Cwm => {
                     let cwg = explorer.cwg().clone();
                     let objective = CwmObjective::with_provider(
@@ -389,9 +430,13 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
                     );
                     anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
                 }
-            }
+            };
+            (outcome, None)
         }
-        None => explorer.explore(strategy, method),
+        None => {
+            let run = explorer.explore_with_telemetry(strategy, method);
+            (run.outcome, Some(run.telemetry))
+        }
     };
     let eval = evaluate_cdcm_with(&app, &mesh, &outcome.mapping, &tech, &params, routing)?;
     let cwm_view = evaluate_cwm_with(
@@ -423,7 +468,53 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
     let _ = writeln!(out, "dynamic-only: {cwm_view} (the CWM view)");
     let _ = writeln!(out, "evaluations:  {}", outcome.evaluations);
     let _ = writeln!(out, "elapsed:      {:.3} s", outcome.elapsed.as_secs_f64());
+    if options.flag("--telemetry") {
+        match telemetry {
+            Some(telemetry) => render_telemetry(&mut out, &telemetry, ""),
+            None => {
+                let _ = writeln!(out, "telemetry:    (not available for constrained search)");
+            }
+        }
+    }
     Ok(out)
+}
+
+/// Renders search telemetry: budget rounds, survivors, best-so-far curve,
+/// and portfolio children (indented).
+fn render_telemetry(out: &mut String, telemetry: &SearchTelemetry, indent: &str) {
+    let _ = writeln!(
+        out,
+        "{indent}telemetry:    {} ({} evals, {} curve points)",
+        telemetry.strategy,
+        telemetry.evaluations,
+        telemetry.best_curve.len()
+    );
+    for round in &telemetry.rounds {
+        let budgets: Vec<String> = round
+            .budgets
+            .iter()
+            .map(|b| format!("m{}={}", b.member, b.evals))
+            .collect();
+        let survivors: Vec<String> = round.survivors.iter().map(usize::to_string).collect();
+        let _ = writeln!(
+            out,
+            "{indent}  round {}: {} -> best {:.3}, survivors [{}]",
+            round.round,
+            budgets.join(" "),
+            round.best_cost,
+            survivors.join(",")
+        );
+    }
+    if let (Some(first), Some(last)) = (telemetry.best_curve.first(), telemetry.best_curve.last()) {
+        let _ = writeln!(
+            out,
+            "{indent}  best curve: {:.3} @ {} evals -> {:.3} @ {} evals",
+            first.cost, first.evaluations, last.cost, last.evaluations
+        );
+    }
+    for child in &telemetry.children {
+        render_telemetry(out, child, &format!("{indent}  "));
+    }
 }
 
 /// `evaluate`: score one explicit mapping (optionally with a Gantt chart).
@@ -525,10 +616,14 @@ USAGE:
   noc-cli generate [--cores N --packets N --bits N --seed S] [--out app.json]
   noc-cli info     --app app.json
   noc-cli map      --app app.json --mesh WxH [--strategy cwm|cdcm]
-                   [--method sa|sa-multi|es|random|greedy] [--restarts N]
+                   [--method sa|sa-multi|adaptive|ga|tabu|portfolio|
+                    es|random|greedy] [--restarts N]
+                   [--population N] [--rounds N] [--tenure N]
+                   [--neighborhood N] [--crossover pmx|cycle]
                    [--tech paper|0.35|0.07] [--routing xy|yx|torus-xy]
                    [--route-cache auto|dense|on-demand|implicit]
-                   [--seed S] [--quick] [--evals N] [--pin c0:t3,c2:t0]
+                   [--seed S] [--quick] [--evals N] [--telemetry]
+                   [--pin c0:t3,c2:t0]
   noc-cli evaluate --app app.json --mesh WxH --mapping t0,t1,...
                    [--tech paper|0.35|0.07] [--routing xy|yx|torus-xy]
                    [--gantt]
@@ -538,6 +633,12 @@ USAGE:
 `generate` without --cores emits the paper's Figure 1 example.
 `sa-multi` divides the evaluation budget across restarts (same total
 spend as `sa`); search and reporting both follow `--routing`.
+`adaptive` runs a population of SA restarts in rounds, reallocating
+the budget to the best basins (successive halving + reheating);
+`ga` is a permutation genetic algorithm, `tabu` a tabu search, and
+`portfolio` splits the budget across all four metaheuristics. All
+methods spend the same `--evals` total, so they compare fairly;
+`--telemetry` prints where the budget went.
 `--route-cache` picks the route-provisioning tier: `auto` (default)
 precomputes densely on small meshes and switches to the bounded-memory
 on-demand cache on large ones; `implicit` stores no routes at all.
@@ -736,6 +837,96 @@ mod tests {
                 .expect("tile list printed")
         };
         assert_eq!(tile_line(&first), tile_line(&second));
+    }
+
+    #[test]
+    fn map_supports_the_metaheuristic_portfolio_methods() {
+        let path = write_example_app();
+        for method in ["adaptive", "ga", "tabu", "portfolio"] {
+            let args = strs(&[
+                "map",
+                "--app",
+                path.as_str(),
+                "--mesh",
+                "2x2",
+                "--method",
+                method,
+                "--evals",
+                "400",
+                "--tech",
+                "paper",
+                "--seed",
+                "7",
+                "--telemetry",
+            ]);
+            let first = run(&args).unwrap();
+            let second = run(&args).unwrap();
+            assert!(first.contains("texec:"), "{method}: {first}");
+            assert!(first.contains("telemetry:"), "{method}: {first}");
+            let tile_line = |out: &str| {
+                out.lines()
+                    .find(|l| l.starts_with("tile list:"))
+                    .map(str::to_owned)
+                    .expect("tile list printed")
+            };
+            // Same seed => same mapping, whatever the method.
+            assert_eq!(tile_line(&first), tile_line(&second), "{method}");
+            // Equal-budget discipline: never over the configured total.
+            let evals: u64 = first
+                .lines()
+                .find(|l| l.starts_with("evaluations:"))
+                .and_then(|l| l.split(':').nth(1))
+                .and_then(|v| v.trim().parse().ok())
+                .expect("evaluations printed");
+            assert!(evals <= 400, "{method} overspent: {evals}");
+        }
+    }
+
+    #[test]
+    fn adaptive_telemetry_reports_rounds_and_survivors() {
+        let path = write_example_app();
+        let out = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "adaptive",
+            "--population",
+            "4",
+            "--rounds",
+            "2",
+            "--evals",
+            "200",
+            "--tech",
+            "paper",
+            "--telemetry",
+        ]))
+        .unwrap();
+        assert!(out.contains("adaptive[4x2]"), "{out}");
+        assert!(out.contains("round 0:"), "{out}");
+        assert!(out.contains("survivors ["), "{out}");
+        assert!(out.contains("best curve:"), "{out}");
+    }
+
+    #[test]
+    fn unknown_crossover_is_rejected() {
+        let path = write_example_app();
+        let err = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "ga",
+            "--crossover",
+            "uniform",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("unknown crossover"), "{err}");
     }
 
     #[test]

@@ -9,12 +9,16 @@
 
 use crate::exhaustive::exhaustive;
 use crate::greedy::greedy;
-use crate::objective::{CdcmObjective, CwmObjective};
+use crate::objective::{CdcmObjective, CwmObjective, SwapDeltaCost};
 use crate::random_search::random_search;
 use crate::result::SearchOutcome;
-use crate::sa::{anneal_delta, anneal_multistart_delta_budgeted, RestartBudget, SaConfig};
+use crate::sa::{anneal_delta, RestartBudget, SaConfig};
 use noc_energy::Technology;
 use noc_model::{Cdcg, Cwg, Mesh, RouteProvider, RouteSource, RoutingAlgorithm};
+use noc_search::{
+    AdaptiveConfig, AdaptiveRestarts, GaConfig, GeneticSearch, MultiStartSa, Portfolio,
+    PortfolioConfig, SearchRun, SearchStrategy, TabuConfig, TabuSearch,
+};
 use noc_sim::SimParams;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -70,6 +74,64 @@ pub enum SearchMethod {
         /// RNG seed.
         seed: u64,
     },
+    /// Adaptive restart scheduling: a population of pausable SA runs
+    /// executed in rounds, with successive-halving budget reallocation
+    /// to the best basins and temperature reheating on revival (see
+    /// [`noc_search::AdaptiveRestarts`]).
+    Adaptive(AdaptiveConfig),
+    /// Permutation genetic algorithm: tournament selection, PMX/cycle
+    /// crossover, incremental-delta swap mutation, elitism (see
+    /// [`noc_search::GeneticSearch`]).
+    Genetic(GaConfig),
+    /// Tabu search with a swap-attribute tabu list and aspiration (see
+    /// [`noc_search::TabuSearch`]).
+    Tabu(TabuConfig),
+    /// Heterogeneous portfolio: the budget splits evenly across static
+    /// multi-start SA, adaptive restarts, the GA and tabu search (see
+    /// [`noc_search::Portfolio`]).
+    Portfolio(PortfolioConfig),
+}
+
+/// Runs one search method against a concrete objective. All engines
+/// route through here, so every `Explorer` strategy supports every
+/// method.
+fn run_method<C: SwapDeltaCost + Clone + Send>(
+    objective: &C,
+    mesh: &Mesh,
+    cores: usize,
+    method: SearchMethod,
+) -> SearchRun {
+    match method {
+        // Single-start SA uses incremental move evaluation — the low
+        // computational complexity the paper credits CWM with, and the
+        // dirty-set delta evaluator for CDCM.
+        SearchMethod::SimulatedAnnealing(config) => {
+            SearchRun::from_outcome(anneal_delta(objective, mesh, cores, &config))
+        }
+        SearchMethod::MultiStartSa {
+            config,
+            restarts,
+            budget,
+        } => MultiStartSa {
+            config,
+            restarts: restarts as usize,
+            budget,
+        }
+        .search(objective, mesh, cores),
+        SearchMethod::Exhaustive => SearchRun::from_outcome(exhaustive(objective, mesh, cores)),
+        SearchMethod::Random { samples, seed } => {
+            SearchRun::from_outcome(random_search(objective, mesh, cores, samples, seed))
+        }
+        SearchMethod::Greedy { restarts, seed } => {
+            SearchRun::from_outcome(greedy(objective, mesh, cores, restarts, seed))
+        }
+        SearchMethod::Adaptive(config) => {
+            AdaptiveRestarts::new(config).search(objective, mesh, cores)
+        }
+        SearchMethod::Genetic(config) => GeneticSearch::new(config).search(objective, mesh, cores),
+        SearchMethod::Tabu(config) => TabuSearch::new(config).search(objective, mesh, cores),
+        SearchMethod::Portfolio(config) => Portfolio::new(config).search(objective, mesh, cores),
+    }
 }
 
 /// Exploration facade over one application instance.
@@ -183,6 +245,14 @@ impl<'a> Explorer<'a> {
     /// Runs one strategy under one search method and returns the best
     /// mapping found.
     pub fn explore(&self, strategy: Strategy, method: SearchMethod) -> SearchOutcome {
+        self.explore_with_telemetry(strategy, method).outcome
+    }
+
+    /// [`Explorer::explore`], additionally returning the search
+    /// subsystem's telemetry (per-round budget allocations, basin
+    /// survivals, and the best-so-far curve; engines without native
+    /// telemetry report a single final point).
+    pub fn explore_with_telemetry(&self, strategy: Strategy, method: SearchMethod) -> SearchRun {
         let cores = self.cdcg.core_count();
         match strategy {
             Strategy::Cwm => {
@@ -192,33 +262,7 @@ impl<'a> Explorer<'a> {
                     &self.tech,
                     Arc::clone(&self.routes),
                 );
-                match method {
-                    SearchMethod::SimulatedAnnealing(config) => {
-                        // CWM supports incremental move evaluation — the
-                        // low computational complexity the paper credits
-                        // the model with.
-                        anneal_delta(&objective, &self.mesh, cores, &config)
-                    }
-                    SearchMethod::MultiStartSa {
-                        config,
-                        restarts,
-                        budget,
-                    } => anneal_multistart_delta_budgeted(
-                        &objective,
-                        &self.mesh,
-                        cores,
-                        &config,
-                        restarts as usize,
-                        budget,
-                    ),
-                    SearchMethod::Exhaustive => exhaustive(&objective, &self.mesh, cores),
-                    SearchMethod::Random { samples, seed } => {
-                        random_search(&objective, &self.mesh, cores, samples, seed)
-                    }
-                    SearchMethod::Greedy { restarts, seed } => {
-                        greedy(&objective, &self.mesh, cores, restarts, seed)
-                    }
-                }
+                run_method(&objective, &self.mesh, cores, method)
             }
             Strategy::Cdcm => {
                 let objective = CdcmObjective::with_provider(
@@ -227,33 +271,7 @@ impl<'a> Explorer<'a> {
                     self.params,
                     Arc::clone(&self.routes),
                 );
-                match method {
-                    SearchMethod::SimulatedAnnealing(config) => {
-                        // CDCM moves are evaluated incrementally too: the
-                        // dirty-set delta evaluator re-schedules only the
-                        // timeline suffix a swap can affect.
-                        anneal_delta(&objective, &self.mesh, cores, &config)
-                    }
-                    SearchMethod::MultiStartSa {
-                        config,
-                        restarts,
-                        budget,
-                    } => anneal_multistart_delta_budgeted(
-                        &objective,
-                        &self.mesh,
-                        cores,
-                        &config,
-                        restarts as usize,
-                        budget,
-                    ),
-                    SearchMethod::Exhaustive => exhaustive(&objective, &self.mesh, cores),
-                    SearchMethod::Random { samples, seed } => {
-                        random_search(&objective, &self.mesh, cores, samples, seed)
-                    }
-                    SearchMethod::Greedy { restarts, seed } => {
-                        greedy(&objective, &self.mesh, cores, restarts, seed)
-                    }
-                }
+                run_method(&objective, &self.mesh, cores, method)
             }
         }
     }

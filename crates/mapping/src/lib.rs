@@ -16,8 +16,12 @@
 //!
 //! Search engines: [`sa`] (simulated annealing, the FRW method),
 //! [`mod@exhaustive`] (optimality reference for small NoCs), plus
-//! [`mod@random_search`] and [`mod@greedy`] baselines. [`Explorer`] is the
-//! one-stop facade; [`Comparison`] computes the paper's ETR/ECS metrics.
+//! [`mod@random_search`] and [`mod@greedy`] baselines. The metaheuristic
+//! engines themselves live in the `noc-search` subsystem (re-exported
+//! here), which adds adaptive restart scheduling, a permutation GA,
+//! tabu search and a strategy portfolio — all reachable through
+//! [`Explorer`], the one-stop facade; [`Comparison`] computes the
+//! paper's ETR/ECS metrics.
 //!
 //! # Examples
 //!
@@ -69,6 +73,10 @@ pub use constructive::{constructive, constructive_mapping};
 pub use exhaustive::{exhaustive, for_each_mapping, search_space_size};
 pub use explorer::{Explorer, SearchMethod, Strategy};
 pub use greedy::greedy;
+pub use noc_search::{
+    AdaptiveConfig, AdaptiveRestarts, Crossover, GaConfig, GeneticSearch, MultiStartSa, Portfolio,
+    PortfolioConfig, SearchRun, SearchStrategy, SearchTelemetry, TabuConfig, TabuSearch,
+};
 pub use objective::{
     CdcmObjective, CostFunction, CwmObjective, ExecTimeObjective, SwapDeltaCost, WeightedObjective,
 };

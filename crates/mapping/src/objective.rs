@@ -37,28 +37,11 @@ fn provider_for(mesh: &Mesh, routing: &dyn RoutingAlgorithm) -> Arc<RouteProvide
     )
 }
 
-/// A mapping objective: smaller is better.
-///
-/// Objects of this trait are what the search engines in [`crate::sa`],
-/// [`crate::exhaustive()`], [`crate::random_search()`] and [`crate::greedy()`]
-/// minimize.
-pub trait CostFunction {
-    /// Cost of a mapping (picojoules for the energy objectives,
-    /// nanoseconds for the time objective).
-    fn cost(&self, mapping: &Mapping) -> f64;
-
-    /// Short name for reports ("CWM", "CDCM", …).
-    fn name(&self) -> String;
-}
-
-/// Objectives that can evaluate a tile swap incrementally, without a full
-/// re-evaluation. Implementations must guarantee
-/// `cost(swap(m)) == cost(m) + swap_delta(m, a, b)` up to rounding; the
-/// tests in this module and `tests/proptest_invariants.rs` enforce this.
-pub trait SwapDeltaCost: CostFunction {
-    /// Cost change if tiles `a` and `b` of `mapping` were swapped.
-    fn swap_delta(&self, mapping: &Mapping, a: TileId, b: TileId) -> f64;
-}
+// The objective traits every search engine minimizes live in the search
+// subsystem (`noc-search`), which the engines share; they are re-exported
+// here so objective implementors and downstream users are unaffected by
+// the move.
+pub use noc_search::{CostFunction, SwapDeltaCost};
 
 /// The CWM objective (Equation 3): NoC dynamic energy of a CWG.
 ///

@@ -1,63 +1,11 @@
 //! Random-sampling baseline.
 //!
-//! Hu & Marculescu's observation (cited in the paper's related work) is
-//! that informed mapping beats *random* placements by large margins; this
-//! engine provides that reference point, and doubles as a sanity check
-//! for the annealer (SA must never lose to random sampling at equal
-//! evaluation budgets on average).
+//! The engine now lives in [`noc_search::random`] (the search
+//! subsystem); this module re-exports it so existing call sites — and
+//! the tests below, which exercise it against the real objectives —
+//! keep working unchanged.
 
-use crate::objective::CostFunction;
-use crate::result::SearchOutcome;
-use noc_model::{Mapping, Mesh, TileId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::time::Instant;
-
-/// Draws `samples` uniform random mappings and keeps the best.
-///
-/// # Panics
-///
-/// Panics if `core_count` exceeds the tile count of `mesh` or if
-/// `samples` is zero.
-pub fn random_search<C: CostFunction + ?Sized>(
-    objective: &C,
-    mesh: &Mesh,
-    core_count: usize,
-    samples: u64,
-    seed: u64,
-) -> SearchOutcome {
-    assert!(samples > 0, "at least one sample is required");
-    let start = Instant::now();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut best: Option<(Mapping, f64)> = None;
-    for _ in 0..samples {
-        let mapping = sample_mapping(mesh, core_count, &mut rng);
-        let cost = objective.cost(&mapping);
-        if best.as_ref().is_none_or(|(_, c)| cost < *c) {
-            best = Some((mapping, cost));
-        }
-    }
-    let (mapping, cost) = best.expect("samples > 0");
-    SearchOutcome {
-        mapping,
-        cost,
-        evaluations: samples,
-        elapsed: start.elapsed(),
-        method: "random".to_owned(),
-        objective: objective.name(),
-    }
-}
-
-/// One uniform random injective mapping.
-pub fn sample_mapping(mesh: &Mesh, core_count: usize, rng: &mut StdRng) -> Mapping {
-    let mut tiles: Vec<TileId> = mesh.tiles().collect();
-    for i in (1..tiles.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        tiles.swap(i, j);
-    }
-    Mapping::from_tiles(mesh, tiles.into_iter().take(core_count))
-        .expect("shuffled prefix is injective")
-}
+pub use noc_search::random::{random_search, sample_mapping};
 
 #[cfg(test)]
 mod tests {
@@ -65,7 +13,7 @@ mod tests {
     use crate::exhaustive::exhaustive;
     use crate::objective::CwmObjective;
     use noc_energy::Technology;
-    use noc_model::Cwg;
+    use noc_model::{Cwg, Mesh};
 
     fn small_instance() -> (Cwg, Mesh, Technology) {
         let mut cwg = Cwg::new();

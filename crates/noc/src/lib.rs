@@ -9,8 +9,11 @@
 //! * [`sim`] — the wormhole timing engine (interval scheduler with
 //!   contention, flit-level DES, Gantt diagrams);
 //! * [`energy`] — bit-energy/static-power models and technology presets;
-//! * [`mapping`] — the CWM/CDCM objectives and the search engines
-//!   (simulated annealing, exhaustive, baselines);
+//! * [`mapping`] — the CWM/CDCM objectives and the classic search
+//!   engines (simulated annealing, exhaustive, baselines);
+//! * [`search`] — the metaheuristic subsystem: the [`mod@search`]
+//!   strategy trait with adaptive restart scheduling, a permutation
+//!   genetic algorithm, tabu search and a strategy portfolio;
 //! * [`apps`] — workload generators and the Table 1 benchmark suite.
 //!
 //! # Quickstart
@@ -43,6 +46,7 @@ pub use noc_apps as apps;
 pub use noc_energy as energy;
 pub use noc_mapping as mapping;
 pub use noc_model as model;
+pub use noc_search as search;
 pub use noc_sim as sim;
 
 /// One-stop imports for applications using the library.

@@ -1,0 +1,353 @@
+//! # noc-search
+//!
+//! The metaheuristic search subsystem of the NoC-mapping reproduction:
+//! simulated annealing (single, multi-start, and adaptively scheduled
+//! restarts), a permutation genetic algorithm, tabu search, and a
+//! strategy portfolio — all over the same two objective interfaces
+//! ([`CostFunction`] / [`SwapDeltaCost`]) that `noc-mapping`'s CWM/CDCM
+//! objectives implement.
+//!
+//! The paper reaches its mappings with one fixed-schedule SA run; this
+//! crate is where search *policy* grew past that. The original loops
+//! from `noc-mapping::sa` and `noc-mapping::random_search` were promoted
+//! here verbatim (those modules now re-export them), and the new
+//! strategies share their budget and determinism discipline.
+//!
+//! ## The strategy contract
+//!
+//! [`SearchStrategy`] is the subsystem's trait: a strategy owns a
+//! configuration (budget, seed, knobs), runs against any objective, and
+//! returns a [`SearchRun`] — the best mapping plus a [`SearchTelemetry`]
+//! describing where the budget went (per-round allocations, basin
+//! survivals, the best-so-far curve).
+//!
+//! ## Budget accounting
+//!
+//! Budgets are counted in *objective evaluations*: every
+//! [`CostFunction::cost`] call and every [`SwapDeltaCost::swap_delta`]
+//! call bills exactly 1, whatever it costs the engine underneath. A
+//! strategy never bills past its configured budget. One exception,
+//! inherited from [`anneal_delta`]: the final *verification*
+//! re-evaluation of the returned best mapping is unbilled, so the
+//! reported cost is always a from-scratch evaluation (bitwise equal to
+//! re-evaluating the returned mapping) rather than an accumulated sum
+//! of increments.
+//!
+//! ## The deterministic-reduction rule
+//!
+//! Everything here is bit-reproducible from a seed, *including under
+//! `std::thread` parallelism*. The rule (shared with
+//! [`anneal_multistart`]): parallel work units own their RNG streams and
+//! objective clones, carry a stable index, land their results by that
+//! index, and every ranking/reduction tie breaks toward the lowest
+//! index — never completion order. Telemetry falls under the same
+//! guarantee.
+//!
+//! ## Strategies
+//!
+//! | Strategy | Policy | Objective bound |
+//! |----------|--------|-----------------|
+//! | [`MultiStartSa`] | static budget split across restarts | `SwapDeltaCost + Clone + Send` |
+//! | [`AdaptiveRestarts`] | successive-halving rounds + reheating | `SwapDeltaCost + Clone + Send` |
+//! | [`GeneticSearch`] | tournament/PMX-or-cycle/elitism GA | `SwapDeltaCost` |
+//! | [`TabuSearch`] | swap-attribute tabu list + aspiration | `SwapDeltaCost` |
+//! | [`Portfolio`] | even split across the four above | `SwapDeltaCost + Clone + Send` |
+//!
+//! [`AdaptiveRestarts`] subsumes the static multi-start modes:
+//! `rounds = 1` *is* `RestartBudget::Total` splitting, and a population
+//! of one is a single reheated SA run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod ga;
+pub mod objective;
+pub mod outcome;
+pub mod portfolio;
+pub mod random;
+mod runner;
+pub mod sa;
+pub mod strategy;
+pub mod tabu;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveRestarts};
+pub use ga::{Crossover, GaConfig, GeneticSearch};
+pub use objective::{CostFunction, SwapDeltaCost};
+pub use outcome::SearchOutcome;
+pub use portfolio::{Portfolio, PortfolioConfig};
+pub use random::{random_search, sample_mapping};
+pub use sa::{
+    anneal, anneal_delta, anneal_multistart, anneal_multistart_budgeted, anneal_multistart_delta,
+    anneal_multistart_delta_budgeted, propose_swap, random_mapping, MultiStartSa, RestartBudget,
+    SaConfig,
+};
+pub use strategy::{SearchRun, SearchStrategy};
+pub use tabu::{TabuConfig, TabuSearch};
+pub use telemetry::{CurvePoint, MemberBudget, RoundTelemetry, SearchTelemetry};
+
+pub mod telemetry;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_model::{Mapping, Mesh, TileId};
+
+    /// A synthetic objective with real basin structure: each core `i`
+    /// prefers tile `target(i)`, cost is the summed Manhattan distance
+    /// to the targets (weighted so cores differ). Cheap, deterministic,
+    /// and with an exact incremental swap delta.
+    #[derive(Clone)]
+    struct Homing {
+        mesh: Mesh,
+        targets: Vec<TileId>,
+    }
+
+    impl Homing {
+        fn new(mesh: &Mesh, cores: usize) -> Self {
+            let targets = (0..cores)
+                .map(|i| TileId::new((i * 7 + 3) % mesh.tile_count()))
+                .collect();
+            Self {
+                mesh: *mesh,
+                targets,
+            }
+        }
+
+        fn dist(&self, a: TileId, b: TileId) -> f64 {
+            self.mesh.manhattan(a, b) as f64
+        }
+    }
+
+    impl CostFunction for Homing {
+        fn cost(&self, mapping: &Mapping) -> f64 {
+            mapping
+                .assignments()
+                .map(|(core, tile)| {
+                    (core.index() as f64 + 1.0) * self.dist(tile, self.targets[core.index()])
+                })
+                .sum()
+        }
+
+        fn name(&self) -> String {
+            "homing".to_owned()
+        }
+    }
+
+    impl SwapDeltaCost for Homing {
+        fn swap_delta(&self, mapping: &Mapping, a: TileId, b: TileId) -> f64 {
+            let mut swapped = mapping.clone();
+            swapped.swap_tiles(a, b);
+            self.cost(&swapped) - self.cost(mapping)
+        }
+    }
+
+    type StrategyFn = Box<dyn Fn(&Homing, &Mesh, usize) -> SearchRun>;
+
+    fn strategies() -> Vec<(&'static str, StrategyFn)> {
+        vec![
+            (
+                "adaptive",
+                Box::new(|o: &Homing, m: &Mesh, k: usize| {
+                    let mut c = AdaptiveConfig::quick(9);
+                    c.budget = 600;
+                    AdaptiveRestarts::new(c).search(o, m, k)
+                }),
+            ),
+            (
+                "ga-pmx",
+                Box::new(|o: &Homing, m: &Mesh, k: usize| {
+                    let mut c = GaConfig::quick(9);
+                    c.budget = 600;
+                    GeneticSearch::new(c).search(o, m, k)
+                }),
+            ),
+            (
+                "ga-cycle",
+                Box::new(|o: &Homing, m: &Mesh, k: usize| {
+                    let mut c = GaConfig::quick(9);
+                    c.budget = 600;
+                    c.crossover = Crossover::Cycle;
+                    GeneticSearch::new(c).search(o, m, k)
+                }),
+            ),
+            (
+                "tabu",
+                Box::new(|o: &Homing, m: &Mesh, k: usize| {
+                    let mut c = TabuConfig::quick(9);
+                    c.budget = 600;
+                    TabuSearch::new(c).search(o, m, k)
+                }),
+            ),
+            (
+                "portfolio",
+                Box::new(|o: &Homing, m: &Mesh, k: usize| {
+                    let mut c = PortfolioConfig::quick(9);
+                    c.budget = 600;
+                    Portfolio::new(c).search(o, m, k)
+                }),
+            ),
+        ]
+    }
+
+    #[test]
+    fn every_strategy_is_deterministic_budgeted_and_verified() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let objective = Homing::new(&mesh, 9);
+        for (label, run) in strategies() {
+            let first = run(&objective, &mesh, 9);
+            let second = run(&objective, &mesh, 9);
+            assert_eq!(first.outcome.mapping, second.outcome.mapping, "{label}");
+            assert_eq!(first.outcome.cost, second.outcome.cost, "{label}");
+            assert_eq!(
+                first.outcome.evaluations, second.outcome.evaluations,
+                "{label}"
+            );
+            assert_eq!(first.telemetry, second.telemetry, "{label}");
+            assert!(first.outcome.evaluations <= 600, "{label} over budget");
+            assert!(first.outcome.evaluations > 0, "{label} never evaluated");
+            assert_eq!(
+                first.telemetry.evaluations, first.outcome.evaluations,
+                "{label} telemetry disagrees with the outcome"
+            );
+            // Reported cost is a true from-scratch evaluation.
+            assert_eq!(first.outcome.cost, objective.cost(&first.outcome.mapping));
+            first.outcome.mapping.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn adaptive_bills_its_exact_budget_and_halves_the_population() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let objective = Homing::new(&mesh, 8);
+        let mut config = AdaptiveConfig::quick(3);
+        config.budget = 800;
+        config.population = 8;
+        config.rounds = 4;
+        let run = AdaptiveRestarts::new(config).search(&objective, &mesh, 8);
+        assert_eq!(run.outcome.evaluations, 800);
+        assert_eq!(run.telemetry.rounds.len(), 4);
+        let survivors: Vec<usize> = run
+            .telemetry
+            .rounds
+            .iter()
+            .map(|r| r.survivors.len())
+            .collect();
+        // 8 active -> keep 4 -> keep 2 -> keep 1 -> last round (no
+        // further selection).
+        assert_eq!(survivors, vec![4, 2, 1, 0]);
+        // Reallocation: totals are nonuniform — survivors got more.
+        let totals = run.telemetry.member_budget_totals();
+        let max = totals.iter().map(|t| t.evals).max().unwrap();
+        let min = totals.iter().map(|t| t.evals).min().unwrap();
+        assert!(max > min, "adaptive must reallocate budget: {totals:?}");
+    }
+
+    #[test]
+    fn adaptive_with_one_round_is_a_static_split() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let objective = Homing::new(&mesh, 5);
+        let mut config = AdaptiveConfig::quick(5);
+        config.budget = 100;
+        config.population = 4;
+        config.rounds = 1;
+        let run = AdaptiveRestarts::new(config).search(&objective, &mesh, 5);
+        assert_eq!(run.telemetry.rounds.len(), 1);
+        let budgets: Vec<u64> = run.telemetry.rounds[0]
+            .budgets
+            .iter()
+            .map(|b| b.evals)
+            .collect();
+        assert_eq!(budgets, vec![25, 25, 25, 25]);
+        assert!(run.telemetry.rounds[0].survivors.is_empty());
+    }
+
+    #[test]
+    fn population_larger_than_budget_starves_late_members_not_the_budget() {
+        let mesh = Mesh::new(3, 3).unwrap();
+        let objective = Homing::new(&mesh, 4);
+        let mut config = AdaptiveConfig::quick(1);
+        config.budget = 3;
+        config.population = 8;
+        config.rounds = 1;
+        let run = AdaptiveRestarts::new(config).search(&objective, &mesh, 4);
+        assert_eq!(run.outcome.evaluations, 3);
+        assert_eq!(run.outcome.cost, objective.cost(&run.outcome.mapping));
+    }
+
+    #[test]
+    fn strategies_actually_optimize() {
+        // On the homing objective the optimum is 0 (every core on its
+        // target); any competent strategy gets close on a tiny mesh.
+        let mesh = Mesh::new(3, 3).unwrap();
+        let objective = Homing::new(&mesh, 4);
+        let worst: f64 = (0..4).map(|i| (i as f64 + 1.0) * 4.0).sum();
+        for (label, run) in strategies() {
+            let got = run(&objective, &mesh, 4).outcome.cost;
+            assert!(
+                got < worst / 2.0,
+                "{label} found nothing: {got} vs pessimal {worst}"
+            );
+        }
+    }
+
+    #[test]
+    fn ga_with_elite_at_population_size_still_terminates() {
+        // Regression: `elite >= pop_size` used to fill every generation
+        // with unevaluated elite copies, freezing the budget loop
+        // forever. The elite count must leave room for offspring.
+        let mesh = Mesh::new(3, 3).unwrap();
+        let objective = Homing::new(&mesh, 4);
+        let mut config = GaConfig::quick(3);
+        config.population = 2;
+        config.elite = 5;
+        config.budget = 120;
+        let run = GeneticSearch::new(config).search(&objective, &mesh, 4);
+        assert!(run.outcome.evaluations <= 120);
+        assert!(run.outcome.evaluations > 2, "offspring must be produced");
+        assert_eq!(run.outcome.cost, objective.cost(&run.outcome.mapping));
+    }
+
+    #[test]
+    fn portfolio_with_tiny_budget_stays_within_it() {
+        // Regression: budgets below the member count used to bill one
+        // evaluation per member (each sub-strategy clamps to >= 1),
+        // overspending the configured total. Zero-share members are
+        // skipped instead.
+        let mesh = Mesh::new(3, 3).unwrap();
+        let objective = Homing::new(&mesh, 4);
+        for budget in [1u64, 2, 3] {
+            let mut config = PortfolioConfig::quick(1);
+            config.budget = budget;
+            let run = Portfolio::new(config).search(&objective, &mesh, 4);
+            assert!(
+                run.outcome.evaluations <= budget,
+                "budget {budget}: billed {}",
+                run.outcome.evaluations
+            );
+            assert!(run.outcome.evaluations > 0);
+            assert_eq!(run.telemetry.children.len(), budget.min(4) as usize);
+        }
+    }
+
+    #[test]
+    fn multistart_total_budget_clamps_excess_restarts() {
+        // Regression (satellite of the subsystem PR): restarts > budget
+        // used to create zero-evaluation restarts reporting never-
+        // evaluated initial costs and billing past the total.
+        let mesh = Mesh::new(3, 3).unwrap();
+        let objective = Homing::new(&mesh, 4);
+        let mut config = SaConfig::quick(2);
+        config.max_evaluations = 4;
+        let outcome =
+            anneal_multistart_budgeted(&objective, &mesh, 4, &config, 9, RestartBudget::Total);
+        // Clamped to 4 restarts of 1 evaluation each: exactly the budget.
+        assert_eq!(outcome.evaluations, 4);
+        assert!(
+            outcome.method.contains("multistart[4]"),
+            "{}",
+            outcome.method
+        );
+        assert_eq!(outcome.cost, objective.cost(&outcome.mapping));
+    }
+}

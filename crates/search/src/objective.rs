@@ -1,0 +1,31 @@
+//! The objective contract every search strategy minimizes.
+//!
+//! These traits used to live in `noc-mapping`; they moved here when the
+//! search loops were promoted into their own subsystem, so that engines
+//! (this crate) and objectives (`noc-mapping`) can evolve independently.
+//! `noc-mapping` re-exports both names, so downstream code is unaffected.
+
+use noc_model::{Mapping, TileId};
+
+/// A mapping objective: smaller is better.
+///
+/// Objects of this trait are what every engine in this crate (and the
+/// exhaustive/greedy/random baselines in `noc-mapping`) minimizes.
+pub trait CostFunction {
+    /// Cost of a mapping (picojoules for the energy objectives,
+    /// nanoseconds for the time objective).
+    fn cost(&self, mapping: &Mapping) -> f64;
+
+    /// Short name for reports ("CWM", "CDCM", …).
+    fn name(&self) -> String;
+}
+
+/// Objectives that can evaluate a tile swap incrementally, without a full
+/// re-evaluation. Implementations must guarantee
+/// `cost(swap(m)) == cost(m) + swap_delta(m, a, b)` up to rounding; the
+/// tests in `noc-mapping` and `tests/proptest_invariants.rs` enforce
+/// this.
+pub trait SwapDeltaCost: CostFunction {
+    /// Cost change if tiles `a` and `b` of `mapping` were swapped.
+    fn swap_delta(&self, mapping: &Mapping, a: TileId, b: TileId) -> f64;
+}

@@ -1,0 +1,172 @@
+//! A portfolio of heterogeneous strategies under one budget.
+//!
+//! Benhaoua et al. ("Heuristics for Routing and Spiral Run-time Task
+//! Mapping in NoC-based Heterogeneous MPSOCs") argue that heuristic
+//! *diversity* matters more than tuning any single method; the portfolio
+//! operationalizes that: the budget splits evenly across static
+//! multi-start SA, adaptive restarts, the GA and tabu search, each with
+//! an independent derived seed, and the best result wins (ties to the
+//! earliest member — the deterministic-reduction rule again).
+
+use crate::adaptive::{AdaptiveConfig, AdaptiveRestarts};
+use crate::ga::{GaConfig, GeneticSearch};
+use crate::objective::SwapDeltaCost;
+use crate::sa::{MultiStartSa, RestartBudget, SaConfig};
+use crate::strategy::{SearchRun, SearchStrategy};
+use crate::tabu::{TabuConfig, TabuSearch};
+use crate::telemetry::SearchTelemetry;
+use noc_model::Mesh;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Portfolio configuration: one budget, four members.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PortfolioConfig {
+    /// Total evaluation budget, split evenly across the members (the
+    /// remainder goes to the earliest members).
+    pub budget: u64,
+    /// Base seed; member `i` derives `seed + i·0x9E3779B97F4A7C15`.
+    pub seed: u64,
+    /// Restart count of the static multi-start member.
+    pub restarts: usize,
+    /// Population of the adaptive member.
+    pub population: usize,
+    /// Rounds of the adaptive member.
+    pub rounds: usize,
+}
+
+impl PortfolioConfig {
+    /// Balanced defaults mirroring each member's own defaults.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            budget: 2_000_000,
+            seed,
+            restarts: 8,
+            population: 8,
+            rounds: 4,
+        }
+    }
+
+    /// A fast profile for tests and CI.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            budget: 20_000,
+            ..Self::new(seed)
+        }
+    }
+}
+
+impl Default for PortfolioConfig {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// The four-member strategy portfolio as a [`SearchStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Portfolio {
+    /// Portfolio configuration.
+    pub config: PortfolioConfig,
+}
+
+impl Portfolio {
+    /// Strategy with the given configuration.
+    pub fn new(config: PortfolioConfig) -> Self {
+        Self { config }
+    }
+}
+
+const MEMBERS: usize = 4;
+
+impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
+    fn name(&self) -> String {
+        format!("portfolio[{MEMBERS}]")
+    }
+
+    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
+        let start = Instant::now();
+        let config = &self.config;
+        let budget = config.budget.max(1);
+        let share = |i: u64| budget / MEMBERS as u64 + u64::from(i < budget % MEMBERS as u64);
+        let seed = |i: u64| {
+            config
+                .seed
+                .wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        };
+        let method = <Self as SearchStrategy<C>>::name(self);
+
+        // Members run sequentially (each may parallelize internally);
+        // the reduction below depends only on member order. Members
+        // whose share rounds to zero are skipped outright — every
+        // sub-strategy clamps its own budget to at least 1, so running
+        // them would bill past the portfolio's configured total.
+        let member: [Box<dyn Fn() -> SearchRun>; MEMBERS] = [
+            Box::new(|| {
+                MultiStartSa {
+                    config: SaConfig {
+                        max_evaluations: share(0),
+                        ..SaConfig::new(seed(0))
+                    },
+                    restarts: config.restarts,
+                    budget: RestartBudget::Total,
+                }
+                .search(objective, mesh, core_count)
+            }),
+            Box::new(|| {
+                AdaptiveRestarts::new(AdaptiveConfig {
+                    population: config.population,
+                    rounds: config.rounds,
+                    budget: share(1),
+                    ..AdaptiveConfig::new(seed(1))
+                })
+                .search(objective, mesh, core_count)
+            }),
+            Box::new(|| {
+                GeneticSearch::new(GaConfig {
+                    budget: share(2),
+                    ..GaConfig::new(seed(2))
+                })
+                .search(objective, mesh, core_count)
+            }),
+            Box::new(|| {
+                TabuSearch::new(TabuConfig {
+                    budget: share(3),
+                    ..TabuConfig::new(seed(3))
+                })
+                .search(objective, mesh, core_count)
+            }),
+        ];
+        let runs: Vec<SearchRun> = member
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| share(i as u64) > 0)
+            .map(|(_, run)| run())
+            .collect();
+
+        let evaluations: u64 = runs.iter().map(|r| r.outcome.evaluations).sum();
+        let mut best_idx = 0;
+        for (i, run) in runs.iter().enumerate() {
+            // Strict `<`: ties stay with the earliest member.
+            if run.outcome.cost < runs[best_idx].outcome.cost {
+                best_idx = i;
+            }
+        }
+        let mut telemetry = SearchTelemetry::new(method.clone());
+        telemetry.evaluations = evaluations;
+        let mut runs = runs;
+        for run in &mut runs {
+            telemetry.children.push(std::mem::take(&mut run.telemetry));
+        }
+        let winner = &runs[best_idx].outcome;
+        telemetry.record_best(evaluations, winner.cost);
+        let outcome = crate::outcome::SearchOutcome {
+            mapping: winner.mapping.clone(),
+            cost: winner.cost,
+            evaluations,
+            elapsed: start.elapsed(),
+            method: format!("{method}<-{}", winner.method),
+            objective: objective.name(),
+        };
+        SearchRun { outcome, telemetry }
+    }
+}

@@ -1,0 +1,183 @@
+//! Tabu search with a swap-attribute tabu list and aspiration.
+//!
+//! A steepest-descent walk over sampled tile-swap neighborhoods that is
+//! allowed to move uphill: after each applied swap the *tile pair* is
+//! made tabu for `tenure` iterations, so the walk cannot immediately
+//! undo itself and is forced across cost ridges. The aspiration
+//! criterion overrides the list whenever a tabu move would produce a
+//! new global best (Glover's standard rule — a move that improves on
+//! everything seen cannot be cycling).
+//!
+//! Every sampled neighbor is costed through the objective's incremental
+//! [`SwapDeltaCost`] path and billed as one evaluation; the walk is
+//! sequential and deterministic per seed.
+
+use crate::objective::SwapDeltaCost;
+use crate::outcome::SearchOutcome;
+use crate::sa::{propose_swap, random_mapping};
+use crate::strategy::{SearchRun, SearchStrategy};
+use crate::telemetry::SearchTelemetry;
+use noc_model::{Mesh, TileId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Tabu-search configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TabuConfig {
+    /// Iterations a just-applied swap's tile pair stays forbidden.
+    pub tenure: usize,
+    /// Candidate swaps sampled (and costed) per iteration.
+    pub neighborhood: usize,
+    /// Total evaluation budget.
+    pub budget: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl TabuConfig {
+    /// Balanced defaults: tenure 15, 24-candidate neighborhoods, 2 M
+    /// evaluations.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            tenure: 15,
+            neighborhood: 24,
+            budget: 2_000_000,
+            seed,
+        }
+    }
+
+    /// A fast profile for tests and CI.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            budget: 20_000,
+            ..Self::new(seed)
+        }
+    }
+}
+
+impl Default for TabuConfig {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Tabu search as a [`SearchStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TabuSearch {
+    /// Search configuration.
+    pub config: TabuConfig,
+}
+
+impl TabuSearch {
+    /// Strategy with the given configuration.
+    pub fn new(config: TabuConfig) -> Self {
+        Self { config }
+    }
+}
+
+fn pair_key(a: TileId, b: TileId) -> (usize, usize) {
+    let (a, b) = (a.index(), b.index());
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for TabuSearch {
+    fn name(&self) -> String {
+        "tabu".to_owned()
+    }
+
+    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
+        let start = Instant::now();
+        let config = &self.config;
+        let budget = config.budget.max(1);
+        let neighborhood = config.neighborhood.max(1);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let method = "tabu".to_owned();
+        let mut telemetry = SearchTelemetry::new(method.clone());
+
+        let mut current = random_mapping(mesh, core_count, &mut rng);
+        let mut current_cost = objective.cost(&current);
+        let mut evaluations = 1u64;
+        let mut best = current.clone();
+        let mut best_cost = current_cost;
+        telemetry.record_best(evaluations, best_cost);
+
+        // Expiry iteration per tabu tile pair. Lookups only — iteration
+        // order of the map never influences the walk.
+        let mut tabu: HashMap<(usize, usize), u64> = HashMap::new();
+        let mut iteration = 0u64;
+
+        // A 1-tile mesh has no distinct swap; the single mapping is the
+        // answer.
+        if mesh.tile_count() > 1 {
+            while evaluations < budget {
+                iteration += 1;
+                // Best admissible candidate (non-tabu, or tabu but
+                // aspirating) and best overall fallback; ties keep the
+                // first-sampled candidate, so the walk is deterministic.
+                let mut chosen: Option<(TileId, TileId, f64)> = None;
+                let mut fallback: Option<(TileId, TileId, f64)> = None;
+                for _ in 0..neighborhood {
+                    if evaluations >= budget {
+                        break;
+                    }
+                    let (a, b) = propose_swap(mesh, &mut rng);
+                    let delta = objective.swap_delta(&current, a, b);
+                    evaluations += 1;
+                    if fallback.is_none_or(|f| delta < f.2) {
+                        fallback = Some((a, b, delta));
+                    }
+                    // A pair applied at iteration `t` carries expiry
+                    // `t + tenure` and is forbidden for the *next*
+                    // `tenure` iterations, `t+1 ..= t+tenure` inclusive.
+                    let is_tabu = tabu
+                        .get(&pair_key(a, b))
+                        .is_some_and(|&expiry| expiry >= iteration);
+                    let aspirates = current_cost + delta < best_cost - 1e-9;
+                    if (!is_tabu || aspirates) && chosen.is_none_or(|c| delta < c.2) {
+                        chosen = Some((a, b, delta));
+                    }
+                }
+                // All sampled moves tabu without aspiration: take the
+                // least-bad move anyway rather than stalling.
+                let Some((a, b, delta)) = chosen.or(fallback) else {
+                    break; // budget exhausted before any candidate
+                };
+                current.swap_tiles(a, b);
+                current_cost += delta;
+                tabu.insert(pair_key(a, b), iteration + config.tenure as u64);
+                if current_cost < best_cost - 1e-9 {
+                    best_cost = current_cost;
+                    best = current.clone();
+                    telemetry.record_best(evaluations, best_cost);
+                }
+                // Periodic resync against incremental drift, within the
+                // budget (same discipline as `anneal_delta`).
+                if iteration.is_multiple_of(32) && evaluations < budget {
+                    current_cost = objective.cost(&current);
+                    evaluations += 1;
+                }
+            }
+        }
+
+        // Final verification evaluation (unbilled): the reported cost is
+        // a from-scratch evaluation of the winner.
+        let cost = objective.cost(&best);
+        telemetry.evaluations = evaluations;
+        let outcome = SearchOutcome {
+            mapping: best,
+            cost,
+            evaluations,
+            elapsed: start.elapsed(),
+            method,
+            objective: objective.name(),
+        };
+        SearchRun { outcome, telemetry }
+    }
+}

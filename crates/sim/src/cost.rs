@@ -84,6 +84,8 @@ struct FifoSlot {
 #[derive(Debug, Clone, Default)]
 pub struct ScheduleScratch {
     epoch: u64,
+    /// Cumulative run-loop telemetry (see [`RunStats`]).
+    stats: RunStats,
     links: Vec<LinkSlot>,
     fifo: Vec<FifoSlot>,
     /// Per packet: outstanding dependence count.
@@ -107,10 +109,31 @@ pub struct ScheduleScratch {
     heap: BinaryHeap<std::cmp::Reverse<u128>>,
 }
 
+/// Cumulative run-loop telemetry of a [`ScheduleScratch`]: how many
+/// complete cost evaluations it has served and how many scheduler events
+/// they processed. Search telemetry uses this to relate *billed*
+/// evaluations (the search subsystem's budget unit) to the engine work
+/// they actually caused. Counts only full [`schedule_cost`] /
+/// [`schedule_cost_with`] runs; the incremental delta evaluator keeps
+/// its own counters ([`crate::DeltaStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Completed full cost evaluations served by this scratch.
+    pub runs: u64,
+    /// Scheduler events processed across those evaluations.
+    pub events: u64,
+}
+
 impl ScheduleScratch {
     /// Creates an empty scratch.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Cumulative run-loop telemetry of this scratch (monotone; survives
+    /// re-sizing and reuse across instances).
+    pub fn run_stats(&self) -> RunStats {
+        self.stats
     }
 
     fn ensure(&mut self, n_links: usize, n_packets: usize) {
@@ -500,7 +523,7 @@ pub fn schedule_cost_with<S: RouteSource + ?Sized>(
 ) -> Result<u64, SimError> {
     init_run(cdcg, mesh, mapping, params, routes, scratch)?;
     let walks = std::mem::take(&mut scratch.walks);
-    let (texec, delivered, _) = run_loop(
+    let (texec, delivered, events_done) = run_loop(
         cdcg,
         params,
         routes.flat(&walks),
@@ -511,6 +534,8 @@ pub fn schedule_cost_with<S: RouteSource + ?Sized>(
         &mut NoopObserver,
     );
     scratch.walks = walks;
+    scratch.stats.runs += 1;
+    scratch.stats.events += events_done;
     debug_assert_eq!(
         delivered,
         cdcg.packet_count(),
@@ -835,6 +860,13 @@ impl<'a> CostEvaluator<'a> {
         Ok(self.params.cycles_to_ns(cycles))
     }
 
+    /// Cumulative run-loop telemetry of this evaluator (full evaluations
+    /// served and events processed) — the sim-side hook search telemetry
+    /// reads.
+    pub fn run_stats(&self) -> RunStats {
+        self.scratch.run_stats()
+    }
+
     /// Per-link traversal counts of the most recent evaluation, for load
     /// diagnostics: `(link, traversals)` for every traversed link.
     pub fn link_traversals(&self) -> impl Iterator<Item = (Link, u64)> + '_ {
@@ -975,6 +1007,26 @@ mod tests {
         assert_eq!(eval.texec_cycles(&b).unwrap(), 90);
         assert_eq!(eval.texec_cycles(&a).unwrap(), first);
         assert_eq!(first, 100);
+    }
+
+    #[test]
+    fn run_stats_count_evaluations_and_events() {
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mut eval = CostEvaluator::new(&cdcg, &mesh, &params);
+        assert_eq!(eval.run_stats(), RunStats::default());
+        let a = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        eval.texec_cycles(&a).unwrap();
+        let after_one = eval.run_stats();
+        assert_eq!(after_one.runs, 1);
+        assert!(after_one.events > 0, "the run must process events");
+        eval.texec_cycles(&a).unwrap();
+        let after_two = eval.run_stats();
+        assert_eq!(after_two.runs, 2);
+        // Identical runs process identical event counts; the counter is
+        // cumulative and monotone.
+        assert_eq!(after_two.events, 2 * after_one.events);
     }
 
     #[test]

@@ -83,7 +83,7 @@ pub mod resource;
 pub mod schedule;
 pub mod wormhole;
 
-pub use cost::{schedule_cost, schedule_cost_with, CostEvaluator, ScheduleScratch};
+pub use cost::{schedule_cost, schedule_cost_with, CostEvaluator, RunStats, ScheduleScratch};
 pub use delta::{DeltaStats, IncrementalScheduler};
 pub use error::SimError;
 pub use interval::CycleInterval;
