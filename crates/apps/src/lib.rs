@@ -34,5 +34,7 @@ pub mod synthetic;
 pub mod tgff;
 
 pub use suite::{table1_suite, Benchmark, RowSpec, TABLE1_ROWS};
-pub use synthetic::{large_mesh_workload, synthetic, SyntheticConfig, TrafficPattern};
+pub use synthetic::{
+    large_mesh_workload, layered_shift_workload, synthetic, SyntheticConfig, TrafficPattern,
+};
 pub use tgff::{generate, TgffConfig};

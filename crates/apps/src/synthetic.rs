@@ -44,6 +44,24 @@ pub enum TrafficPattern {
         /// Destination offset; `stride % cores` must be non-zero.
         stride: usize,
     },
+    /// 3D layer mirror: with cores viewed as `L` layers of `layer_size`
+    /// cores (the identity placement on a `W×H×L` mesh), the core at
+    /// layer `l`, offset `o` sends to layer `L − 1 − l`, same offset —
+    /// every packet crosses the full TSV stack, the vertical-link
+    /// stress analogue of [`Self::Complement`]. Cores on the middle
+    /// layer of an odd stack stay silent.
+    LayerComplement {
+        /// Cores per layer; must divide the core count.
+        layer_size: usize,
+    },
+    /// 3D coordinate rotation: with cores viewed as a `side³` cube,
+    /// core `(x, y, z)` sends to core `(y, z, x)` — the 3D analogue of
+    /// [`Self::Transpose`], exercising all three axes at once. Cores on
+    /// the diagonal (`x = y = z`) stay silent.
+    Transpose3d {
+        /// Cube side; the pattern needs `side³` cores.
+        side: usize,
+    },
 }
 
 impl TrafficPattern {
@@ -67,6 +85,19 @@ impl TrafficPattern {
             Self::Hotspot { hotspot } => (src != hotspot).then_some(hotspot),
             Self::Shift { stride } => {
                 let dst = (src + stride) % cores;
+                (dst != src).then_some(dst)
+            }
+            Self::LayerComplement { layer_size } => {
+                let layers = cores / layer_size;
+                let (l, o) = (src / layer_size, src % layer_size);
+                let dst = (layers - 1 - l) * layer_size + o;
+                (dst != src).then_some(dst)
+            }
+            Self::Transpose3d { side } => {
+                let (z, rest) = (src / (side * side), src % (side * side));
+                let (y, x) = (rest / side, rest % side);
+                // (x, y, z) → (y, z, x): dst coordinates x'=y, y'=z, z'=x.
+                let dst = x * side * side + z * side + y;
                 (dst != src).then_some(dst)
             }
         }
@@ -124,6 +155,23 @@ pub fn synthetic(config: &SyntheticConfig) -> Cdcg {
                 "shift stride must not be a multiple of the core count"
             );
         }
+        TrafficPattern::LayerComplement { layer_size } => {
+            assert!(
+                layer_size > 0 && config.cores.is_multiple_of(layer_size),
+                "layer size must divide the core count"
+            );
+            assert!(
+                config.cores / layer_size >= 2,
+                "layer complement needs at least two layers"
+            );
+        }
+        TrafficPattern::Transpose3d { side } => {
+            assert_eq!(
+                side * side * side,
+                config.cores,
+                "3D transpose needs side^3 cores"
+            );
+        }
         _ => {}
     }
 
@@ -172,16 +220,41 @@ pub fn synthetic(config: &SyntheticConfig) -> Cdcg {
 ///
 /// Panics if the mesh has fewer than two tiles or `rounds == 0`.
 pub fn large_mesh_workload(width: usize, height: usize, rounds: usize) -> Cdcg {
-    let cores = width * height;
-    assert!(cores >= 2, "need at least two tiles");
-    assert!(rounds > 0, "need at least one round");
     // Degenerate shapes (one row, two tiles) collapse some candidates
     // onto a full cycle (stride ≡ 0 mod n, every core would target
     // itself); keep only the strides that make every core send, so the
     // per-round and per-core-chain contracts hold on every mesh. Stride
     // 1 always survives (`cores ≥ 2`).
-    let strides: Vec<usize> = [1, width, width + 1, cores / 2 + 1]
-        .into_iter()
+    let cores = width * height;
+    shift_rounds_workload(cores, rounds, &[1, width, width + 1, cores / 2 + 1])
+}
+
+/// The 3D mesh-filling analogue of [`large_mesh_workload`]: one core
+/// per tile of a `width × height × depth` mesh (identity placement),
+/// each round a **layered shift** along a different stride —
+/// nearest-neighbour (`1`), row-crossing (`width`), *layer-crossing*
+/// (`width·height`, the vertical-neighbour stride that puts every
+/// packet on a TSV under the identity mapping) and cross-stack
+/// (`n/2 + 1`). A core's packet in round `r + 1` depends on its
+/// round-`r` packet.
+///
+/// # Panics
+///
+/// Panics if the mesh has fewer than two tiles or `rounds == 0`.
+pub fn layered_shift_workload(width: usize, height: usize, depth: usize, rounds: usize) -> Cdcg {
+    let cores = width * height * depth;
+    shift_rounds_workload(cores, rounds, &[1, width, width * height, cores / 2 + 1])
+}
+
+/// Shared body of the mesh-filling shift generators: `rounds` waves of
+/// one packet per core, cycling through the stride candidates that make
+/// every core send (`stride ≢ 0 mod cores`).
+fn shift_rounds_workload(cores: usize, rounds: usize, stride_candidates: &[usize]) -> Cdcg {
+    assert!(cores >= 2, "need at least two tiles");
+    assert!(rounds > 0, "need at least one round");
+    let strides: Vec<usize> = stride_candidates
+        .iter()
+        .copied()
         .filter(|s| !s.is_multiple_of(cores))
         .collect();
     let mut g = Cdcg::new();
@@ -353,6 +426,69 @@ mod tests {
         // round 3 crosses half the mesh.
         let first = g.packet_ids().next().unwrap();
         assert_eq!(g.packet(first).dst.index(), 1);
+    }
+
+    #[test]
+    fn layer_complement_mirrors_the_stack() {
+        // 3 layers of 4 cores: layer 0 <-> layer 2, layer 1 silent.
+        let g = synthetic(&SyntheticConfig::new(
+            12,
+            TrafficPattern::LayerComplement { layer_size: 4 },
+        ));
+        assert_eq!(g.packet_count(), 8 * 4, "middle layer stays silent");
+        for id in g.packet_ids() {
+            let p = g.packet(id);
+            let (l, o) = (p.src.index() / 4, p.src.index() % 4);
+            assert_eq!(p.dst.index(), (2 - l) * 4 + o);
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn transpose3d_rotates_coordinates() {
+        let side = 3;
+        let g = synthetic(&SyntheticConfig::new(
+            27,
+            TrafficPattern::Transpose3d { side },
+        ));
+        // The 3 diagonal cores (x=y=z) stay silent.
+        assert_eq!(g.packet_count(), (27 - 3) * 4);
+        for id in g.packet_ids() {
+            let p = g.packet(id);
+            let s = p.src.index();
+            let (z, y, x) = (s / 9, (s % 9) / 3, s % 3);
+            assert_eq!(p.dst.index(), x * 9 + z * 3 + y, "src {s}");
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "side^3")]
+    fn transpose3d_size_mismatch_panics() {
+        let _ = synthetic(&SyntheticConfig::new(
+            8,
+            TrafficPattern::Transpose3d { side: 3 },
+        ));
+    }
+
+    #[test]
+    fn layered_shift_fills_the_cube() {
+        let g = layered_shift_workload(4, 4, 4, 4);
+        assert_eq!(g.core_count(), 64);
+        assert_eq!(g.packet_count(), 64 * 4);
+        g.validate().unwrap();
+        // Round 2 uses the layer-crossing stride: under the identity
+        // mapping every packet of that round crosses exactly one TSV.
+        let round2: Vec<_> = g.packet_ids().filter(|id| id.index() / 64 == 2).collect();
+        assert_eq!(round2.len(), 64);
+        for id in round2 {
+            let p = g.packet(id);
+            assert_eq!(p.dst.index(), (p.src.index() + 16) % 64);
+        }
+        // Degenerate: a 2-tile stack still makes every core send.
+        let tiny = layered_shift_workload(1, 1, 2, 3);
+        assert_eq!(tiny.packet_count(), 2 * 3);
+        tiny.validate().unwrap();
     }
 
     #[test]

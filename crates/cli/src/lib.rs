@@ -113,24 +113,45 @@ impl Options {
     }
 }
 
-/// Parses `WxH` mesh syntax (e.g. `3x2`).
+/// Parses `WxH` or `WxHxD` mesh syntax (e.g. `3x2`, `4x4x4`).
 ///
 /// # Errors
 ///
 /// Returns an error for malformed syntax or zero dimensions.
 pub fn parse_mesh(spec: &str) -> Result<Mesh, CliError> {
-    let (w, h) = spec
-        .split_once(['x', 'X'])
-        .ok_or_else(|| format!("mesh must be WxH, got `{spec}`"))?;
-    let width: usize = w
-        .trim()
-        .parse()
-        .map_err(|_| format!("bad mesh width `{w}`"))?;
-    let height: usize = h
-        .trim()
-        .parse()
-        .map_err(|_| format!("bad mesh height `{h}`"))?;
-    Ok(Mesh::new(width, height)?)
+    let dims: Result<Vec<usize>, CliError> = spec
+        .split(['x', 'X'])
+        .map(|part| {
+            part.trim()
+                .parse()
+                .map_err(|_| format!("bad mesh dimension `{part}` in `{spec}`").into())
+        })
+        .collect();
+    match dims?.as_slice() {
+        [w, h] => Ok(Mesh::new(*w, *h)?),
+        [w, h, d] => Ok(Mesh::new3(*w, *h, *d)?),
+        _ => Err(format!("mesh must be WxH or WxHxD, got `{spec}`").into()),
+    }
+}
+
+/// Resolves the `--mesh`/`--depth` pair: `--depth N` stacks `N` layers
+/// of a planar `--mesh WxH` (equivalent to `--mesh WxHxN`).
+///
+/// # Errors
+///
+/// Returns an error for a zero depth or a conflicting 3D `--mesh` spec.
+pub fn parse_mesh_options(options: &Options) -> Result<Mesh, CliError> {
+    let mesh = parse_mesh(options.require("--mesh")?)?;
+    match options.get("--depth") {
+        None => Ok(mesh),
+        Some(_) if mesh.depth() > 1 => {
+            Err("pass either --mesh WxHxD or --depth N, not both".into())
+        }
+        Some(d) => {
+            let depth: usize = d.parse().map_err(|_| format!("bad depth `{d}`"))?;
+            Ok(Mesh::new3(mesh.width(), mesh.height(), depth)?)
+        }
+    }
 }
 
 /// Parses a comma-separated tile list into a mapping on `mesh`.
@@ -152,14 +173,36 @@ pub fn parse_mapping(spec: &str, mesh: &Mesh) -> Result<Mapping, CliError> {
     Ok(Mapping::from_tiles(mesh, tiles?)?)
 }
 
-/// Resolves a routing-algorithm name (`xy`, `yx`, `torus-xy`).
+/// Resolves a routing-algorithm name (`xy`, `yx`, `torus-xy`, `xyz`,
+/// `torus-xyz`).
 ///
 /// # Errors
 ///
 /// Returns an error for unknown names.
 pub fn parse_routing(name: &str) -> Result<RoutingKind, CliError> {
-    RoutingKind::from_name(name.trim())
-        .ok_or_else(|| format!("unknown routing `{}` (xy|yx|torus-xy)", name.trim()).into())
+    RoutingKind::from_name(name.trim()).ok_or_else(|| {
+        format!(
+            "unknown routing `{}` (xy|yx|torus-xy|xyz|torus-xyz)",
+            name.trim()
+        )
+        .into()
+    })
+}
+
+/// Parses a `--tenure` value: a fixed iteration count, or `auto` to
+/// scale the tabu tenure with √tile_count.
+///
+/// # Errors
+///
+/// Returns an error for values that are neither `auto` nor an integer.
+pub fn parse_tenure(value: &str) -> Result<noc_mapping::Tenure, CliError> {
+    match value.trim() {
+        "auto" => Ok(noc_mapping::Tenure::Auto),
+        n => n
+            .parse()
+            .map(noc_mapping::Tenure::Fixed)
+            .map_err(|_| format!("invalid value `{n}` for `--tenure` (auto|N)").into()),
+    }
 }
 
 /// Builds the route provider for a `--route-cache` tier name
@@ -300,7 +343,7 @@ pub fn parse_pins(spec: &str) -> Result<Constraints, CliError> {
 /// instances (more cores than tiles).
 pub fn cmd_map(options: &Options) -> Result<String, CliError> {
     let app = load_app(options)?;
-    let mesh = parse_mesh(options.require("--mesh")?)?;
+    let mesh = parse_mesh_options(options)?;
     if app.core_count() > mesh.tile_count() {
         return Err(format!(
             "{} cores cannot map onto {} tiles",
@@ -364,7 +407,9 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
         "tabu" => {
             let mut config = TabuConfig::new(seed);
             config.budget = budget;
-            config.tenure = options.get_parsed("--tenure", config.tenure)?;
+            if let Some(tenure) = options.get("--tenure") {
+                config.tenure = parse_tenure(tenure)?;
+            }
             config.neighborhood = options.get_parsed("--neighborhood", config.neighborhood)?;
             SearchMethod::Tabu(config)
         }
@@ -374,6 +419,9 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
             config.restarts = options.get_parsed("--restarts", 8u32)? as usize;
             config.population = options.get_parsed("--population", config.population)?;
             config.rounds = options.get_parsed("--rounds", config.rounds)?;
+            if let Some(tenure) = options.get("--tenure") {
+                config.tenure = parse_tenure(tenure)?;
+            }
             SearchMethod::Portfolio(config)
         }
         "exhaustive" | "es" | "ES" => SearchMethod::Exhaustive,
@@ -524,7 +572,7 @@ fn render_telemetry(out: &mut String, telemetry: &SearchTelemetry, indent: &str)
 /// Returns an error on bad options or an invalid mapping.
 pub fn cmd_evaluate(options: &Options) -> Result<String, CliError> {
     let app = load_app(options)?;
-    let mesh = parse_mesh(options.require("--mesh")?)?;
+    let mesh = parse_mesh_options(options)?;
     let mapping = parse_mapping(options.require("--mapping")?, &mesh)?;
     if mapping.core_count() != app.core_count() {
         return Err(format!(
@@ -615,17 +663,21 @@ pub fn usage() -> String {
 USAGE:
   noc-cli generate [--cores N --packets N --bits N --seed S] [--out app.json]
   noc-cli info     --app app.json
-  noc-cli map      --app app.json --mesh WxH [--strategy cwm|cdcm]
+  noc-cli map      --app app.json --mesh WxH[xD] [--depth N]
+                   [--strategy cwm|cdcm]
                    [--method sa|sa-multi|adaptive|ga|tabu|portfolio|
                     es|random|greedy] [--restarts N]
-                   [--population N] [--rounds N] [--tenure N]
+                   [--population N] [--rounds N] [--tenure auto|N]
                    [--neighborhood N] [--crossover pmx|cycle]
-                   [--tech paper|0.35|0.07] [--routing xy|yx|torus-xy]
+                   [--tech paper|0.35|0.07]
+                   [--routing xy|yx|torus-xy|xyz|torus-xyz]
                    [--route-cache auto|dense|on-demand|implicit]
                    [--seed S] [--quick] [--evals N] [--telemetry]
                    [--pin c0:t3,c2:t0]
-  noc-cli evaluate --app app.json --mesh WxH --mapping t0,t1,...
-                   [--tech paper|0.35|0.07] [--routing xy|yx|torus-xy]
+  noc-cli evaluate --app app.json --mesh WxH[xD] [--depth N]
+                   --mapping t0,t1,...
+                   [--tech paper|0.35|0.07]
+                   [--routing xy|yx|torus-xy|xyz|torus-xyz]
                    [--gantt]
   noc-cli suite    [--row N] [--out app.json]
   noc-cli dot      --app app.json [--graph cdcg|cwg] [--out graph.dot]
@@ -644,6 +696,10 @@ precomputes densely on small meshes and switches to the bounded-memory
 on-demand cache on large ones; `implicit` stores no routes at all.
 Results are identical across tiers. `--evals N` caps the SA evaluation
 budget.
+`--mesh 4x4x4` (or `--mesh 4x4 --depth 4`) targets a 3D stacked mesh;
+`xyz` is dimension-ordered 3D routing and `torus-xyz` wraps all three
+axes. Vertical (TSV) hops are charged the technology's `EVbit` instead
+of `ELbit`. `--tenure auto` scales the tabu tenure with sqrt(tiles).
 "
     .to_owned()
 }
@@ -724,12 +780,39 @@ mod tests {
     fn mesh_and_mapping_parsing() {
         let mesh = parse_mesh("3x2").unwrap();
         assert_eq!(mesh.tile_count(), 6);
+        assert_eq!(mesh.depth(), 1);
         assert!(parse_mesh("3*2").is_err());
         assert!(parse_mesh("0x2").is_err());
         let mapping = parse_mapping("1, 0, 3", &parse_mesh("2x2").unwrap()).unwrap();
         assert_eq!(mapping.core_count(), 3);
         assert!(parse_mapping("1,1", &parse_mesh("2x2").unwrap()).is_err());
         assert!(parse_mapping("9", &parse_mesh("2x2").unwrap()).is_err());
+        // 3D syntax.
+        let cube = parse_mesh("4x4x4").unwrap();
+        assert_eq!(cube.tile_count(), 64);
+        assert_eq!(cube.depth(), 4);
+        assert!(parse_mesh("4x4x0").is_err());
+        assert!(parse_mesh("4x4x4x4").is_err());
+    }
+
+    #[test]
+    fn depth_option_stacks_layers() {
+        let o = Options::parse(&strs(&["--mesh", "3x3", "--depth", "2"])).unwrap();
+        let mesh = parse_mesh_options(&o).unwrap();
+        assert_eq!((mesh.width(), mesh.height(), mesh.depth()), (3, 3, 2));
+        // --depth on an already-3D spec is a conflict.
+        let o = Options::parse(&strs(&["--mesh", "3x3x2", "--depth", "2"])).unwrap();
+        assert!(parse_mesh_options(&o).is_err());
+        // No --depth leaves the spec alone.
+        let o = Options::parse(&strs(&["--mesh", "3x3x2"])).unwrap();
+        assert_eq!(parse_mesh_options(&o).unwrap().depth(), 2);
+    }
+
+    #[test]
+    fn tenure_values_parse() {
+        assert_eq!(parse_tenure("auto").unwrap(), noc_mapping::Tenure::Auto);
+        assert_eq!(parse_tenure("21").unwrap(), noc_mapping::Tenure::Fixed(21));
+        assert!(parse_tenure("huge").is_err());
     }
 
     #[test]
@@ -1148,6 +1231,146 @@ mod tests {
         .unwrap_err()
         .to_string();
         assert!(err.contains("route provider"), "{err}");
+    }
+
+    #[test]
+    fn map_and_evaluate_run_on_a_3d_mesh() {
+        // The acceptance scenario: the search portfolio on a 3D instance
+        // through the CLI, with xyz routing, deterministic per seed.
+        let path = write_generated_app(10, 30);
+        let args = strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "3x3x2",
+            "--method",
+            "portfolio",
+            "--evals",
+            "400",
+            "--routing",
+            "xyz",
+            "--seed",
+            "5",
+            "--telemetry",
+        ]);
+        let first = run(&args).unwrap();
+        let second = run(&args).unwrap();
+        assert!(first.contains("routing:      XYZ"), "{first}");
+        assert!(first.contains("texec:"), "{first}");
+        assert!(first.contains("telemetry:"), "{first}");
+        let tile_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("tile list:"))
+                .map(str::to_owned)
+                .expect("tile list printed")
+        };
+        assert_eq!(tile_line(&first), tile_line(&second));
+
+        // --depth is equivalent to the 3D mesh spec, trajectory and all.
+        let via_depth = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "3x3",
+            "--depth",
+            "2",
+            "--method",
+            "portfolio",
+            "--evals",
+            "400",
+            "--routing",
+            "xyz",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        assert_eq!(tile_line(&first), tile_line(&via_depth));
+
+        // Evaluate an explicit 3D mapping under the 3D torus.
+        let eval_out = run(&strs(&[
+            "evaluate",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "3x3x2",
+            "--mapping",
+            "0,1,2,3,4,5,6,7,8,9",
+            "--routing",
+            "torus-xyz",
+        ]))
+        .unwrap();
+        assert!(eval_out.contains("routing:    torus-XYZ"), "{eval_out}");
+        assert!(eval_out.contains("texec:"), "{eval_out}");
+    }
+
+    #[test]
+    fn tabu_tenure_auto_is_accepted_and_deterministic() {
+        let path = write_example_app();
+        let args = strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "tabu",
+            "--tenure",
+            "auto",
+            "--evals",
+            "200",
+            "--tech",
+            "paper",
+            "--seed",
+            "3",
+        ]);
+        let first = run(&args).unwrap();
+        let second = run(&args).unwrap();
+        assert!(first.contains("tabu"), "{first}");
+        let tile_line = |out: &str| {
+            out.lines()
+                .find(|l| l.starts_with("tile list:"))
+                .map(str::to_owned)
+                .expect("tile list printed")
+        };
+        assert_eq!(tile_line(&first), tile_line(&second));
+        // The portfolio's tabu member honors --tenure too (deterministic
+        // run; the flag must be accepted, not silently dropped).
+        let portfolio = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "portfolio",
+            "--tenure",
+            "auto",
+            "--evals",
+            "200",
+            "--tech",
+            "paper",
+            "--seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(portfolio.contains("portfolio"), "{portfolio}");
+        // Bad tenure values fail loudly.
+        let err = run(&strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "tabu",
+            "--tenure",
+            "sometimes",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--tenure"), "{err}");
     }
 
     #[test]

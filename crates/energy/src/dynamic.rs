@@ -17,7 +17,9 @@ use noc_model::{
 
 /// Dynamic energy of one communication: `EBit_ab = w_ab × EBit_ij` with
 /// `EBit_ij` from Equation 2 and the router count taken from the routed
-/// path.
+/// path. On 3D meshes the route's vertical (TSV) links are charged at
+/// `EVbit` instead of `ELbit`; on depth-1 meshes the formula — including
+/// its floating-point operation order — is exactly Equation 2.
 pub fn communication_energy(
     comm: &Communication,
     mesh: &Mesh,
@@ -26,7 +28,32 @@ pub fn communication_energy(
     routing: &dyn RoutingAlgorithm,
 ) -> Energy {
     let path = routing.route(mesh, mapping.tile_of(comm.src), mapping.tile_of(comm.dst));
-    tech.bit_energy.per_transfer(path.router_count(), comm.bits)
+    tech.bit_energy.per_transfer_split(
+        path.router_count(),
+        path.vertical_link_count(mesh),
+        comm.bits,
+    )
+}
+
+/// Dynamic energy of one `bits`-bit transfer between two tiles over a
+/// cached/implicit [`RouteSource`]: the per-pair term of Equations 3
+/// and 4, with `K` and the vertical-hop count both `O(1)` lookups or
+/// closed forms. This is the single helper every cached energy path —
+/// full evaluations and swap deltas alike — charges transfers through,
+/// so the TSV term can never diverge between them.
+#[inline]
+pub fn pair_transfer_energy<S: RouteSource + ?Sized>(
+    routes: &S,
+    tech: &Technology,
+    src: noc_model::TileId,
+    dst: noc_model::TileId,
+    bits: u64,
+) -> Energy {
+    tech.bit_energy.per_transfer_split(
+        routes.router_count(src, dst),
+        routes.vertical_hops(src, dst),
+        bits,
+    )
 }
 
 /// `EDyNoC` for a CWG under a mapping (Equation 3): the sum over all
@@ -72,7 +99,11 @@ pub fn cdcg_dynamic_energy_with(
         .map(|id| {
             let p = cdcg.packet(id);
             let path = routing.route(mesh, mapping.tile_of(p.src), mapping.tile_of(p.dst));
-            tech.bit_energy.per_transfer(path.router_count(), p.bits)
+            tech.bit_energy.per_transfer_split(
+                path.router_count(),
+                path.vertical_link_count(mesh),
+                p.bits,
+            )
         })
         .sum()
 }
@@ -91,8 +122,13 @@ pub fn cdcg_dynamic_energy_cached<S: RouteSource + ?Sized>(
     cdcg.packet_ids()
         .map(|id| {
             let p = cdcg.packet(id);
-            let k = routes.router_count(mapping.tile_of(p.src), mapping.tile_of(p.dst));
-            tech.bit_energy.per_transfer(k, p.bits)
+            pair_transfer_energy(
+                routes,
+                tech,
+                mapping.tile_of(p.src),
+                mapping.tile_of(p.dst),
+                p.bits,
+            )
         })
         .sum()
 }
@@ -107,8 +143,13 @@ pub fn cwg_dynamic_energy_cached<S: RouteSource + ?Sized>(
 ) -> Energy {
     cwg.communications()
         .map(|c| {
-            let k = routes.router_count(mapping.tile_of(c.src), mapping.tile_of(c.dst));
-            tech.bit_energy.per_transfer(k, c.bits)
+            pair_transfer_energy(
+                routes,
+                tech,
+                mapping.tile_of(c.src),
+                mapping.tile_of(c.dst),
+                c.bits,
+            )
         })
         .sum()
 }

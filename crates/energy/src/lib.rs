@@ -53,6 +53,7 @@ pub mod units;
 pub use bit_energy::BitEnergy;
 pub use dynamic::{
     cdcg_dynamic_energy, cdcg_dynamic_energy_cached, cwg_dynamic_energy, cwg_dynamic_energy_cached,
+    pair_transfer_energy,
 };
 pub use statics::{noc_static_energy, noc_static_power};
 pub use technology::Technology;

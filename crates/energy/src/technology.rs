@@ -50,6 +50,11 @@ impl Technology {
             bit_energy: BitEnergy {
                 router_pj: 4.6,
                 link_pj: 3.9,
+                // TSVs are tens of microns against millimetre planar
+                // wires; ~4× lower per-bit energy is the conservative end
+                // of the 3D NoC literature's range (documented
+                // substitution, like the planar constants).
+                vertical_link_pj: 1.0,
                 core_link_pj: 0.0,
             },
             router_static_power: Power::from_pj_per_ns(0.25),
@@ -66,6 +71,8 @@ impl Technology {
             bit_energy: BitEnergy {
                 router_pj: 0.071,
                 link_pj: 0.060,
+                // Same ~4× TSV-vs-wire ratio as the 0.35 µ point.
+                vertical_link_pj: 0.015,
                 core_link_pj: 0.0,
             },
             router_static_power: Power::from_pj_per_ns(2.5),

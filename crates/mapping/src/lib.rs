@@ -75,7 +75,7 @@ pub use explorer::{Explorer, SearchMethod, Strategy};
 pub use greedy::greedy;
 pub use noc_search::{
     AdaptiveConfig, AdaptiveRestarts, Crossover, GaConfig, GeneticSearch, MultiStartSa, Portfolio,
-    PortfolioConfig, SearchRun, SearchStrategy, SearchTelemetry, TabuConfig, TabuSearch,
+    PortfolioConfig, SearchRun, SearchStrategy, SearchTelemetry, TabuConfig, TabuSearch, Tenure,
 };
 pub use objective::{
     CdcmObjective, CostFunction, CwmObjective, ExecTimeObjective, SwapDeltaCost, WeightedObjective,

@@ -154,7 +154,9 @@ impl SwapDeltaCost for CwmObjective<'_> {
             }
         };
         // Only communications touching a swapped core change cost; each
-        // term is two O(1) hop-count lookups in the route cache.
+        // term is two O(1) hop/vertical-hop lookups in the route cache
+        // (the same `pair_transfer_energy` the full evaluation charges,
+        // so the TSV term of 3D meshes stays consistent).
         let mut delta = 0.0;
         for comm in self.cwg.communications() {
             let (src_old, dst_old) = (mapping.tile_of(comm.src), mapping.tile_of(comm.dst));
@@ -162,14 +164,11 @@ impl SwapDeltaCost for CwmObjective<'_> {
                 continue;
             }
             let (src_new, dst_new) = (swapped_tile(comm.src), swapped_tile(comm.dst));
-            let old = self
-                .tech
-                .bit_energy
-                .per_transfer(self.routes.router_count(src_old, dst_old), comm.bits);
-            let new = self
-                .tech
-                .bit_energy
-                .per_transfer(self.routes.router_count(src_new, dst_new), comm.bits);
+            let routes = self.routes.as_ref();
+            let old =
+                noc_energy::pair_transfer_energy(routes, self.tech, src_old, dst_old, comm.bits);
+            let new =
+                noc_energy::pair_transfer_energy(routes, self.tech, src_new, dst_new, comm.bits);
             delta += new.picojoules() - old.picojoules();
         }
         delta

@@ -65,4 +65,7 @@ pub use ids::{CoreId, PacketId, TileId};
 pub use mapping::Mapping;
 pub use route_cache::RouteCache;
 pub use route_provider::{ImplicitRoutes, OnDemandRoutes, RouteProvider, RouteSource, RouteTier};
-pub use routing::{Path, RoutingAlgorithm, RoutingKind, TorusXyRouting, XyRouting, YxRouting};
+pub use routing::{
+    Path, RoutingAlgorithm, RoutingKind, TorusXyRouting, TorusXyzRouting, XyRouting, XyzRouting,
+    YxRouting,
+};

@@ -62,6 +62,10 @@ pub struct RouteCache {
     /// Physical link → dense id (the interning map retained from
     /// construction, so reverse lookups are `O(1)`).
     index: HashMap<Link, u32>,
+    /// Per pair: vertical (TSV) link count of the route. Empty on
+    /// depth-1 meshes, where every route is planar — no memory is spent
+    /// and lookups return `0` without touching a table.
+    vertical: Vec<u32>,
 }
 
 impl RouteCache {
@@ -85,13 +89,20 @@ impl RouteCache {
     pub fn dense_entry_estimate(mesh: &Mesh) -> u128 {
         let w = mesh.width() as u128;
         let h = mesh.height() as u128;
+        let d = mesh.depth() as u128;
         let n = mesh.tile_count() as u128;
         let pairs = n * n;
-        // Σ over ordered pairs of |x1−x2| is H²·W(W²−1)/3; same for y.
-        let manhattan_sum = h * h * w * (w * w - 1) / 3 + w * w * h * (h * h - 1) / 3;
+        // Σ over ordered tile pairs of |x1−x2|: each x value occurs on
+        // h·d tiles, and Σ over ordered value pairs of |x1−x2| is
+        // W(W²−1)/3 — hence (H·D)²·W(W²−1)/3; same per axis.
+        let manhattan_sum = (h * d) * (h * d) * w * (w * w - 1) / 3
+            + (w * d) * (w * d) * h * (h * h - 1) / 3
+            + (w * h) * (w * h) * d * (d * d - 1) / 3;
         let routers = pairs + manhattan_sum; // K = distance + 1 per pair
         let links = routers + pairs; // K + 1 link ids per pair
-        routers + links + pairs + 1 // + the offsets table
+                                     // 3D meshes additionally carry the per-pair vertical-hop table.
+        let vertical = if d > 1 { pairs } else { 0 };
+        routers + links + pairs + 1 + vertical // + the offsets table
     }
 
     /// Builds the cache for `mesh` under an explicit routing algorithm.
@@ -115,6 +126,7 @@ impl RouteCache {
         let mut routers = Vec::new();
         let mut link_ids = Vec::new();
         let mut links = Vec::new();
+        let mut vertical = Vec::new();
         let mut index: HashMap<Link, u32> = HashMap::new();
         let mut intern = |link: Link, links: &mut Vec<Link>| -> u32 {
             *index.entry(link).or_insert_with(|| {
@@ -131,6 +143,9 @@ impl RouteCache {
                     link_ids.push(intern(Link::between(w[0], w[1]), &mut links));
                 }
                 link_ids.push(intern(Link::Ejection(dst), &mut links));
+                if mesh.depth() > 1 {
+                    vertical.push(path.vertical_link_count(mesh) as u32);
+                }
                 routers.extend_from_slice(path.routers());
                 let offset = u32::try_from(routers.len()).map_err(|_| {
                     // Only reachable for non-minimal custom routings that
@@ -151,6 +166,7 @@ impl RouteCache {
             link_ids,
             links,
             index,
+            vertical,
         })
     }
 
@@ -175,6 +191,17 @@ impl RouteCache {
     pub fn router_count(&self, src: TileId, dst: TileId) -> usize {
         let p = self.pair(src, dst);
         (self.offsets[p + 1] - self.offsets[p]) as usize
+    }
+
+    /// Number of vertical (TSV) inter-router links of the route, in
+    /// `O(1)` — `0` on depth-1 meshes (no table is consulted, matching
+    /// the planar energy model exactly).
+    #[inline]
+    pub fn vertical_hops(&self, src: TileId, dst: TileId) -> usize {
+        if self.vertical.is_empty() {
+            return 0;
+        }
+        self.vertical[self.pair(src, dst)] as usize
     }
 
     /// The ordered router list of the route.
@@ -330,15 +357,50 @@ mod tests {
 
     #[test]
     fn entry_estimate_matches_actual_tables_on_small_meshes() {
-        for (w, h) in [(1, 1), (2, 2), (4, 3), (6, 5)] {
-            let mesh = Mesh::new(w, h).unwrap();
+        for (w, h, d) in [
+            (1, 1, 1),
+            (2, 2, 1),
+            (4, 3, 1),
+            (6, 5, 1),
+            (3, 2, 4),
+            (4, 4, 4),
+        ] {
+            let mesh = Mesh::new3(w, h, d).unwrap();
             let cache = RouteCache::new(&mesh).unwrap();
-            let actual = (cache.routers.len() + cache.link_ids.len() + cache.offsets.len()) as u128;
+            let actual = (cache.routers.len()
+                + cache.link_ids.len()
+                + cache.offsets.len()
+                + cache.vertical.len()) as u128;
             assert_eq!(
                 RouteCache::dense_entry_estimate(&mesh),
                 actual,
-                "{w}x{h}: the closed form must be exact for minimal routing"
+                "{w}x{h}x{d}: the closed form must be exact for minimal routing"
             );
+        }
+    }
+
+    #[test]
+    fn vertical_hops_match_walked_routes() {
+        let planar = Mesh::new(4, 3).unwrap();
+        let cache = RouteCache::new(&planar).unwrap();
+        assert!(cache.vertical.is_empty(), "no table on depth-1 meshes");
+        for src in planar.tiles() {
+            for dst in planar.tiles() {
+                assert_eq!(cache.vertical_hops(src, dst), 0);
+            }
+        }
+        let cube = Mesh::new3(3, 2, 3).unwrap();
+        for routing in [&XyRouting as &dyn RoutingAlgorithm, &YxRouting] {
+            let cache = RouteCache::with_routing(&cube, routing).unwrap();
+            for src in cube.tiles() {
+                for dst in cube.tiles() {
+                    assert_eq!(
+                        cache.vertical_hops(src, dst),
+                        routing.route(&cube, src, dst).vertical_link_count(&cube),
+                        "{src}->{dst}"
+                    );
+                }
+            }
         }
     }
 }

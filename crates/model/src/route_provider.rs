@@ -21,17 +21,20 @@
 //!   copies it into the caller's buffer (the shards are internally
 //!   locked, so the provider stays `Sync` for multi-start search).
 //! * **[`RouteProvider::Implicit`]** — no stored routes at all
-//!   ([`ImplicitRoutes`]): XY/YX/torus-XY walks are generated directly
+//!   ([`ImplicitRoutes`]): XY/YX/torus/XYZ walks are generated directly
 //!   from tile coordinates into the caller's buffer, and link ids come
-//!   from a closed-form numbering ([`6·n` slots](ImplicitRoutes), one per
-//!   injection/ejection link plus four outgoing directions per tile).
-//!   Zero resident memory; `O(route length)` per resolution.
+//!   from a closed-form **per-tile-port numbering**: one slot per
+//!   injection and ejection link plus one per outgoing router port —
+//!   four ports per tile on planar meshes (the historical `6·n` total),
+//!   six on 3D meshes (`8·n`, adding the up/down TSV ports). Zero
+//!   resident memory; `O(route length)` per resolution.
 //!
 //! Dense ids differ between the tiers (first-use interning order versus
 //! the closed form), but evaluation results do not: the ids are a
 //! bijection onto the same physical links, and the timing/energy engines
 //! depend only on which walks share which resources. The repository's
-//! property tests pin bit-identical costs across all three tiers.
+//! property tests pin bit-identical costs across all three tiers, on
+//! planar and 3D meshes alike.
 //!
 //! [`RouteProvider::auto`] picks dense while the estimated tables stay
 //! small and falls back to on-demand beyond — large meshes work out of
@@ -42,7 +45,7 @@ use crate::crg::{Coord, Link, Mesh};
 use crate::error::ModelError;
 use crate::ids::TileId;
 use crate::route_cache::RouteCache;
-use crate::routing::{ring_step, RoutingAlgorithm, RoutingKind};
+use crate::routing::{RoutingAlgorithm, RoutingKind};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -73,6 +76,12 @@ pub trait RouteSource {
 
     /// Number of routers on the pair's route (the paper's `K`), `O(1)`.
     fn router_count(&self, src: TileId, dst: TileId) -> usize;
+
+    /// Number of vertical (TSV) inter-router links on the pair's route,
+    /// `O(1)`. Always `0` on depth-1 meshes; the 3D energy model charges
+    /// these hops the vertical per-bit link energy instead of the
+    /// horizontal one.
+    fn vertical_hops(&self, src: TileId, dst: TileId) -> usize;
 
     /// Resolves the pair's resource walk, returning `(start, len)` into
     /// the flat array [`Self::flat`] yields. Sources with a shared
@@ -106,6 +115,10 @@ impl RouteSource for RouteCache {
         self.router_count(src, dst)
     }
 
+    fn vertical_hops(&self, src: TileId, dst: TileId) -> usize {
+        self.vertical_hops(src, dst)
+    }
+
     fn walk_span(&self, src: TileId, dst: TileId, _buf: &mut Vec<u32>) -> (u32, u32) {
         let span = self.link_span(src, dst);
         (span.start as u32, (span.end - span.start) as u32)
@@ -121,37 +134,44 @@ impl RouteSource for RouteCache {
 }
 
 /// Closed-form dense link numbering shared by the implicit and on-demand
-/// tiers: injection links occupy ids `0..n`, ejection links `n..2n`, and
-/// the outgoing internal links of tile `t` occupy `2n + 4t + direction`
-/// (north, south, east, west). Border slots stay unused on meshes; wrap
-/// steps of the torus router are canonicalized onto the direction the
-/// coordinate delta implies, so a 2-wide ring maps both ways onto the
-/// same `Link` — exactly the identity [`Link::between`] gives them.
+/// tiers, one slot **per tile port**: injection links occupy ids `0..n`,
+/// ejection links `n..2n`, and the outgoing internal links of tile `t`
+/// occupy `2n + ports·t + direction` — `ports = 4` on planar meshes
+/// (north, south, east, west; the historical `6n` total) and `ports = 6`
+/// on 3D meshes (adding up and down TSV ports, `8n` total). Depth-1
+/// numbering is therefore bit-identical to the pre-3D formula. Border
+/// slots stay unused on meshes; wrap steps of the torus routers are
+/// canonicalized onto the direction the coordinate delta implies, so a
+/// 2-wide ring maps both ways onto the same `Link` — exactly the
+/// identity [`Link::between`] gives them.
 #[derive(Debug, Clone, Copy)]
 struct LinkNumbering {
-    width: usize,
-    height: usize,
+    mesh: Mesh,
+    /// Outgoing router ports per tile: 4 planar, 6 with the TSV pair.
+    ports: usize,
 }
 
 const DIR_NORTH: u32 = 0;
 const DIR_SOUTH: u32 = 1;
 const DIR_EAST: u32 = 2;
 const DIR_WEST: u32 = 3;
+const DIR_UP: u32 = 4;
+const DIR_DOWN: u32 = 5;
 
 impl LinkNumbering {
     fn new(mesh: &Mesh) -> Self {
         Self {
-            width: mesh.width(),
-            height: mesh.height(),
+            mesh: *mesh,
+            ports: if mesh.depth() == 1 { 4 } else { 6 },
         }
     }
 
     fn tiles(self) -> usize {
-        self.width * self.height
+        self.mesh.tile_count()
     }
 
     fn id_count(self) -> usize {
-        6 * self.tiles()
+        (2 + self.ports) * self.tiles()
     }
 
     fn injection(self, tile: TileId) -> u32 {
@@ -172,33 +192,58 @@ impl LinkNumbering {
                 DIR_EAST
             } else if b.x + 1 == a.x {
                 DIR_WEST
-            } else if a.x == self.width - 1 && b.x == 0 {
+            } else if a.x == self.mesh.width() - 1 && b.x == 0 {
                 DIR_EAST
             } else {
-                debug_assert!(a.x == 0 && b.x == self.width - 1, "non-adjacent x step");
+                debug_assert!(
+                    a.x == 0 && b.x == self.mesh.width() - 1,
+                    "non-adjacent x step"
+                );
                 DIR_WEST
             }
-        } else if b.y == a.y + 1 {
-            DIR_SOUTH
-        } else if b.y + 1 == a.y {
-            DIR_NORTH
-        } else if a.y == self.height - 1 && b.y == 0 {
-            DIR_SOUTH
+        } else if a.y != b.y {
+            if b.y == a.y + 1 {
+                DIR_SOUTH
+            } else if b.y + 1 == a.y {
+                DIR_NORTH
+            } else if a.y == self.mesh.height() - 1 && b.y == 0 {
+                DIR_SOUTH
+            } else {
+                debug_assert!(
+                    a.y == 0 && b.y == self.mesh.height() - 1,
+                    "non-adjacent y step"
+                );
+                DIR_NORTH
+            }
+        } else if b.z == a.z + 1 {
+            DIR_DOWN
+        } else if b.z + 1 == a.z {
+            DIR_UP
+        } else if a.z == self.mesh.depth() - 1 && b.z == 0 {
+            DIR_DOWN
         } else {
-            debug_assert!(a.y == 0 && b.y == self.height - 1, "non-adjacent y step");
-            DIR_NORTH
+            debug_assert!(
+                a.z == 0 && b.z == self.mesh.depth() - 1,
+                "non-adjacent z step"
+            );
+            DIR_UP
         }
     }
 
     fn internal(self, a: Coord, b: Coord) -> u32 {
-        let from = (a.y * self.width + a.x) as u32;
-        (2 * self.tiles()) as u32 + 4 * from + self.step_dir(a, b)
+        let from = self
+            .mesh
+            .tile_at(a)
+            .expect("walk stays inside mesh")
+            .index() as u32;
+        (2 * self.tiles()) as u32 + self.ports as u32 * from + self.step_dir(a, b)
     }
 
     /// Decodes an id back to its physical link; `None` for ids the
     /// encoder never produces (border slots, or the collapsed wrap slot
-    /// of a 2-long ring). `wrap` enables torus neighbours.
-    fn link_at(self, id: u32, wrap: bool) -> Option<Link> {
+    /// of a 2-long ring). `wrap_xy`/`wrap_z` enable torus neighbours per
+    /// axis group.
+    fn link_at(self, id: u32, wrap_xy: bool, wrap_z: bool) -> Option<Link> {
         let n = self.tiles();
         let id = id as usize;
         if id < n {
@@ -207,22 +252,27 @@ impl LinkNumbering {
         if id < 2 * n {
             return Some(Link::Ejection(TileId::new(id - n)));
         }
-        if id >= 6 * n {
+        if id >= self.id_count() {
             return None;
         }
         let rest = id - 2 * n;
-        let tile = rest / 4;
-        let dir = (rest % 4) as u32;
-        let a = Coord::new(tile % self.width, tile / self.width);
+        let tile = rest / self.ports;
+        let dir = (rest % self.ports) as u32;
+        let (w, h, d) = (self.mesh.width(), self.mesh.height(), self.mesh.depth());
+        let a = self.mesh.coord(TileId::new(tile));
         let b = match dir {
-            DIR_NORTH if a.y > 0 => Coord::new(a.x, a.y - 1),
-            DIR_NORTH if wrap && self.height > 1 => Coord::new(a.x, self.height - 1),
-            DIR_SOUTH if a.y + 1 < self.height => Coord::new(a.x, a.y + 1),
-            DIR_SOUTH if wrap && self.height > 1 => Coord::new(a.x, 0),
-            DIR_EAST if a.x + 1 < self.width => Coord::new(a.x + 1, a.y),
-            DIR_EAST if wrap && self.width > 1 => Coord::new(0, a.y),
-            DIR_WEST if a.x > 0 => Coord::new(a.x - 1, a.y),
-            DIR_WEST if wrap && self.width > 1 => Coord::new(self.width - 1, a.y),
+            DIR_NORTH if a.y > 0 => Coord::new3(a.x, a.y - 1, a.z),
+            DIR_NORTH if wrap_xy && h > 1 => Coord::new3(a.x, h - 1, a.z),
+            DIR_SOUTH if a.y + 1 < h => Coord::new3(a.x, a.y + 1, a.z),
+            DIR_SOUTH if wrap_xy && h > 1 => Coord::new3(a.x, 0, a.z),
+            DIR_EAST if a.x + 1 < w => Coord::new3(a.x + 1, a.y, a.z),
+            DIR_EAST if wrap_xy && w > 1 => Coord::new3(0, a.y, a.z),
+            DIR_WEST if a.x > 0 => Coord::new3(a.x - 1, a.y, a.z),
+            DIR_WEST if wrap_xy && w > 1 => Coord::new3(w - 1, a.y, a.z),
+            DIR_UP if a.z > 0 => Coord::new3(a.x, a.y, a.z - 1),
+            DIR_UP if wrap_z && d > 1 => Coord::new3(a.x, a.y, d - 1),
+            DIR_DOWN if a.z + 1 < d => Coord::new3(a.x, a.y, a.z + 1),
+            DIR_DOWN if wrap_z && d > 1 => Coord::new3(a.x, a.y, 0),
             _ => return None,
         };
         // Reject slots the canonical encoder would map elsewhere (the
@@ -230,7 +280,10 @@ impl LinkNumbering {
         if self.step_dir(a, b) != dir {
             return None;
         }
-        let to = TileId::new(b.y * self.width + b.x);
+        let to = self
+            .mesh
+            .tile_at(b)
+            .expect("decoded neighbour is inside the mesh");
         Some(Link::between(TileId::new(tile), to))
     }
 }
@@ -259,50 +312,12 @@ impl ImplicitRoutes {
         self.kind
     }
 
-    /// Visits every routing step `a → b` of the pair's route, in order —
-    /// the same steps the corresponding [`RoutingAlgorithm`] would take.
-    fn for_each_step(&self, src: TileId, dst: TileId, mut f: impl FnMut(Coord, Coord)) {
-        let to = self.mesh.coord(dst);
-        let mut cur = self.mesh.coord(src);
-        let (w, h) = (self.mesh.width(), self.mesh.height());
-        match self.kind {
-            RoutingKind::Xy => {
-                while cur.x != to.x {
-                    let next = Coord::new(if cur.x < to.x { cur.x + 1 } else { cur.x - 1 }, cur.y);
-                    f(cur, next);
-                    cur = next;
-                }
-                while cur.y != to.y {
-                    let next = Coord::new(cur.x, if cur.y < to.y { cur.y + 1 } else { cur.y - 1 });
-                    f(cur, next);
-                    cur = next;
-                }
-            }
-            RoutingKind::Yx => {
-                while cur.y != to.y {
-                    let next = Coord::new(cur.x, if cur.y < to.y { cur.y + 1 } else { cur.y - 1 });
-                    f(cur, next);
-                    cur = next;
-                }
-                while cur.x != to.x {
-                    let next = Coord::new(if cur.x < to.x { cur.x + 1 } else { cur.x - 1 }, cur.y);
-                    f(cur, next);
-                    cur = next;
-                }
-            }
-            RoutingKind::TorusXy => {
-                while cur.x != to.x {
-                    let next = Coord::new(ring_step(cur.x, to.x, w), cur.y);
-                    f(cur, next);
-                    cur = next;
-                }
-                while cur.y != to.y {
-                    let next = Coord::new(cur.x, ring_step(cur.y, to.y, h));
-                    f(cur, next);
-                    cur = next;
-                }
-            }
-        }
+    /// Whether the planar / vertical axes wrap under this kind (for id
+    /// decoding) — read from the kind's own [`DimensionOrder`] so the
+    /// decoder can never diverge from the walk encoder.
+    fn wraps(&self) -> (bool, bool) {
+        let order = self.kind.order();
+        (order.wrap_xy, order.wrap_z)
     }
 }
 
@@ -323,10 +338,20 @@ impl RouteSource for ImplicitRoutes {
         self.kind.hop_distance(&self.mesh, src, dst) + 1
     }
 
+    fn vertical_hops(&self, src: TileId, dst: TileId) -> usize {
+        self.kind.vertical_hops(&self.mesh, src, dst)
+    }
+
     fn walk_span(&self, src: TileId, dst: TileId, buf: &mut Vec<u32>) -> (u32, u32) {
         let start = buf.len();
         buf.push(self.numbering.injection(src));
-        self.for_each_step(src, dst, |a, b| buf.push(self.numbering.internal(a, b)));
+        // The identical coordinate walk the kind's `RoutingAlgorithm`
+        // performs (shared `DimensionOrder`), emitted as closed-form ids.
+        self.kind
+            .order()
+            .for_each_step(&self.mesh, src, dst, |a, b| {
+                buf.push(self.numbering.internal(a, b));
+            });
         buf.push(self.numbering.ejection(dst));
         (start as u32, (buf.len() - start) as u32)
     }
@@ -336,8 +361,8 @@ impl RouteSource for ImplicitRoutes {
     }
 
     fn link_at(&self, id: u32) -> Option<Link> {
-        self.numbering
-            .link_at(id, self.kind == RoutingKind::TorusXy)
+        let (wrap_xy, wrap_z) = self.wraps();
+        self.numbering.link_at(id, wrap_xy, wrap_z)
     }
 }
 
@@ -409,6 +434,10 @@ impl RouteSource for OnDemandRoutes {
 
     fn router_count(&self, src: TileId, dst: TileId) -> usize {
         self.walker.router_count(src, dst)
+    }
+
+    fn vertical_hops(&self, src: TileId, dst: TileId) -> usize {
+        RouteSource::vertical_hops(&self.walker, src, dst)
     }
 
     fn walk_span(&self, src: TileId, dst: TileId, buf: &mut Vec<u32>) -> (u32, u32) {
@@ -526,11 +555,11 @@ impl RouteProvider {
     /// [`Self::auto`]; unknown custom algorithms require the dense tier
     /// (only it can call back into arbitrary `route` implementations).
     ///
-    /// Resolution is **by name**: the names `"XY"`, `"YX"` and
-    /// `"torus-XY"` are reserved for the library algorithms (see
-    /// [`RoutingAlgorithm::name`]) — a custom algorithm reporting one of
-    /// them is served by the corresponding coordinate walker, not by its
-    /// own `route` implementation.
+    /// Resolution is **by name**: the names `"XY"`, `"YX"`, `"torus-XY"`,
+    /// `"XYZ"` and `"torus-XYZ"` are reserved for the library algorithms
+    /// (see [`RoutingAlgorithm::name`]) — a custom algorithm reporting
+    /// one of them is served by the corresponding coordinate walker, not
+    /// by its own `route` implementation.
     ///
     /// # Errors
     ///
@@ -596,6 +625,14 @@ impl RouteSource for RouteProvider {
         }
     }
 
+    fn vertical_hops(&self, src: TileId, dst: TileId) -> usize {
+        match self {
+            Self::Dense(c) => c.vertical_hops(src, dst),
+            Self::OnDemand(o) => RouteSource::vertical_hops(o, src, dst),
+            Self::Implicit(i) => RouteSource::vertical_hops(i, src, dst),
+        }
+    }
+
     fn walk_span(&self, src: TileId, dst: TileId, buf: &mut Vec<u32>) -> (u32, u32) {
         match self {
             Self::Dense(c) => RouteSource::walk_span(c.as_ref(), src, dst, buf),
@@ -634,25 +671,36 @@ mod tests {
             .collect()
     }
 
-    fn kinds() -> [RoutingKind; 3] {
-        [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::TorusXy]
-    }
-
     #[test]
     fn implicit_walks_match_the_dense_cache() {
-        for (w, h) in [(1, 1), (1, 4), (2, 2), (2, 3), (4, 4), (5, 3)] {
-            let mesh = Mesh::new(w, h).unwrap();
-            for kind in kinds() {
+        for (w, h, d) in [
+            (1, 1, 1),
+            (1, 4, 1),
+            (2, 2, 1),
+            (2, 3, 1),
+            (4, 4, 1),
+            (5, 3, 1),
+            (2, 2, 2),
+            (3, 2, 3),
+            (4, 4, 4),
+        ] {
+            let mesh = Mesh::new3(w, h, d).unwrap();
+            for kind in RoutingKind::ALL {
                 let dense = RouteCache::with_routing(&mesh, kind.algorithm()).unwrap();
                 let implicit = ImplicitRoutes::new(&mesh, kind);
                 for src in mesh.tiles() {
                     for dst in mesh.tiles() {
                         let want = decode_walk(&dense, src, dst);
                         let got = decode_walk(&implicit, src, dst);
-                        assert_eq!(got, want, "{kind:?} {w}x{h} {src}->{dst}");
+                        assert_eq!(got, want, "{kind:?} {w}x{h}x{d} {src}->{dst}");
                         assert_eq!(
                             RouteSource::router_count(&implicit, src, dst),
                             dense.router_count(src, dst)
+                        );
+                        assert_eq!(
+                            RouteSource::vertical_hops(&implicit, src, dst),
+                            RouteSource::vertical_hops(&dense, src, dst),
+                            "{kind:?} {w}x{h}x{d} {src}->{dst}"
                         );
                     }
                 }
@@ -662,23 +710,24 @@ mod tests {
 
     #[test]
     fn on_demand_matches_implicit_and_caches() {
-        let mesh = Mesh::new(4, 3).unwrap();
-        for kind in kinds() {
-            let implicit = ImplicitRoutes::new(&mesh, kind);
-            let lazy = OnDemandRoutes::new(&mesh, kind);
-            for src in mesh.tiles() {
-                for dst in mesh.tiles() {
-                    // Query twice: miss path, then memoized path.
-                    for _ in 0..2 {
-                        assert_eq!(
-                            decode_walk(&lazy, src, dst),
-                            decode_walk(&implicit, src, dst),
-                            "{kind:?} {src}->{dst}"
-                        );
+        for mesh in [Mesh::new(4, 3).unwrap(), Mesh::new3(3, 2, 2).unwrap()] {
+            for kind in RoutingKind::ALL {
+                let implicit = ImplicitRoutes::new(&mesh, kind);
+                let lazy = OnDemandRoutes::new(&mesh, kind);
+                for src in mesh.tiles() {
+                    for dst in mesh.tiles() {
+                        // Query twice: miss path, then memoized path.
+                        for _ in 0..2 {
+                            assert_eq!(
+                                decode_walk(&lazy, src, dst),
+                                decode_walk(&implicit, src, dst),
+                                "{kind:?} {src}->{dst}"
+                            );
+                        }
                     }
                 }
+                assert_eq!(lazy.cached_pairs(), mesh.tile_count() * mesh.tile_count());
             }
-            assert_eq!(lazy.cached_pairs(), mesh.tile_count() * mesh.tile_count());
         }
     }
 
@@ -718,6 +767,16 @@ mod tests {
         let provider = RouteProvider::auto(&large, RoutingKind::Xy);
         assert_eq!(provider.tier(), RouteTier::OnDemand);
         assert!(provider.as_dense().is_none());
+        // 3D meshes go through the same size logic: a 4×4×4 cube still
+        // fits densely, a 32×32×8 stack does not.
+        assert_eq!(
+            RouteProvider::auto(&Mesh::new3(4, 4, 4).unwrap(), RoutingKind::Xyz).tier(),
+            RouteTier::Dense
+        );
+        assert_eq!(
+            RouteProvider::auto(&Mesh::new3(32, 32, 8).unwrap(), RoutingKind::Xyz).tier(),
+            RouteTier::OnDemand
+        );
         // Tier names for CLI/reporting.
         assert_eq!(RouteTier::Dense.name(), "dense");
         assert_eq!(RouteTier::OnDemand.name(), "on-demand");
@@ -735,12 +794,14 @@ mod tests {
 
     #[test]
     fn for_algorithm_resolves_library_routings_on_large_meshes() {
-        use crate::routing::{TorusXyRouting, YxRouting};
-        let large = Mesh::new(96, 96).unwrap();
+        use crate::routing::{TorusXyRouting, TorusXyzRouting, XyzRouting, YxRouting};
+        let large = Mesh::new3(32, 32, 8).unwrap();
         for algo in [
             &crate::routing::XyRouting as &dyn RoutingAlgorithm,
             &YxRouting,
             &TorusXyRouting,
+            &XyzRouting,
+            &TorusXyzRouting,
         ] {
             let provider = RouteProvider::for_algorithm(&large, algo).unwrap();
             assert_eq!(provider.tier(), RouteTier::OnDemand);
@@ -752,8 +813,10 @@ mod tests {
     fn numbering_decode_rejects_unused_slots() {
         let mesh = Mesh::new(3, 3).unwrap();
         let implicit = ImplicitRoutes::new(&mesh, RoutingKind::Xy);
-        // North slot of tile 0 (top row) has no neighbour.
+        // Planar meshes keep the historical 4-port (6n-id) numbering.
         let n = mesh.tile_count() as u32;
+        assert_eq!(RouteSource::dense_link_count(&implicit), 6 * n as usize);
+        // North slot of tile 0 (top row) has no neighbour.
         assert_eq!(implicit.link_at(2 * n + DIR_NORTH), None);
         // Out-of-range ids decode to nothing.
         assert_eq!(implicit.link_at(6 * n), None);
@@ -771,19 +834,53 @@ mod tests {
     }
 
     #[test]
+    fn numbering_decode_is_injective_in_3d() {
+        for kind in [RoutingKind::Xyz, RoutingKind::TorusXyz] {
+            let mesh = Mesh::new3(3, 2, 3).unwrap();
+            let implicit = ImplicitRoutes::new(&mesh, kind);
+            let n = mesh.tile_count();
+            // 3D meshes use the 6-port (8n-id) numbering.
+            assert_eq!(RouteSource::dense_link_count(&implicit), 8 * n);
+            // Top layer has no Up neighbour without z wrap.
+            let up_of_t0 = (2 * n) as u32 + DIR_UP;
+            if kind == RoutingKind::TorusXyz {
+                assert!(implicit.link_at(up_of_t0).is_some(), "z wrap decodes");
+            } else {
+                assert_eq!(implicit.link_at(up_of_t0), None);
+            }
+            let mut seen = std::collections::HashMap::new();
+            for id in 0..RouteSource::dense_link_count(&implicit) as u32 {
+                if let Some(link) = implicit.link_at(id) {
+                    assert!(
+                        seen.insert(link, id).is_none(),
+                        "{kind:?}: link {link} decoded from two ids"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn two_wide_torus_collapses_wrap_links() {
         // On a 2-wide ring, east-wrap and west from the same tile land on
         // the same neighbour: one physical link, one id — matching the
-        // dense cache's interning of `Link::between`.
-        let mesh = Mesh::new(2, 1).unwrap();
-        let implicit = ImplicitRoutes::new(&mesh, RoutingKind::TorusXy);
-        let dense = RouteCache::with_routing(&mesh, RoutingKind::TorusXy.algorithm()).unwrap();
-        for src in mesh.tiles() {
-            for dst in mesh.tiles() {
-                assert_eq!(
-                    decode_walk(&implicit, src, dst),
-                    decode_walk(&dense, src, dst)
-                );
+        // dense cache's interning of `Link::between`. Same for a 2-deep
+        // stack under the 3D torus.
+        for (mesh, kind) in [
+            (Mesh::new(2, 1).unwrap(), RoutingKind::TorusXy),
+            (Mesh::new3(2, 1, 2).unwrap(), RoutingKind::TorusXyz),
+            (Mesh::new3(1, 1, 2).unwrap(), RoutingKind::TorusXyz),
+        ] {
+            let implicit = ImplicitRoutes::new(&mesh, kind);
+            let dense = RouteCache::with_routing(&mesh, kind.algorithm()).unwrap();
+            for src in mesh.tiles() {
+                for dst in mesh.tiles() {
+                    assert_eq!(
+                        decode_walk(&implicit, src, dst),
+                        decode_walk(&dense, src, dst),
+                        "{kind:?} {src}->{dst}"
+                    );
+                }
             }
         }
     }

@@ -4,13 +4,17 @@
 //! **XY** routing: a packet first travels along the X dimension to the
 //! destination column, then along Y. [`XyRouting`] implements exactly that;
 //! [`YxRouting`] (Y first) is provided as an alternative for ablations.
+//! On 3D meshes every dimension-ordered router finishes with the Z axis
+//! ([`XyzRouting`] is the canonical 3D name), and the torus variants
+//! ([`TorusXyRouting`], [`TorusXyzRouting`]) wrap around their respective
+//! axes.
 //!
 //! A [`Path`] is the ordered list of routers a packet traverses (`K`
 //! routers in the paper's equations) and exposes the full ordered resource
 //! list — injection link, routers, inter-router links, ejection link —
 //! consumed by the timing and energy models.
 
-use crate::crg::{Link, Mesh};
+use crate::crg::{Coord, Link, Mesh};
 use crate::ids::TileId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -48,6 +52,23 @@ impl Path {
     /// Number of inter-router links traversed (`K − 1`).
     pub fn internal_link_count(&self) -> usize {
         self.routers.len() - 1
+    }
+
+    /// Number of *vertical* (TSV) inter-router links traversed: the steps
+    /// whose endpoints lie on different layers of `mesh`. Always `0` on a
+    /// depth-1 mesh, so the planar energy model is untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a router of the path lies outside `mesh`.
+    pub fn vertical_link_count(&self, mesh: &Mesh) -> usize {
+        if mesh.depth() == 1 {
+            return 0;
+        }
+        self.routers
+            .windows(2)
+            .filter(|w| mesh.coord(w[0]).z != mesh.coord(w[1]).z)
+            .count()
     }
 
     /// Source tile.
@@ -88,8 +109,9 @@ impl fmt::Display for Path {
 /// A deterministic unicast routing function on a mesh.
 ///
 /// Implementations must return a connected path starting at `src` and
-/// ending at `dst` whose consecutive routers are mesh-adjacent; `route` for
-/// `src == dst` returns the single-router path (local delivery).
+/// ending at `dst` whose consecutive routers are mesh-adjacent (or
+/// torus-adjacent); `route` for `src == dst` returns the single-router
+/// path (local delivery).
 pub trait RoutingAlgorithm: fmt::Debug {
     /// Routes a packet from `src` to `dst`.
     ///
@@ -101,15 +123,105 @@ pub trait RoutingAlgorithm: fmt::Debug {
     /// Short human-readable name ("XY", "YX", …).
     ///
     /// The names of the library algorithms (`"XY"`, `"YX"`,
-    /// `"torus-XY"`) are **reserved**: route-provider tier selection
+    /// `"torus-XY"`, `"XYZ"`, `"torus-XYZ"`) are **reserved**:
+    /// route-provider tier selection
     /// ([`crate::route_provider::RouteProvider::for_algorithm`])
     /// dispatches on this name, so a custom implementation must only
     /// report one of them if it produces identical routes.
     fn name(&self) -> &'static str;
 }
 
-/// Dimension-ordered XY routing (X first, then Y) — the algorithm the paper
-/// evaluates. Deadlock-free and minimal on meshes.
+/// The axis sweep order and wrap behaviour of one dimension-ordered
+/// router. Every library routing is an instance of this walk; the
+/// implicit route provider replays the identical step sequence from
+/// coordinates, which is what keeps the tiers bit-exact.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct DimensionOrder {
+    /// Sweep Y before X (YX routing); X-first otherwise.
+    pub(crate) y_first: bool,
+    /// Wrap the planar axes (torus links in X and Y).
+    pub(crate) wrap_xy: bool,
+    /// Wrap the vertical axis (torus links in Z).
+    pub(crate) wrap_z: bool,
+}
+
+impl DimensionOrder {
+    /// Visits every routing step `a → b` of the pair's route, in order.
+    /// The Z axis is always swept last — on a depth-1 mesh the Z sweep is
+    /// empty and the walk is exactly the planar algorithm's.
+    pub(crate) fn for_each_step(
+        self,
+        mesh: &Mesh,
+        src: TileId,
+        dst: TileId,
+        mut f: impl FnMut(Coord, Coord),
+    ) {
+        let to = mesh.coord(dst);
+        let mut cur = mesh.coord(src);
+        let (w, h, d) = (mesh.width(), mesh.height(), mesh.depth());
+        let sweep_x = |cur: &mut Coord, f: &mut dyn FnMut(Coord, Coord)| {
+            while cur.x != to.x {
+                let nx = if self.wrap_xy {
+                    ring_step(cur.x, to.x, w)
+                } else if cur.x < to.x {
+                    cur.x + 1
+                } else {
+                    cur.x - 1
+                };
+                let next = Coord::new3(nx, cur.y, cur.z);
+                f(*cur, next);
+                *cur = next;
+            }
+        };
+        let sweep_y = |cur: &mut Coord, f: &mut dyn FnMut(Coord, Coord)| {
+            while cur.y != to.y {
+                let ny = if self.wrap_xy {
+                    ring_step(cur.y, to.y, h)
+                } else if cur.y < to.y {
+                    cur.y + 1
+                } else {
+                    cur.y - 1
+                };
+                let next = Coord::new3(cur.x, ny, cur.z);
+                f(*cur, next);
+                *cur = next;
+            }
+        };
+        if self.y_first {
+            sweep_y(&mut cur, &mut f);
+            sweep_x(&mut cur, &mut f);
+        } else {
+            sweep_x(&mut cur, &mut f);
+            sweep_y(&mut cur, &mut f);
+        }
+        while cur.z != to.z {
+            let nz = if self.wrap_z {
+                ring_step(cur.z, to.z, d)
+            } else if cur.z < to.z {
+                cur.z + 1
+            } else {
+                cur.z - 1
+            };
+            let next = Coord::new3(cur.x, cur.y, nz);
+            f(cur, next);
+            cur = next;
+        }
+    }
+
+    /// Materializes the walk as a [`Path`].
+    fn route(self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
+        let mut routers = Vec::with_capacity(mesh.manhattan(src, dst) + 1);
+        routers.push(src);
+        self.for_each_step(mesh, src, dst, |_, b| {
+            routers.push(mesh.tile_at(b).expect("sweep stays inside mesh"));
+        });
+        Path::new(routers)
+    }
+}
+
+/// Dimension-ordered XY routing (X first, then Y, then Z on 3D meshes) —
+/// the algorithm the paper evaluates. Deadlock-free and minimal on
+/// meshes.
 ///
 /// # Examples
 ///
@@ -130,22 +242,33 @@ pub trait RoutingAlgorithm: fmt::Debug {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct XyRouting;
 
+pub(crate) const XY_ORDER: DimensionOrder = DimensionOrder {
+    y_first: false,
+    wrap_xy: false,
+    wrap_z: false,
+};
+
+pub(crate) const YX_ORDER: DimensionOrder = DimensionOrder {
+    y_first: true,
+    wrap_xy: false,
+    wrap_z: false,
+};
+
+pub(crate) const TORUS_XY_ORDER: DimensionOrder = DimensionOrder {
+    y_first: false,
+    wrap_xy: true,
+    wrap_z: false,
+};
+
+pub(crate) const TORUS_XYZ_ORDER: DimensionOrder = DimensionOrder {
+    y_first: false,
+    wrap_xy: true,
+    wrap_z: true,
+};
+
 impl RoutingAlgorithm for XyRouting {
     fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
-        let from = mesh.coord(src);
-        let to = mesh.coord(dst);
-        let mut routers = Vec::with_capacity(from.manhattan(to) + 1);
-        let mut cur = from;
-        routers.push(src);
-        while cur.x != to.x {
-            cur.x = if cur.x < to.x { cur.x + 1 } else { cur.x - 1 };
-            routers.push(mesh.tile_at(cur).expect("x sweep stays inside mesh"));
-        }
-        while cur.y != to.y {
-            cur.y = if cur.y < to.y { cur.y + 1 } else { cur.y - 1 };
-            routers.push(mesh.tile_at(cur).expect("y sweep stays inside mesh"));
-        }
-        Path::new(routers)
+        XY_ORDER.route(mesh, src, dst)
     }
 
     fn name(&self) -> &'static str {
@@ -153,31 +276,37 @@ impl RoutingAlgorithm for XyRouting {
     }
 }
 
-/// Dimension-ordered YX routing (Y first, then X); useful for routing
-/// ablations.
+/// Dimension-ordered YX routing (Y first, then X, then Z); useful for
+/// routing ablations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct YxRouting;
 
 impl RoutingAlgorithm for YxRouting {
     fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
-        let from = mesh.coord(src);
-        let to = mesh.coord(dst);
-        let mut routers = Vec::with_capacity(from.manhattan(to) + 1);
-        let mut cur = from;
-        routers.push(src);
-        while cur.y != to.y {
-            cur.y = if cur.y < to.y { cur.y + 1 } else { cur.y - 1 };
-            routers.push(mesh.tile_at(cur).expect("y sweep stays inside mesh"));
-        }
-        while cur.x != to.x {
-            cur.x = if cur.x < to.x { cur.x + 1 } else { cur.x - 1 };
-            routers.push(mesh.tile_at(cur).expect("x sweep stays inside mesh"));
-        }
-        Path::new(routers)
+        YX_ORDER.route(mesh, src, dst)
     }
 
     fn name(&self) -> &'static str {
         "YX"
+    }
+}
+
+/// Dimension-ordered XYZ routing on a 3D mesh: X, then Y, then Z down
+/// the TSV pillars. This is the canonical deterministic router of the 3D
+/// NoC mapping literature (Jha et al.); its routes coincide with
+/// [`XyRouting`]'s on every mesh (XY already sweeps Z last), but it is a
+/// distinct named algorithm so 3D experiments say what they run and so
+/// the CLI exposes `--routing xyz`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct XyzRouting;
+
+impl RoutingAlgorithm for XyzRouting {
+    fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
+        XY_ORDER.route(mesh, src, dst)
+    }
+
+    fn name(&self) -> &'static str {
+        "XYZ"
     }
 }
 
@@ -195,15 +324,37 @@ pub enum RoutingKind {
     Yx,
     /// [`TorusXyRouting`].
     TorusXy,
+    /// [`XyzRouting`] — dimension-ordered 3D routing.
+    Xyz,
+    /// [`TorusXyzRouting`] — 3D torus with wrap links on all axes.
+    TorusXyz,
 }
 
 impl RoutingKind {
+    /// All library routing kinds, in declaration order (test and CLI
+    /// enumeration helper).
+    pub const ALL: [RoutingKind; 5] =
+        [Self::Xy, Self::Yx, Self::TorusXy, Self::Xyz, Self::TorusXyz];
+
     /// The corresponding routing algorithm object.
     pub fn algorithm(self) -> &'static dyn RoutingAlgorithm {
         match self {
             Self::Xy => &XyRouting,
             Self::Yx => &YxRouting,
             Self::TorusXy => &TorusXyRouting,
+            Self::Xyz => &XyzRouting,
+            Self::TorusXyz => &TorusXyzRouting,
+        }
+    }
+
+    /// The coordinate walk this kind performs (shared with the implicit
+    /// route provider).
+    pub(crate) fn order(self) -> DimensionOrder {
+        match self {
+            Self::Xy | Self::Xyz => XY_ORDER,
+            Self::Yx => YX_ORDER,
+            Self::TorusXy => TORUS_XY_ORDER,
+            Self::TorusXyz => TORUS_XYZ_ORDER,
         }
     }
 
@@ -213,13 +364,15 @@ impl RoutingKind {
         self.algorithm().name()
     }
 
-    /// Resolves an algorithm name ("XY", "yx", "torus-xy", …) back to its
-    /// kind; `None` for algorithms outside the closed set.
+    /// Resolves an algorithm name ("XY", "yx", "torus-xy", "xyz", …) back
+    /// to its kind; `None` for algorithms outside the closed set.
     pub fn from_name(name: &str) -> Option<Self> {
         match name.to_ascii_lowercase().as_str() {
             "xy" => Some(Self::Xy),
             "yx" => Some(Self::Yx),
             "torus-xy" | "torus" => Some(Self::TorusXy),
+            "xyz" => Some(Self::Xyz),
+            "torus-xyz" => Some(Self::TorusXyz),
             _ => None,
         }
     }
@@ -227,14 +380,33 @@ impl RoutingKind {
     /// Number of inter-router hops of the route from `src` to `dst`
     /// (`router_count - 1`), in closed form — `O(1)`, no route is walked.
     pub fn hop_distance(self, mesh: &Mesh, src: TileId, dst: TileId) -> usize {
+        let a = mesh.coord(src);
+        let b = mesh.coord(dst);
         match self {
-            // Both dimension orders traverse the same Manhattan distance.
-            Self::Xy | Self::Yx => mesh.manhattan(src, dst),
+            // All dimension orders traverse the same Manhattan distance
+            // (the Z sweep adds |Δz| on 3D meshes, 0 on planar ones).
+            Self::Xy | Self::Yx | Self::Xyz => a.manhattan(b),
             Self::TorusXy => {
-                let a = mesh.coord(src);
-                let b = mesh.coord(dst);
-                ring_dist(a.x, b.x, mesh.width()) + ring_dist(a.y, b.y, mesh.height())
+                ring_dist(a.x, b.x, mesh.width())
+                    + ring_dist(a.y, b.y, mesh.height())
+                    + a.z.abs_diff(b.z)
             }
+            Self::TorusXyz => {
+                ring_dist(a.x, b.x, mesh.width())
+                    + ring_dist(a.y, b.y, mesh.height())
+                    + ring_dist(a.z, b.z, mesh.depth())
+            }
+        }
+    }
+
+    /// Number of *vertical* (TSV) hops of the route, in closed form —
+    /// the count [`Path::vertical_link_count`] returns for the walked
+    /// route. `0` on depth-1 meshes for every kind.
+    pub fn vertical_hops(self, mesh: &Mesh, src: TileId, dst: TileId) -> usize {
+        let (az, bz) = (mesh.coord(src).z, mesh.coord(dst).z);
+        match self {
+            Self::TorusXyz => ring_dist(az, bz, mesh.depth()),
+            _ => az.abs_diff(bz),
         }
     }
 }
@@ -247,14 +419,17 @@ pub(crate) fn ring_dist(from: usize, to: usize, len: usize) -> usize {
 }
 
 /// Dimension-ordered XY routing on a **torus** (the mesh with wrap-around
-/// links in both dimensions). Each dimension moves in the direction of
-/// the shorter way around (ties go the positive way), so routes are
-/// minimal on the torus.
+/// links in the two planar dimensions). Each wrapped dimension moves in
+/// the direction of the shorter way around (ties go the positive way),
+/// so routes are minimal on the torus. On 3D meshes the Z axis is swept
+/// last *without* wrap links (stacked toroidal layers); use
+/// [`TorusXyzRouting`] for a full 3D torus.
 ///
 /// The paper notes that "other NoC topologies can be equally treated";
 /// this router is that extension: the timing and energy engines only
 /// consume the routed [`Path`], so torus experiments reuse them
-/// unchanged. (The flit-level DES in `noc-sim` remains mesh-only.)
+/// unchanged. (The flit-level DES in `noc-sim` remains wrap-free —
+/// dimension-ordered XY/XYZ meshes only.)
 ///
 /// # Examples
 ///
@@ -289,22 +464,27 @@ pub(crate) fn ring_step(from: usize, to: usize, len: usize) -> usize {
 
 impl RoutingAlgorithm for TorusXyRouting {
     fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
-        let to = mesh.coord(dst);
-        let mut cur = mesh.coord(src);
-        let mut routers = vec![src];
-        while cur.x != to.x {
-            cur.x = ring_step(cur.x, to.x, mesh.width());
-            routers.push(mesh.tile_at(cur).expect("ring stays inside mesh"));
-        }
-        while cur.y != to.y {
-            cur.y = ring_step(cur.y, to.y, mesh.height());
-            routers.push(mesh.tile_at(cur).expect("ring stays inside mesh"));
-        }
-        Path::new(routers)
+        TORUS_XY_ORDER.route(mesh, src, dst)
     }
 
     fn name(&self) -> &'static str {
         "torus-XY"
+    }
+}
+
+/// Dimension-ordered routing on a full **3D torus**: wrap-around links
+/// on all three axes, each swept the shorter way around (X, then Y,
+/// then Z).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TorusXyzRouting;
+
+impl RoutingAlgorithm for TorusXyzRouting {
+    fn route(&self, mesh: &Mesh, src: TileId, dst: TileId) -> Path {
+        TORUS_XYZ_ORDER.route(mesh, src, dst)
+    }
+
+    fn name(&self) -> &'static str {
+        "torus-XYZ"
     }
 }
 
@@ -382,6 +562,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn routes_sweep_z_last_on_3d_meshes() {
+        let m = Mesh::new3(3, 3, 3).unwrap();
+        let src = m.tile_at(Coord::new3(0, 0, 0)).unwrap();
+        let dst = m.tile_at(Coord::new3(2, 1, 2)).unwrap();
+        for algo in [&XyRouting as &dyn RoutingAlgorithm, &YxRouting, &XyzRouting] {
+            let path = algo.route(&m, src, dst);
+            assert_eq!(path.source(), src);
+            assert_eq!(path.destination(), dst);
+            assert_eq!(path.router_count(), m.manhattan(src, dst) + 1);
+            assert_eq!(path.vertical_link_count(&m), 2, "{algo:?}");
+            // The planar part completes before the first layer change.
+            let coords: Vec<Coord> = path.routers().iter().map(|&t| m.coord(t)).collect();
+            let first_z = coords.iter().position(|c| c.z != 0).unwrap();
+            assert_eq!(coords[first_z - 1].x, 2);
+            assert_eq!(coords[first_z - 1].y, 1);
+            for w in path.routers().windows(2) {
+                assert!(m.direction_between(w[0], w[1]).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn xyz_routes_equal_xy_routes_everywhere() {
+        for mesh in [Mesh::new(4, 3).unwrap(), Mesh::new3(3, 2, 3).unwrap()] {
+            for src in mesh.tiles() {
+                for dst in mesh.tiles() {
+                    assert_eq!(
+                        XyzRouting.route(&mesh, src, dst).routers(),
+                        XyRouting.route(&mesh, src, dst).routers()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_xyz_wraps_every_axis() {
+        let m = Mesh::new3(4, 4, 4).unwrap();
+        let a = m.tile_at(Coord::new3(0, 0, 0)).unwrap();
+        let b = m.tile_at(Coord::new3(3, 0, 3)).unwrap();
+        let path = TorusXyzRouting.route(&m, a, b);
+        // One wrap hop west plus one wrap hop up.
+        assert_eq!(path.router_count(), 3);
+        assert_eq!(path.vertical_link_count(&m), 1);
+        // torus-XY on the same pair wraps X but must walk Z the long way.
+        let planar = TorusXyRouting.route(&m, a, b);
+        assert_eq!(planar.router_count(), 5);
+        assert_eq!(planar.vertical_link_count(&m), 3);
     }
 
     #[test]
@@ -488,25 +719,57 @@ mod tests {
 
     #[test]
     fn routing_kind_round_trips_names() {
-        for kind in [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::TorusXy] {
+        for kind in RoutingKind::ALL {
             assert_eq!(RoutingKind::from_name(kind.name()), Some(kind));
             assert_eq!(kind.algorithm().name(), kind.name());
         }
         assert_eq!(RoutingKind::from_name("torus"), Some(RoutingKind::TorusXy));
+        assert_eq!(RoutingKind::from_name("XYZ"), Some(RoutingKind::Xyz));
+        assert_eq!(
+            RoutingKind::from_name("torus-xyz"),
+            Some(RoutingKind::TorusXyz)
+        );
         assert_eq!(RoutingKind::from_name("zigzag"), None);
     }
 
     #[test]
     fn hop_distance_matches_walked_routes() {
-        let m = Mesh::new(5, 3).unwrap();
-        for kind in [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::TorusXy] {
-            for src in m.tiles() {
-                for dst in m.tiles() {
-                    assert_eq!(
-                        kind.hop_distance(&m, src, dst) + 1,
-                        kind.algorithm().route(&m, src, dst).router_count(),
-                        "{kind:?} {src}->{dst}"
-                    );
+        for mesh in [
+            Mesh::new(5, 3).unwrap(),
+            Mesh::new3(3, 2, 4).unwrap(),
+            Mesh::new3(2, 2, 2).unwrap(),
+        ] {
+            for kind in RoutingKind::ALL {
+                for src in mesh.tiles() {
+                    for dst in mesh.tiles() {
+                        assert_eq!(
+                            kind.hop_distance(&mesh, src, dst) + 1,
+                            kind.algorithm().route(&mesh, src, dst).router_count(),
+                            "{kind:?} {src}->{dst}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vertical_hops_match_walked_routes() {
+        for mesh in [
+            Mesh::new(4, 3).unwrap(),
+            Mesh::new3(3, 3, 3).unwrap(),
+            Mesh::new3(2, 2, 5).unwrap(),
+        ] {
+            for kind in RoutingKind::ALL {
+                for src in mesh.tiles() {
+                    for dst in mesh.tiles() {
+                        let path = kind.algorithm().route(&mesh, src, dst);
+                        assert_eq!(
+                            kind.vertical_hops(&mesh, src, dst),
+                            path.vertical_link_count(&mesh),
+                            "{kind:?} {src}->{dst}"
+                        );
+                    }
                 }
             }
         }

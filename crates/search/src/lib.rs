@@ -83,7 +83,7 @@ pub use sa::{
     SaConfig,
 };
 pub use strategy::{SearchRun, SearchStrategy};
-pub use tabu::{TabuConfig, TabuSearch};
+pub use tabu::{TabuConfig, TabuSearch, Tenure};
 pub use telemetry::{CurvePoint, MemberBudget, RoundTelemetry, SearchTelemetry};
 
 pub mod telemetry;

@@ -13,7 +13,7 @@ use crate::ga::{GaConfig, GeneticSearch};
 use crate::objective::SwapDeltaCost;
 use crate::sa::{MultiStartSa, RestartBudget, SaConfig};
 use crate::strategy::{SearchRun, SearchStrategy};
-use crate::tabu::{TabuConfig, TabuSearch};
+use crate::tabu::{TabuConfig, TabuSearch, Tenure};
 use crate::telemetry::SearchTelemetry;
 use noc_model::Mesh;
 use serde::{Deserialize, Serialize};
@@ -33,6 +33,9 @@ pub struct PortfolioConfig {
     pub population: usize,
     /// Rounds of the adaptive member.
     pub rounds: usize,
+    /// Tenure policy of the tabu member (fixed, or `√tile_count`
+    /// auto-scaling).
+    pub tenure: Tenure,
 }
 
 impl PortfolioConfig {
@@ -44,6 +47,7 @@ impl PortfolioConfig {
             restarts: 8,
             population: 8,
             rounds: 4,
+            tenure: Tenure::Fixed(15),
         }
     }
 
@@ -131,6 +135,7 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
             Box::new(|| {
                 TabuSearch::new(TabuConfig {
                     budget: share(3),
+                    tenure: config.tenure,
                     ..TabuConfig::new(seed(3))
                 })
                 .search(objective, mesh, core_count)

@@ -24,11 +24,40 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::time::Instant;
 
+/// How long a just-applied swap's tile pair stays forbidden.
+///
+/// The fixed default of 15 was hand-tuned on the paper's 3×3-class rows;
+/// a tenure that fits 9 tiles is far too short for the 4096-pair
+/// attribute space of a 64×64 mesh, where the walk re-applies recent
+/// swaps long before it has crossed a ridge. [`Tenure::Auto`] therefore
+/// scales with the instance: `max(7, round(2·√tile_count))` — the
+/// standard √n rule of the reactive-tabu literature, floored so tiny
+/// meshes keep a working list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Tenure {
+    /// A fixed iteration count.
+    Fixed(usize),
+    /// `max(7, round(2·√tile_count))`, resolved per instance.
+    Auto,
+}
+
+impl Tenure {
+    /// The iteration count this policy yields on a mesh of `tile_count`
+    /// tiles.
+    pub fn resolve(self, tile_count: usize) -> usize {
+        match self {
+            Self::Fixed(t) => t,
+            Self::Auto => ((2.0 * (tile_count as f64).sqrt()).round() as usize).max(7),
+        }
+    }
+}
+
 /// Tabu-search configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TabuConfig {
-    /// Iterations a just-applied swap's tile pair stays forbidden.
-    pub tenure: usize,
+    /// Iterations a just-applied swap's tile pair stays forbidden
+    /// (fixed, or auto-scaled with √tile_count).
+    pub tenure: Tenure,
     /// Candidate swaps sampled (and costed) per iteration.
     pub neighborhood: usize,
     /// Total evaluation budget.
@@ -38,11 +67,11 @@ pub struct TabuConfig {
 }
 
 impl TabuConfig {
-    /// Balanced defaults: tenure 15, 24-candidate neighborhoods, 2 M
-    /// evaluations.
+    /// Balanced defaults: fixed tenure 15, 24-candidate neighborhoods,
+    /// 2 M evaluations.
     pub fn new(seed: u64) -> Self {
         Self {
-            tenure: 15,
+            tenure: Tenure::Fixed(15),
             neighborhood: 24,
             budget: 2_000_000,
             seed,
@@ -97,6 +126,7 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for TabuSearch {
         let config = &self.config;
         let budget = config.budget.max(1);
         let neighborhood = config.neighborhood.max(1);
+        let tenure = config.tenure.resolve(mesh.tile_count()) as u64;
         let mut rng = StdRng::seed_from_u64(config.seed);
         let method = "tabu".to_owned();
         let mut telemetry = SearchTelemetry::new(method.clone());
@@ -151,7 +181,7 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for TabuSearch {
                 };
                 current.swap_tiles(a, b);
                 current_cost += delta;
-                tabu.insert(pair_key(a, b), iteration + config.tenure as u64);
+                tabu.insert(pair_key(a, b), iteration + tenure);
                 if current_cost < best_cost - 1e-9 {
                     best_cost = current_cost;
                     best = current.clone();
@@ -179,5 +209,33 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for TabuSearch {
             objective: objective.name(),
         };
         SearchRun { outcome, telemetry }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the tenures `--tenure auto` resolves on the two calibration
+    /// meshes the ROADMAP names: the 3×3 rows the fixed default was
+    /// hand-picked on, and the 64×64 mesh where it is known to be wrong.
+    #[test]
+    fn auto_tenure_is_pinned_on_the_calibration_meshes() {
+        assert_eq!(Tenure::Auto.resolve(3 * 3), 7, "3x3: floored at 7");
+        assert_eq!(Tenure::Auto.resolve(64 * 64), 128, "64x64: 2*sqrt(4096)");
+        // Sanity on nearby sizes: monotone in the tile count.
+        assert_eq!(Tenure::Auto.resolve(4 * 4), 8);
+        assert_eq!(Tenure::Auto.resolve(8 * 8), 16);
+        assert_eq!(Tenure::Auto.resolve(4 * 4 * 4), 16, "3D cube");
+        // Fixed stays literal.
+        assert_eq!(Tenure::Fixed(15).resolve(64 * 64), 15);
+    }
+
+    /// The default configuration keeps the historical fixed tenure, so
+    /// existing tabu trajectories are untouched.
+    #[test]
+    fn default_config_keeps_fixed_tenure_15() {
+        assert_eq!(TabuConfig::new(0).tenure, Tenure::Fixed(15));
+        assert_eq!(TabuConfig::quick(0).tenure, Tenure::Fixed(15));
     }
 }

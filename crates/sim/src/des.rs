@@ -16,7 +16,9 @@
 //! mentions when motivating contention-aware mapping ("reducing the
 //! required buffers in the communication network").
 //!
-//! Restrictions: XY routing only, and `injection_serialization` must be
+//! Restrictions: dimension-ordered XY/XYZ routing only (X, then Y, then
+//! — on 3D meshes — Z down the TSV pillars, matching
+//! `noc_model::XyzRouting`), and `injection_serialization` must be
 //! enabled (a physical core link cannot interleave two packets).
 
 use crate::error::SimError;
@@ -88,8 +90,10 @@ const NORTH: usize = 0;
 const SOUTH: usize = 1;
 const EAST: usize = 2;
 const WEST: usize = 3;
-const LOCAL: usize = 4; // input: from core; output: to core (eject)
-const PORTS: usize = 5;
+const UP: usize = 4; // towards the layer above (z − 1)
+const DOWN: usize = 5; // towards the layer below (z + 1)
+const LOCAL: usize = 6; // input: from core; output: to core (eject)
+const PORTS: usize = 7;
 
 #[derive(Debug, Clone, Copy, PartialEq)]
 struct Flit {
@@ -149,8 +153,10 @@ impl TileState {
     }
 }
 
-/// XY output-port decision, re-derived from coordinates (independent of
-/// `noc_model::routing`).
+/// Dimension-ordered (XY, then Z on 3D meshes) output-port decision,
+/// re-derived from coordinates (independent of `noc_model::routing`).
+/// On a depth-1 mesh the Z clauses are dead and this is exactly the
+/// planar XY decision.
 fn xy_port(cur: Coord, dst: Coord) -> usize {
     if dst.x > cur.x {
         EAST
@@ -160,18 +166,37 @@ fn xy_port(cur: Coord, dst: Coord) -> usize {
         SOUTH
     } else if dst.y < cur.y {
         NORTH
+    } else if dst.z > cur.z {
+        DOWN
+    } else if dst.z < cur.z {
+        UP
     } else {
         LOCAL
     }
 }
 
-fn port_offset(port: usize) -> (isize, isize) {
+fn port_offset(port: usize) -> (isize, isize, isize) {
     match port {
-        NORTH => (0, -1),
-        SOUTH => (0, 1),
-        EAST => (1, 0),
-        WEST => (-1, 0),
-        _ => (0, 0),
+        NORTH => (0, -1, 0),
+        SOUTH => (0, 1, 0),
+        EAST => (1, 0, 0),
+        WEST => (-1, 0, 0),
+        UP => (0, 0, -1),
+        DOWN => (0, 0, 1),
+        _ => (0, 0, 0),
+    }
+}
+
+/// The input port of the downstream router an output port feeds.
+fn opposite_port(port: usize) -> usize {
+    match port {
+        NORTH => SOUTH,
+        SOUTH => NORTH,
+        EAST => WEST,
+        WEST => EAST,
+        UP => DOWN,
+        DOWN => UP,
+        other => other,
     }
 }
 
@@ -308,24 +333,18 @@ pub fn simulate(
                             wakeups.push((flit.packet, t));
                         }
                     } else {
-                        let (dx, dy) = port_offset(port);
+                        let (dx, dy, dz) = port_offset(port);
                         let c = mesh.coord(noc_model::TileId::new(ti));
                         let v = mesh
-                            .tile_at(Coord::new(
+                            .tile_at(Coord::new3(
                                 (c.x as isize + dx) as usize,
                                 (c.y as isize + dy) as usize,
+                                (c.z as isize + dz) as usize,
                             ))
                             .expect("transit only on existing links")
                             .index();
                         // Arrive at the neighbour's opposite input port.
-                        let ip = match port {
-                            NORTH => SOUTH,
-                            SOUTH => NORTH,
-                            EAST => WEST,
-                            WEST => EAST,
-                            _ => unreachable!("local handled above"),
-                        };
-                        tiles[v].in_buf[ip].push_back(flit);
+                        tiles[v].in_buf[opposite_port(port)].push_back(flit);
                     }
                 }
             }
@@ -468,22 +487,17 @@ pub fn simulate(
                     }
                     // Credit check towards the downstream buffer.
                     if out != LOCAL {
-                        let (dx, dy) = port_offset(out);
+                        let (dx, dy, dz) = port_offset(out);
                         let c = mesh.coord(noc_model::TileId::new(ti));
                         let v = mesh
-                            .tile_at(Coord::new(
+                            .tile_at(Coord::new3(
                                 (c.x as isize + dx) as usize,
                                 (c.y as isize + dy) as usize,
+                                (c.z as isize + dz) as usize,
                             ))
                             .expect("XY routes stay inside the mesh")
                             .index();
-                        let ip_down = match out {
-                            NORTH => SOUTH,
-                            SOUTH => NORTH,
-                            EAST => WEST,
-                            WEST => EAST,
-                            _ => unreachable!(),
-                        };
+                        let ip_down = opposite_port(out);
                         let in_flight = tiles[ti].out_transit[out].len();
                         let ok = match buffer_cap {
                             None => true,
@@ -609,6 +623,36 @@ mod tests {
                     report.injections[id.index()],
                     sched.packet(id).inject(),
                     "injection of {id} under {tiles:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_interval_scheduler_on_a_3d_mesh() {
+        // The same independent-implementation agreement the planar
+        // cross-validation pins, on a 2x2x2 cube: the DES's coordinate
+        // port logic (X, then Y, then Z) against the interval scheduler
+        // running XyzRouting routes.
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new3(2, 2, 2).unwrap();
+        for tiles in [[1, 0, 3, 2], [4, 0, 7, 2], [0, 5, 2, 7], [6, 1, 4, 3]] {
+            let mapping = Mapping::from_tiles(&mesh, tiles.map(TileId::new)).unwrap();
+            let sched = crate::schedule::schedule_with(
+                &cdcg,
+                &mesh,
+                &mapping,
+                &SimParams::paper_example(),
+                &noc_model::XyzRouting,
+            )
+            .unwrap();
+            let report = simulate(&cdcg, &mesh, &mapping, &des_params()).unwrap();
+            assert_eq!(report.texec_cycles, sched.texec_cycles(), "tiles {tiles:?}");
+            for id in cdcg.packet_ids() {
+                assert_eq!(
+                    report.delivery(id),
+                    sched.packet(id).delivery,
+                    "delivery of {id} under {tiles:?}"
                 );
             }
         }

@@ -1,0 +1,124 @@
+//! Depth-1 bit-exactness pins: the dimension-aware topology refactor
+//! (3D `Mesh`, z-aware `Coord`/`Direction`, per-tile-port link
+//! numbering, TSV energy term) must leave every planar (`Mesh::new`)
+//! evaluation and search trajectory untouched — not approximately, but
+//! seed-for-seed and bit-for-bit.
+//!
+//! The constants below were captured by running the *pre-refactor* tree
+//! (commit `15da04c`, before `Mesh` gained a depth) with these exact
+//! seeds and budgets. Any divergence means a depth-1 code path changed
+//! behaviour.
+
+use noc::apps::TgffConfig;
+use noc::energy::Technology;
+use noc::mapping::{Explorer, SaConfig, SearchMethod, Strategy, TabuConfig};
+use noc::model::{Mesh, TileId};
+use noc::sim::SimParams;
+
+struct Pinned {
+    width: usize,
+    height: usize,
+    cores: usize,
+    packets: usize,
+    seed: u64,
+    cwm_cost: f64,
+    cwm_tiles: &'static [usize],
+    cdcm_cost: f64,
+    cdcm_tiles: &'static [usize],
+    tabu_cost: f64,
+    tabu_tiles: &'static [usize],
+}
+
+const PINNED: &[Pinned] = &[
+    Pinned {
+        width: 3,
+        height: 3,
+        cores: 8,
+        packets: 24,
+        seed: 7,
+        cwm_cost: 367.126_000_000_000_03,
+        cwm_tiles: &[7, 1, 0, 4, 5, 6, 3, 8],
+        cdcm_cost: 6758.96,
+        cdcm_tiles: &[1, 7, 4, 8, 3, 2, 5, 0],
+        tabu_cost: 6758.96,
+        tabu_tiles: &[1, 7, 4, 6, 5, 0, 3, 2],
+    },
+    Pinned {
+        width: 4,
+        height: 4,
+        cores: 12,
+        packets: 40,
+        seed: 11,
+        cwm_cost: 848.943_000_000_000_1,
+        cwm_tiles: &[5, 13, 4, 9, 6, 0, 10, 3, 15, 7, 1, 2],
+        cdcm_cost: 16_960.641,
+        cdcm_tiles: &[10, 12, 9, 5, 4, 3, 2, 13, 1, 14, 6, 7],
+        tabu_cost: 15_397.542,
+        tabu_tiles: &[14, 6, 3, 7, 10, 4, 13, 9, 0, 5, 15, 1],
+    },
+];
+
+fn tiles_of(outcome: &noc::mapping::SearchOutcome) -> Vec<usize> {
+    outcome
+        .mapping
+        .assignments()
+        .map(|(_, t)| t.index())
+        .collect()
+}
+
+/// SA (both strategies) and default-tenure tabu trajectories on planar
+/// `Mesh::new(w, h)` meshes are identical to the pre-refactor captures:
+/// same winning tile lists, same evaluation counts, bitwise-equal costs.
+#[test]
+fn planar_sa_and_tabu_trajectories_match_pre_refactor_captures() {
+    for pin in PINNED {
+        let cdcg = noc::apps::generate(&TgffConfig::new(
+            pin.cores,
+            pin.packets,
+            pin.packets as u64 * 64,
+            pin.seed,
+        ));
+        let mesh = Mesh::new(pin.width, pin.height).unwrap();
+        assert_eq!(mesh.depth(), 1, "2D constructor delegates to depth 1");
+        let explorer = Explorer::new(&cdcg, mesh, Technology::t007(), SimParams::new());
+        let mut sa = SaConfig::quick(pin.seed);
+        sa.max_evaluations = 600;
+
+        let cwm = explorer.explore(Strategy::Cwm, SearchMethod::SimulatedAnnealing(sa));
+        assert_eq!(cwm.cost.to_bits(), pin.cwm_cost.to_bits(), "CWM cost");
+        assert_eq!(tiles_of(&cwm), pin.cwm_tiles, "CWM tiles");
+        assert_eq!(cwm.evaluations, 600);
+
+        let cdcm = explorer.explore(Strategy::Cdcm, SearchMethod::SimulatedAnnealing(sa));
+        assert_eq!(cdcm.cost.to_bits(), pin.cdcm_cost.to_bits(), "CDCM cost");
+        assert_eq!(tiles_of(&cdcm), pin.cdcm_tiles, "CDCM tiles");
+        assert_eq!(cdcm.evaluations, 600);
+
+        let mut tabu = TabuConfig::new(pin.seed);
+        tabu.budget = 600;
+        let out = explorer.explore(Strategy::Cdcm, SearchMethod::Tabu(tabu));
+        assert_eq!(out.cost.to_bits(), pin.tabu_cost.to_bits(), "tabu cost");
+        assert_eq!(tiles_of(&out), pin.tabu_tiles, "tabu tiles");
+        assert_eq!(out.evaluations, 600);
+    }
+}
+
+/// The paper's golden figures survive the refactor bit-exactly (the
+/// numbers the whole reproduction anchors on).
+#[test]
+fn paper_golden_figures_survive_the_refactor() {
+    use noc::energy::evaluate_cdcm;
+    use noc::model::Mapping;
+    let cdcg = noc::apps::paper_example::figure1_cdcg();
+    let mesh = Mesh::new(2, 2).unwrap();
+    let tech = Technology::paper_example();
+    let params = SimParams::paper_example();
+    let c = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+    let d = Mapping::from_tiles(&mesh, [3, 0, 1, 2].map(TileId::new)).unwrap();
+    let eval_c = evaluate_cdcm(&cdcg, &mesh, &c, &tech, &params).unwrap();
+    let eval_d = evaluate_cdcm(&cdcg, &mesh, &d, &tech, &params).unwrap();
+    assert_eq!(eval_c.texec_ns, 100.0);
+    assert_eq!(eval_d.texec_ns, 90.0);
+    assert_eq!(eval_c.objective_pj(), 400.0);
+    assert_eq!(eval_d.objective_pj(), 399.0);
+}

@@ -24,7 +24,7 @@ fn fuzz_cases() -> u32 {
 }
 
 fn kind_of(index: usize) -> RoutingKind {
-    [RoutingKind::Xy, RoutingKind::Yx, RoutingKind::TorusXy][index % 3]
+    RoutingKind::ALL[index % RoutingKind::ALL.len()]
 }
 
 /// Decodes a pair's walk into physical links through any source — the
@@ -40,9 +40,16 @@ fn decode_walk<S: RouteSource + ?Sized>(source: &S, src: TileId, dst: TileId) ->
 }
 
 fn app_and_mesh() -> impl Strategy<Value = (noc::model::Cdcg, Mesh)> {
-    (2usize..7, 1usize..30, 2usize..5, 2usize..4, any::<u64>()).prop_map(
-        |(cores, packets, width, height, seed)| {
-            let cores = cores.min(width * height).max(2);
+    (
+        2usize..7,
+        1usize..30,
+        2usize..5,
+        2usize..4,
+        1usize..4,
+        any::<u64>(),
+    )
+        .prop_map(|(cores, packets, width, height, depth, seed)| {
+            let cores = cores.min(width * height * depth).max(2);
             let packets = packets.max(1);
             let cdcg = noc::apps::generate(&TgffConfig::new(
                 cores,
@@ -50,10 +57,9 @@ fn app_and_mesh() -> impl Strategy<Value = (noc::model::Cdcg, Mesh)> {
                 (packets as u64) * 50,
                 seed,
             ));
-            let mesh = Mesh::new(width, height).expect("valid dims");
+            let mesh = Mesh::new3(width, height, depth).expect("valid dims");
             (cdcg, mesh)
-        },
-    )
+        })
 }
 
 fn permuted_mapping(mesh: &Mesh, cores: usize, seed: u64) -> Mapping {
@@ -68,15 +74,17 @@ fn permuted_mapping(mesh: &Mesh, cores: usize, seed: u64) -> Mapping {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(fuzz_cases()))]
 
-    /// Every pair's decoded walk and hop count agree across the three
-    /// tiers, for every routing kind, on random mesh shapes.
+    /// Every pair's decoded walk, hop count and vertical-hop count agree
+    /// across the three tiers, for every routing kind (2D and 3D), on
+    /// random mesh shapes.
     #[test]
     fn walks_and_hops_agree_across_tiers(
         w in 1usize..7,
         h in 1usize..6,
-        kind_index in 0usize..3,
+        d in 1usize..4,
+        kind_index in 0usize..5,
     ) {
-        let mesh = Mesh::new(w, h).expect("valid dims");
+        let mesh = Mesh::new3(w, h, d).expect("valid dims");
         let kind = kind_of(kind_index);
         let dense = RouteCache::with_routing(&mesh, kind.algorithm()).expect("small mesh");
         let lazy = RouteProvider::on_demand(&mesh, kind);
@@ -89,6 +97,61 @@ proptest! {
                 let k = dense.router_count(src, dst);
                 prop_assert_eq!(RouteSource::router_count(&lazy, src, dst), k);
                 prop_assert_eq!(RouteSource::router_count(&implicit, src, dst), k);
+                let v = RouteSource::vertical_hops(&dense, src, dst);
+                prop_assert_eq!(RouteSource::vertical_hops(&lazy, src, dst), v);
+                prop_assert_eq!(RouteSource::vertical_hops(&implicit, src, dst), v);
+            }
+        }
+    }
+
+    /// `RoutingKind`'s closed-form hop distances equal the walked route
+    /// lengths for every kind — 2D and 3D alike — through every provider
+    /// tier, and the closed-form vertical-hop counts equal the walked
+    /// routes' layer-crossing step counts.
+    #[test]
+    fn closed_form_hop_distances_match_walked_routes(
+        w in 1usize..6,
+        h in 1usize..5,
+        d in 1usize..5,
+        kind_index in 0usize..5,
+    ) {
+        let mesh = Mesh::new3(w, h, d).expect("valid dims");
+        let kind = kind_of(kind_index);
+        let dense = RouteCache::with_routing(&mesh, kind.algorithm()).expect("small mesh");
+        let tiers = [
+            RouteProvider::from_cache(std::sync::Arc::new(dense)),
+            RouteProvider::on_demand(&mesh, kind),
+            RouteProvider::implicit(&mesh, kind),
+        ];
+        for src in mesh.tiles() {
+            for dst in mesh.tiles() {
+                let path = kind.algorithm().route(&mesh, src, dst);
+                let hops = kind.hop_distance(&mesh, src, dst);
+                prop_assert_eq!(
+                    hops + 1,
+                    path.router_count(),
+                    "{:?} {}x{}x{} {}->{}", kind, w, h, d, src, dst
+                );
+                let vertical = kind.vertical_hops(&mesh, src, dst);
+                prop_assert_eq!(vertical, path.vertical_link_count(&mesh));
+                prop_assert!(vertical <= hops);
+                for tier in &tiers {
+                    prop_assert_eq!(
+                        RouteSource::router_count(tier, src, dst),
+                        hops + 1,
+                        "{:?} tier {:?}", kind, tier.tier()
+                    );
+                    prop_assert_eq!(
+                        RouteSource::vertical_hops(tier, src, dst),
+                        vertical,
+                        "{:?} tier {:?}", kind, tier.tier()
+                    );
+                    // The walked span's length agrees with the closed
+                    // form: K + 1 resources (injection + links + ejection).
+                    let mut buf = Vec::new();
+                    let (_, len) = tier.walk_span(src, dst, &mut buf);
+                    prop_assert_eq!(len as usize, hops + 2);
+                }
             }
         }
     }
@@ -98,7 +161,7 @@ proptest! {
     #[test]
     fn schedule_cost_is_bit_identical_across_tiers(
         (cdcg, mesh) in app_and_mesh(),
-        kind_index in 0usize..3,
+        kind_index in 0usize..5,
         seed in any::<u64>(),
     ) {
         let kind = kind_of(kind_index);
@@ -125,7 +188,7 @@ proptest! {
     #[test]
     fn cdcm_costs_and_swaps_are_bit_identical_across_tiers(
         (cdcg, mesh) in app_and_mesh(),
-        kind_index in 0usize..3,
+        kind_index in 0usize..5,
         seed in any::<u64>(),
         swap_seed in any::<u64>(),
     ) {
@@ -219,6 +282,179 @@ fn large_mesh_sa_runs_on_fallback_tiers() {
     assert_eq!(outcomes[0].mapping, outcomes[1].mapping);
     assert_eq!(outcomes[0].cost, outcomes[1].cost);
     assert_eq!(outcomes[0].evaluations, outcomes[1].evaluations);
+}
+
+/// The acceptance instance: on a 4×4×4 cube running the layered-shift
+/// workload, walks, hop counts, `schedule_cost`, CDCM costs and
+/// incremental swap deltas are bit-identical across the dense, on-demand
+/// and implicit tiers, for both 3D routing kinds.
+#[test]
+fn cube_4x4x4_is_bit_identical_across_tiers() {
+    let mesh = Mesh::new3(4, 4, 4).unwrap();
+    let cdcg = noc::apps::layered_shift_workload(4, 4, 4, 2);
+    let tech = Technology::t007();
+    let params = SimParams::new();
+    for kind in [RoutingKind::Xyz, RoutingKind::TorusXyz] {
+        // Walks and hop counts.
+        let dense = RouteCache::with_routing(&mesh, kind.algorithm()).unwrap();
+        let tiers = [
+            RouteProvider::from_cache(Arc::new(dense)),
+            RouteProvider::on_demand(&mesh, kind),
+            RouteProvider::implicit(&mesh, kind),
+        ];
+        for src in mesh.tiles() {
+            for dst in mesh.tiles() {
+                let want = decode_walk(&tiers[0], src, dst);
+                for tier in &tiers[1..] {
+                    assert_eq!(decode_walk(tier, src, dst), want, "{kind:?} {src}->{dst}");
+                    assert_eq!(
+                        RouteSource::router_count(tier, src, dst),
+                        RouteSource::router_count(&tiers[0], src, dst)
+                    );
+                    assert_eq!(
+                        RouteSource::vertical_hops(tier, src, dst),
+                        RouteSource::vertical_hops(&tiers[0], src, dst)
+                    );
+                }
+            }
+        }
+        // schedule_cost, CDCM costs and a deterministic swap chain.
+        let mapping = permuted_mapping(&mesh, cdcg.core_count(), 42);
+        let mut scratch = ScheduleScratch::new();
+        let texecs: Vec<u64> = tiers
+            .iter()
+            .map(|tier| {
+                schedule_cost_with(&cdcg, &mesh, &mapping, &params, tier, &mut scratch)
+                    .expect("schedules")
+            })
+            .collect();
+        assert_eq!(texecs[0], texecs[1], "{kind:?}");
+        assert_eq!(texecs[0], texecs[2], "{kind:?}");
+        let mut engines: Vec<CdcmCostEvaluator> = tiers
+            .into_iter()
+            .map(|t| CdcmCostEvaluator::with_provider(&cdcg, &tech, &params, Arc::new(t)))
+            .collect();
+        let mut current = mapping;
+        let swaps = [(0usize, 21usize), (63, 5), (16, 48), (7, 7), (30, 33)];
+        for (i, &(a, b)) in swaps.iter().enumerate() {
+            let (a, b) = (TileId::new(a), TileId::new(b));
+            let costs: Vec<_> = engines
+                .iter_mut()
+                .map(|e| e.evaluate_swap(&current, a, b).expect("evaluates"))
+                .collect();
+            assert_eq!(costs[0], costs[1], "{kind:?} swap {i}");
+            assert_eq!(costs[0], costs[2], "{kind:?} swap {i}");
+            // Vertical links must actually matter on the cube: the TSV
+            // energy differs from the planar one at this tech point, so
+            // a cost computed with planar-only ELbit would diverge.
+            assert!(costs[0].objective_pj.is_finite());
+            current.swap_tiles(a, b);
+            let full: Vec<_> = engines
+                .iter_mut()
+                .map(|e| e.evaluate(&current).expect("evaluates"))
+                .collect();
+            assert_eq!(full[0], full[1], "{kind:?} promote {i}");
+            assert_eq!(full[0], full[2], "{kind:?} promote {i}");
+            assert_eq!(full[0].objective_pj, costs[0].objective_pj);
+        }
+    }
+}
+
+/// A full CDCM SA search runs on a 3D mesh through the explorer, and
+/// the on-demand and implicit tiers walk identical trajectories (the
+/// 3D twin of the 64×64 planar test).
+#[test]
+fn cube_sa_trajectories_are_tier_independent() {
+    use noc::mapping::{Explorer, SaConfig, SearchMethod, Strategy};
+    let mesh = Mesh::new3(4, 4, 4).unwrap();
+    let cdcg = noc::apps::layered_shift_workload(4, 4, 4, 1);
+    let mut config = SaConfig::quick(13);
+    config.max_evaluations = 300;
+    let mut outcomes = Vec::new();
+    for provider in [
+        RouteProvider::dense(&mesh, RoutingKind::Xyz).unwrap(),
+        RouteProvider::on_demand(&mesh, RoutingKind::Xyz),
+        RouteProvider::implicit(&mesh, RoutingKind::Xyz),
+    ] {
+        let explorer = Explorer::with_provider(
+            &cdcg,
+            mesh,
+            Technology::t007(),
+            SimParams::new(),
+            Arc::new(provider),
+        );
+        let outcome = explorer.explore(Strategy::Cdcm, SearchMethod::SimulatedAnnealing(config));
+        outcome.mapping.validate().unwrap();
+        outcomes.push(outcome);
+    }
+    assert_eq!(outcomes[0].mapping, outcomes[1].mapping);
+    assert_eq!(outcomes[0].mapping, outcomes[2].mapping);
+    assert_eq!(outcomes[0].cost, outcomes[1].cost);
+    assert_eq!(outcomes[0].cost, outcomes[2].cost);
+}
+
+/// TSV energy is a real model input: lowering `EVbit` lowers the CDCM
+/// objective of any mapping whose traffic crosses layers, and the 2D
+/// energy model never reads it.
+#[test]
+fn vertical_link_energy_shapes_3d_costs_only() {
+    use noc::energy::total::evaluate_cdcm_with;
+    let params = SimParams::new();
+    let cheap_tsv = Technology::t007();
+    let pricey_tsv = Technology::t007().with_bit_energy(
+        Technology::t007().bit_energy.with_vertical_link(0.060), // = ELbit
+    );
+    // 3D: the layered-shift round crossing layers pays the difference.
+    let mesh = Mesh::new3(2, 2, 2).unwrap();
+    let cdcg = noc::apps::layered_shift_workload(2, 2, 2, 1);
+    let mapping = Mapping::identity(&mesh, cdcg.core_count()).unwrap();
+    let cheap = evaluate_cdcm_with(
+        &cdcg,
+        &mesh,
+        &mapping,
+        &cheap_tsv,
+        &params,
+        &noc::model::XyzRouting,
+    )
+    .unwrap();
+    let pricey = evaluate_cdcm_with(
+        &cdcg,
+        &mesh,
+        &mapping,
+        &pricey_tsv,
+        &params,
+        &noc::model::XyzRouting,
+    )
+    .unwrap();
+    assert!(
+        cheap.objective_pj() < pricey.objective_pj(),
+        "TSV energy must be charged on layer-crossing routes: {} vs {}",
+        cheap.objective_pj(),
+        pricey.objective_pj()
+    );
+    // 2D: the same technology change is invisible.
+    let planar = Mesh::new(4, 2).unwrap();
+    let planar_app = noc::apps::large_mesh_workload(4, 2, 1);
+    let planar_mapping = Mapping::identity(&planar, planar_app.core_count()).unwrap();
+    let a = evaluate_cdcm_with(
+        &planar_app,
+        &planar,
+        &planar_mapping,
+        &cheap_tsv,
+        &params,
+        &noc::model::XyRouting,
+    )
+    .unwrap();
+    let b = evaluate_cdcm_with(
+        &planar_app,
+        &planar,
+        &planar_mapping,
+        &pricey_tsv,
+        &params,
+        &noc::model::XyRouting,
+    )
+    .unwrap();
+    assert_eq!(a.objective_pj(), b.objective_pj());
 }
 
 /// The large-mesh workload generator produces instances that evaluate on
