@@ -29,12 +29,14 @@
 
 pub mod embedded;
 pub mod paper_example;
+pub mod parse;
 pub mod suite;
 pub mod synthetic;
 pub mod tgff;
 
+pub use parse::{parse_cdcg, ParseError};
 pub use suite::{table1_suite, Benchmark, RowSpec, TABLE1_ROWS};
 pub use synthetic::{
     large_mesh_workload, layered_shift_workload, synthetic, SyntheticConfig, TrafficPattern,
 };
-pub use tgff::{generate, TgffConfig};
+pub use tgff::{generate, try_generate, ConfigError, TgffConfig};

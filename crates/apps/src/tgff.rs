@@ -68,22 +68,60 @@ impl TgffConfig {
     }
 }
 
+/// An infeasible [`TgffConfig`], reported by [`try_generate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "infeasible TGFF config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// [`generate`] with the configuration checks surfaced as a typed error
+/// instead of a panic — the entry point for configs built from external
+/// input (CLI flags, files).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when `cores < 2`, `packets == 0`, or
+/// `total_bits < packets` (every packet needs at least one bit).
+pub fn try_generate(config: &TgffConfig) -> Result<Cdcg, ConfigError> {
+    if config.cores < 2 {
+        return Err(ConfigError(format!(
+            "{} cores cannot communicate (need at least two)",
+            config.cores
+        )));
+    }
+    if config.packets == 0 {
+        return Err(ConfigError("zero packets".into()));
+    }
+    if config.total_bits < config.packets as u64 {
+        return Err(ConfigError(format!(
+            "total bits {} cannot cover {} non-empty packets",
+            config.total_bits, config.packets
+        )));
+    }
+    Ok(generate_unchecked(config))
+}
+
 /// Generates a random CDCG matching `config` exactly.
 ///
 /// # Panics
 ///
 /// Panics if `cores < 2`, `packets == 0`, or `total_bits < packets`
-/// (every packet needs at least one bit).
+/// (every packet needs at least one bit); use [`try_generate`] for
+/// externally supplied configurations.
 pub fn generate(config: &TgffConfig) -> Cdcg {
-    assert!(config.cores >= 2, "need at least two cores to communicate");
-    assert!(config.packets > 0, "need at least one packet");
-    assert!(
-        config.total_bits >= config.packets as u64,
-        "total bits {} cannot cover {} non-empty packets",
-        config.total_bits,
-        config.packets
-    );
+    match try_generate(config) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
+}
 
+fn generate_unchecked(config: &TgffConfig) -> Cdcg {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut g = Cdcg::new();
     for i in 0..config.cores {
@@ -317,6 +355,24 @@ mod tests {
     #[should_panic(expected = "cannot cover")]
     fn rejects_unreachable_totals() {
         let _ = generate(&TgffConfig::new(4, 100, 50, 0));
+    }
+
+    #[test]
+    fn infeasible_configs_are_typed_errors() {
+        for config in [
+            TgffConfig::new(1, 10, 100, 0),
+            TgffConfig::new(4, 0, 100, 0),
+            TgffConfig::new(4, 10, 9, 0),
+        ] {
+            let err = try_generate(&config).unwrap_err();
+            assert!(err.to_string().contains("infeasible"), "{err}");
+        }
+        // The checked path generates exactly what `generate` does.
+        let config = TgffConfig::new(4, 10, 1_000, 3);
+        assert_eq!(
+            try_generate(&config).unwrap().total_volume(),
+            generate(&config).total_volume()
+        );
     }
 
     #[test]

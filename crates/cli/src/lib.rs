@@ -28,7 +28,7 @@ use noc_mapping::{
     Explorer, GaConfig, PortfolioConfig, RestartBudget, SaConfig, SearchMethod, SearchTelemetry,
     Strategy, TabuConfig,
 };
-use noc_model::{Cdcg, Mapping, Mesh, RouteProvider, RoutingKind, TileId};
+use noc_model::{Cdcg, FaultScenario, Mapping, Mesh, RouteProvider, RoutingKind, TileId};
 use noc_sim::gantt::GanttChart;
 use noc_sim::SimParams;
 use std::error::Error;
@@ -52,7 +52,13 @@ impl Options {
     /// Returns an error for a dangling `--key` without a value when the
     /// key is not a known flag.
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
-        const FLAGS: [&str; 4] = ["--gantt", "--quick", "--cwg", "--telemetry"];
+        const FLAGS: [&str; 5] = [
+            "--gantt",
+            "--quick",
+            "--cwg",
+            "--telemetry",
+            "--robustness-report",
+        ];
         let mut options = Options::default();
         let mut i = 0;
         while i < args.len() {
@@ -246,11 +252,45 @@ pub fn parse_technology(name: &str) -> Result<Technology, CliError> {
 
 fn load_app(options: &Options) -> Result<Cdcg, CliError> {
     let path = options.require("--app")?;
-    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    let cdcg: Cdcg =
-        serde_json::from_str(&json).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    // `.cdcg`/`.txt` files use the line-oriented text format (typed
+    // errors with line context); everything else is the JSON CDCG.
+    let lower = path.to_ascii_lowercase();
+    let cdcg: Cdcg = if lower.ends_with(".cdcg") || lower.ends_with(".txt") {
+        noc_apps::parse_cdcg(&text).map_err(|e| format!("{path}:{}: {e}", e.line()))?
+    } else {
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?
+    };
     cdcg.validate()?;
     Ok(cdcg)
+}
+
+/// Parses the fault-injection options (`--faults K`, `--fault-kind
+/// link|tsv|region`, `--fault-seed S`) into a scenario, when present.
+///
+/// # Errors
+///
+/// Returns an error for unknown kinds or unparsable counts/seeds.
+pub fn parse_fault_scenario(options: &Options) -> Result<Option<FaultScenario>, CliError> {
+    let Some(count) = options.get("--faults") else {
+        return Ok(None);
+    };
+    let count: usize = count
+        .parse()
+        .map_err(|_| format!("invalid value `{count}` for `--faults`"))?;
+    let seed: u64 = options.get_parsed("--fault-seed", 0)?;
+    let scenario = match options.get("--fault-kind").unwrap_or("link") {
+        "link" | "links" => FaultScenario::RandomLinks { count, seed },
+        "tsv" | "tsvs" | "pillar" => FaultScenario::RandomTsvs { count, seed },
+        // `--faults K` sizes the dead region K×K tiles.
+        "region" => FaultScenario::Region {
+            width: count,
+            height: count,
+            seed,
+        },
+        other => return Err(format!("unknown fault kind `{other}` (link|tsv|region)").into()),
+    };
+    Ok(Some(scenario))
 }
 
 fn emit(options: &Options, content: &str) -> Result<String, CliError> {
@@ -524,7 +564,81 @@ pub fn cmd_map(options: &Options) -> Result<String, CliError> {
             }
         }
     }
+    if options.flag("--robustness-report") {
+        render_criticality(&mut out, &explorer.link_criticality(&outcome.mapping));
+    }
+    if let Some(scenario) = parse_fault_scenario(options)? {
+        let remap_budget: u64 = options.get_parsed("--fault-evals", 20_000)?;
+        let report = explorer.remap_after_faults(&outcome.mapping, scenario, remap_budget, seed);
+        render_remap(&mut out, &report);
+    }
     Ok(out)
+}
+
+/// Renders the link-criticality report of a mapping.
+fn render_criticality(out: &mut String, report: &noc_mapping::CriticalityReport) {
+    let _ = writeln!(
+        out,
+        "link load:    {} links carry {} routed bits (HHI {:.4})",
+        report.links_used, report.total_bits, report.hhi
+    );
+    let _ = writeln!(
+        out,
+        "max share:    {:.1}% of traffic rides the busiest link",
+        report.max_share * 100.0
+    );
+    for load in &report.top {
+        let _ = writeln!(
+            out,
+            "  {:>10} bits ({:>5.1}%)  {}",
+            load.bits,
+            load.share * 100.0,
+            load.link
+        );
+    }
+}
+
+/// Renders a fault-injection / re-mapping report.
+fn render_remap(out: &mut String, report: &noc_mapping::RemapReport) {
+    let _ = writeln!(out, "fault tolerance:");
+    let _ = writeln!(out, "  dead links:  {}", report.dead_links);
+    let _ = writeln!(out, "  baseline:    {:.3} pJ", report.baseline_cost);
+    if report.partitioned {
+        let _ = writeln!(out, "  degraded:    unroutable (mesh partitioned)");
+    } else {
+        let _ = writeln!(
+            out,
+            "  degraded:    {:.3} pJ ({:+.2}%)",
+            report.degraded_cost,
+            (report.degraded_cost / report.baseline_cost - 1.0) * 100.0
+        );
+    }
+    if report.recovered_cost.is_finite() {
+        let _ = writeln!(
+            out,
+            "  recovered:   {:.3} pJ ({:+.2}%) after {} evaluations",
+            report.recovered_cost,
+            (report.recovery_ratio - 1.0) * 100.0,
+            report.evaluations
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "  recovered:   never (no connected placement in {} evaluations)",
+            report.evaluations
+        );
+    }
+    match report.evals_to_recover {
+        Some(0) => {
+            let _ = writeln!(out, "  recovery:    immediate (faults missed this mapping)");
+        }
+        Some(evals) => {
+            let _ = writeln!(out, "  recovery:    matched baseline after {evals} evals");
+        }
+        None => {
+            let _ = writeln!(out, "  recovery:    baseline not matched within budget");
+        }
+    }
 }
 
 /// Renders search telemetry: budget rounds, survivors, best-so-far curve,
@@ -674,6 +788,9 @@ USAGE:
                    [--route-cache auto|dense|on-demand|implicit]
                    [--seed S] [--quick] [--evals N] [--telemetry]
                    [--pin c0:t3,c2:t0]
+                   [--faults K] [--fault-kind link|tsv|region]
+                   [--fault-seed S] [--fault-evals N]
+                   [--robustness-report]
   noc-cli evaluate --app app.json --mesh WxH[xD] [--depth N]
                    --mapping t0,t1,...
                    [--tech paper|0.35|0.07]
@@ -700,6 +817,15 @@ budget.
 `xyz` is dimension-ordered 3D routing and `torus-xyz` wraps all three
 axes. Vertical (TSV) hops are charged the technology's `EVbit` instead
 of `ELbit`. `--tenure auto` scales the tabu tenure with sqrt(tiles).
+`map --faults K` injects K seeded failures after the search (kind
+`link` kills K random channels, `tsv` K vertical pillars, `region` a
+KxK tile block; `--fault-seed S` picks the draw), re-routes the found
+mapping on the fault-aware route tier and re-optimizes within
+`--fault-evals N` (default 20000) evaluations, reporting degraded and
+recovered cost. `--robustness-report` prints the traffic-weighted
+link-criticality table (single-point-of-failure exposure) of the
+found mapping. `--app FILE.cdcg` (or `.txt`) reads the line-oriented
+text format instead of JSON; parse errors name the offending line.
 "
     .to_owned()
 }
@@ -1371,6 +1497,90 @@ mod tests {
         .unwrap_err()
         .to_string();
         assert!(err.contains("--tenure"), "{err}");
+    }
+
+    #[test]
+    fn fault_scenarios_parse() {
+        let o = Options::parse(&strs(&["--faults", "2", "--fault-seed", "9"])).unwrap();
+        assert_eq!(
+            parse_fault_scenario(&o).unwrap(),
+            Some(FaultScenario::RandomLinks { count: 2, seed: 9 })
+        );
+        let o = Options::parse(&strs(&["--faults", "1", "--fault-kind", "tsv"])).unwrap();
+        assert_eq!(
+            parse_fault_scenario(&o).unwrap(),
+            Some(FaultScenario::RandomTsvs { count: 1, seed: 0 })
+        );
+        let o = Options::parse(&strs(&["--faults", "2", "--fault-kind", "region"])).unwrap();
+        assert!(matches!(
+            parse_fault_scenario(&o).unwrap(),
+            Some(FaultScenario::Region {
+                width: 2,
+                height: 2,
+                ..
+            })
+        ));
+        let o = Options::parse(&strs(&["--mesh", "3x3"])).unwrap();
+        assert_eq!(parse_fault_scenario(&o).unwrap(), None);
+        let o = Options::parse(&strs(&["--faults", "2", "--fault-kind", "meteor"])).unwrap();
+        assert!(parse_fault_scenario(&o).is_err());
+        let o = Options::parse(&strs(&["--faults", "lots"])).unwrap();
+        assert!(parse_fault_scenario(&o).is_err());
+    }
+
+    #[test]
+    fn map_reports_fault_tolerance_and_criticality() {
+        let path = write_example_app();
+        let args = strs(&[
+            "map",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "3x3",
+            "--method",
+            "es",
+            "--tech",
+            "paper",
+            "--faults",
+            "2",
+            "--fault-seed",
+            "1",
+            "--fault-evals",
+            "500",
+            "--robustness-report",
+        ]);
+        let out = run(&args).unwrap();
+        assert!(out.contains("link load:"), "{out}");
+        assert!(out.contains("max share:"), "{out}");
+        assert!(out.contains("fault tolerance:"), "{out}");
+        assert!(out.contains("dead links:  4"), "{out}");
+        assert!(out.contains("baseline:"), "{out}");
+        assert!(out.contains("degraded:"), "{out}");
+        assert!(out.contains("recovered:"), "{out}");
+        // Deterministic: fault injection and recovery are seed-driven
+        // (the `elapsed:` wall-clock line above the section is not).
+        let fault_section = |s: &str| s[s.find("link load:").unwrap()..].to_owned();
+        assert_eq!(fault_section(&out), fault_section(&run(&args).unwrap()));
+    }
+
+    #[test]
+    fn text_format_apps_load_and_report_line_errors() {
+        let dir = std::env::temp_dir().join(format!("noc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("app.cdcg");
+        std::fs::write(&path, "core A\ncore B\npacket p0 A B comp=6 bits=15\n").expect("write");
+        let path = tempfile::TempPath(path);
+        let out = run(&strs(&["info", "--app", path.as_str()])).unwrap();
+        assert!(out.contains("cores:        2"), "{out}");
+
+        let bad = dir.join("bad.cdcg");
+        std::fs::write(&bad, "core A\npacket p0 A Z comp=1 bits=1\n").expect("write");
+        let bad = tempfile::TempPath(bad);
+        let err = run(&strs(&["info", "--app", bad.as_str()]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains(":2:"), "line context expected: {err}");
+        assert!(err.contains('Z'), "{err}");
     }
 
     #[test]

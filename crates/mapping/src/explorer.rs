@@ -14,7 +14,9 @@ use crate::random_search::random_search;
 use crate::result::SearchOutcome;
 use crate::sa::{anneal_delta, RestartBudget, SaConfig};
 use noc_energy::Technology;
-use noc_model::{Cdcg, Cwg, Mesh, RouteProvider, RouteSource, RoutingAlgorithm};
+use noc_model::{
+    Cdcg, Cwg, FaultScenario, Mapping, Mesh, RouteProvider, RouteSource, RoutingAlgorithm,
+};
 use noc_search::{
     AdaptiveConfig, AdaptiveRestarts, GaConfig, GeneticSearch, MultiStartSa, Portfolio,
     PortfolioConfig, SearchRun, SearchStrategy, TabuConfig, TabuSearch,
@@ -240,6 +242,40 @@ impl<'a> Explorer<'a> {
     /// The wormhole parameters.
     pub fn params(&self) -> &SimParams {
         &self.params
+    }
+
+    /// Traffic-weighted link-criticality report of a mapping over this
+    /// explorer's routes: single-point-of-failure exposure (see
+    /// [`crate::robustness::link_criticality`]).
+    pub fn link_criticality(&self, mapping: &Mapping) -> crate::robustness::CriticalityReport {
+        crate::robustness::link_criticality(&self.cwg, self.routes.as_ref(), mapping)
+    }
+
+    /// Injects a fault scenario, measures the incumbent's degraded cost
+    /// over the fault-aware route tier, and re-optimizes within
+    /// `budget` evaluations (see [`crate::robustness::remap_after_faults`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if this explorer was built for a custom routing algorithm
+    /// (fault-aware rerouting needs a library routing kind).
+    pub fn remap_after_faults(
+        &self,
+        incumbent: &Mapping,
+        scenario: FaultScenario,
+        budget: u64,
+        seed: u64,
+    ) -> crate::robustness::RemapReport {
+        crate::robustness::remap_after_faults(
+            self.cdcg,
+            &self.tech,
+            self.params,
+            &self.routes,
+            scenario.generate(&self.mesh),
+            incumbent,
+            budget,
+            seed,
+        )
     }
 
     /// Runs one strategy under one search method and returns the best

@@ -66,6 +66,7 @@ pub mod pareto;
 pub mod random_search;
 pub mod report;
 pub mod result;
+pub mod robustness;
 pub mod sa;
 
 pub use constraints::{anneal_constrained, exhaustive_constrained, Constraints};
@@ -84,6 +85,10 @@ pub use pareto::{pareto_front, ParetoPoint};
 pub use random_search::random_search;
 pub use report::{Comparison, TechComparison};
 pub use result::SearchOutcome;
+pub use robustness::{
+    fault_sibling, link_criticality, remap_after_faults, traffic_concentration, CriticalityReport,
+    LinkLoad, RemapReport, RobustCdcmObjective,
+};
 pub use sa::{
     anneal, anneal_delta, anneal_multistart, anneal_multistart_budgeted, anneal_multistart_delta,
     anneal_multistart_delta_budgeted, RestartBudget, SaConfig,

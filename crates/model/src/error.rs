@@ -67,6 +67,12 @@ pub enum ModelError {
         /// Estimated table entries the dense cache would need.
         entries: u128,
     },
+    /// A fault set disconnected the mesh: no surviving route exists
+    /// between the pair (`noc_model::fault`).
+    MeshPartitioned {
+        /// The unroutable `(source, destination)` tile pair.
+        pair: (TileId, TileId),
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -104,6 +110,12 @@ impl fmt::Display for ModelError {
                     f,
                     "dense route cache for {tiles} tiles needs ~{entries} table entries; \
                      use an on-demand or implicit route provider"
+                )
+            }
+            Self::MeshPartitioned { pair: (src, dst) } => {
+                write!(
+                    f,
+                    "fault set partitions the mesh: no surviving route from {src} to {dst}"
                 )
             }
         }
@@ -159,6 +171,9 @@ mod tests {
             ModelError::RouteCacheTooLarge {
                 tiles: 4096,
                 entries: 1 << 40,
+            },
+            ModelError::MeshPartitioned {
+                pair: (TileId::new(0), TileId::new(5)),
             },
         ];
         for v in variants {

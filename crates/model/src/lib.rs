@@ -51,6 +51,7 @@ pub mod crg;
 pub mod cwg;
 pub mod dot;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod mapping;
 pub mod route_cache;
@@ -61,6 +62,7 @@ pub use cdcg::{Cdcg, Packet};
 pub use crg::{Coord, Direction, Link, Mesh};
 pub use cwg::{Communication, Cwg};
 pub use error::ModelError;
+pub use fault::{FaultAwareRoutes, FaultRouteStats, FaultScenario, FaultSet};
 pub use ids::{CoreId, PacketId, TileId};
 pub use mapping::Mapping;
 pub use route_cache::RouteCache;

@@ -96,6 +96,18 @@ pub trait RouteSource {
     /// The physical link behind a dense id, if the id is in use (for
     /// diagnostics; never on the evaluation hot path).
     fn link_at(&self, id: u32) -> Option<Link>;
+
+    /// Checks that a surviving route exists for the pair. The healthy
+    /// tiers always succeed (their routings are total on a connected
+    /// mesh); the fault-aware tier returns
+    /// [`ModelError::MeshPartitioned`] when its fault set disconnects
+    /// the pair, and [`Self::walk_span`] would yield a degenerate
+    /// injection-plus-ejection walk. Engines call this before trusting a
+    /// resolved walk, so disconnection surfaces as a typed error rather
+    /// than a panic or a silently wrong cost.
+    fn validate_pair(&self, _src: TileId, _dst: TileId) -> Result<(), ModelError> {
+        Ok(())
+    }
 }
 
 impl RouteSource for RouteCache {
@@ -145,7 +157,7 @@ impl RouteSource for RouteCache {
 /// 2-wide ring maps both ways onto the same `Link` — exactly the
 /// identity [`Link::between`] gives them.
 #[derive(Debug, Clone, Copy)]
-struct LinkNumbering {
+pub(crate) struct LinkNumbering {
     mesh: Mesh,
     /// Outgoing router ports per tile: 4 planar, 6 with the TSV pair.
     ports: usize,
@@ -159,7 +171,7 @@ const DIR_UP: u32 = 4;
 const DIR_DOWN: u32 = 5;
 
 impl LinkNumbering {
-    fn new(mesh: &Mesh) -> Self {
+    pub(crate) fn new(mesh: &Mesh) -> Self {
         Self {
             mesh: *mesh,
             ports: if mesh.depth() == 1 { 4 } else { 6 },
@@ -170,15 +182,15 @@ impl LinkNumbering {
         self.mesh.tile_count()
     }
 
-    fn id_count(self) -> usize {
+    pub(crate) fn id_count(self) -> usize {
         (2 + self.ports) * self.tiles()
     }
 
-    fn injection(self, tile: TileId) -> u32 {
+    pub(crate) fn injection(self, tile: TileId) -> u32 {
         tile.index() as u32
     }
 
-    fn ejection(self, tile: TileId) -> u32 {
+    pub(crate) fn ejection(self, tile: TileId) -> u32 {
         (self.tiles() + tile.index()) as u32
     }
 
@@ -230,7 +242,7 @@ impl LinkNumbering {
         }
     }
 
-    fn internal(self, a: Coord, b: Coord) -> u32 {
+    pub(crate) fn internal(self, a: Coord, b: Coord) -> u32 {
         let from = self
             .mesh
             .tile_at(a)
@@ -243,7 +255,7 @@ impl LinkNumbering {
     /// encoder never produces (border slots, or the collapsed wrap slot
     /// of a 2-long ring). `wrap_xy`/`wrap_z` enable torus neighbours per
     /// axis group.
-    fn link_at(self, id: u32, wrap_xy: bool, wrap_z: bool) -> Option<Link> {
+    pub(crate) fn link_at(self, id: u32, wrap_xy: bool, wrap_z: bool) -> Option<Link> {
         let n = self.tiles();
         let id = id as usize;
         if id < n {
@@ -483,6 +495,8 @@ pub enum RouteTier {
     OnDemand,
     /// Coordinate walks, no stored routes.
     Implicit,
+    /// Detour routing around a [`crate::fault::FaultSet`] of dead links.
+    FaultAware,
 }
 
 impl RouteTier {
@@ -492,6 +506,7 @@ impl RouteTier {
             Self::Dense => "dense",
             Self::OnDemand => "on-demand",
             Self::Implicit => "implicit",
+            Self::FaultAware => "fault-aware",
         }
     }
 }
@@ -507,6 +522,8 @@ pub enum RouteProvider {
     OnDemand(OnDemandRoutes),
     /// The allocation-free implicit walker.
     Implicit(ImplicitRoutes),
+    /// The fault-aware detour router (`crate::fault`).
+    FaultAware(crate::fault::FaultAwareRoutes),
 }
 
 impl RouteProvider {
@@ -536,6 +553,14 @@ impl RouteProvider {
     /// Implicit tier for `mesh` under `kind`.
     pub fn implicit(mesh: &Mesh, kind: RoutingKind) -> Self {
         Self::Implicit(ImplicitRoutes::new(mesh, kind))
+    }
+
+    /// Fault-aware tier for `mesh` under `kind`: canonical
+    /// dimension-order routes while they avoid the dead links of
+    /// `faults`, cached BFS detours otherwise. With an empty fault set
+    /// this tier is bit-identical to [`Self::implicit`].
+    pub fn fault_aware(mesh: &Mesh, kind: RoutingKind, faults: crate::fault::FaultSet) -> Self {
+        Self::FaultAware(crate::fault::FaultAwareRoutes::new(mesh, kind, faults))
     }
 
     /// Size-based automatic tier choice: dense while the estimated
@@ -580,6 +605,7 @@ impl RouteProvider {
             Self::Dense(_) => RouteTier::Dense,
             Self::OnDemand(_) => RouteTier::OnDemand,
             Self::Implicit(_) => RouteTier::Implicit,
+            Self::FaultAware(_) => RouteTier::FaultAware,
         }
     }
 
@@ -587,6 +613,14 @@ impl RouteProvider {
     pub fn as_dense(&self) -> Option<&Arc<RouteCache>> {
         match self {
             Self::Dense(cache) => Some(cache),
+            _ => None,
+        }
+    }
+
+    /// The fault-aware router, when this is the fault-aware tier.
+    pub fn as_fault_aware(&self) -> Option<&crate::fault::FaultAwareRoutes> {
+        match self {
+            Self::FaultAware(routes) => Some(routes),
             _ => None,
         }
     }
@@ -598,6 +632,7 @@ impl RouteSource for RouteProvider {
             Self::Dense(c) => c.mesh(),
             Self::OnDemand(o) => o.mesh(),
             Self::Implicit(i) => i.mesh(),
+            Self::FaultAware(f) => RouteSource::mesh(f),
         }
     }
 
@@ -606,6 +641,7 @@ impl RouteSource for RouteProvider {
             Self::Dense(c) => c.routing_name(),
             Self::OnDemand(o) => o.routing_name(),
             Self::Implicit(i) => i.routing_name(),
+            Self::FaultAware(f) => RouteSource::routing_name(f),
         }
     }
 
@@ -614,6 +650,7 @@ impl RouteSource for RouteProvider {
             Self::Dense(c) => c.dense_link_count(),
             Self::OnDemand(o) => o.dense_link_count(),
             Self::Implicit(i) => RouteSource::dense_link_count(i),
+            Self::FaultAware(f) => RouteSource::dense_link_count(f),
         }
     }
 
@@ -622,6 +659,7 @@ impl RouteSource for RouteProvider {
             Self::Dense(c) => c.router_count(src, dst),
             Self::OnDemand(o) => o.router_count(src, dst),
             Self::Implicit(i) => RouteSource::router_count(i, src, dst),
+            Self::FaultAware(f) => RouteSource::router_count(f, src, dst),
         }
     }
 
@@ -630,6 +668,7 @@ impl RouteSource for RouteProvider {
             Self::Dense(c) => c.vertical_hops(src, dst),
             Self::OnDemand(o) => RouteSource::vertical_hops(o, src, dst),
             Self::Implicit(i) => RouteSource::vertical_hops(i, src, dst),
+            Self::FaultAware(f) => RouteSource::vertical_hops(f, src, dst),
         }
     }
 
@@ -638,13 +677,14 @@ impl RouteSource for RouteProvider {
             Self::Dense(c) => RouteSource::walk_span(c.as_ref(), src, dst, buf),
             Self::OnDemand(o) => o.walk_span(src, dst, buf),
             Self::Implicit(i) => RouteSource::walk_span(i, src, dst, buf),
+            Self::FaultAware(f) => RouteSource::walk_span(f, src, dst, buf),
         }
     }
 
     fn flat<'s>(&'s self, buf: &'s [u32]) -> &'s [u32] {
         match self {
             Self::Dense(c) => c.link_ids_flat(),
-            Self::OnDemand(_) | Self::Implicit(_) => buf,
+            Self::OnDemand(_) | Self::Implicit(_) | Self::FaultAware(_) => buf,
         }
     }
 
@@ -653,6 +693,14 @@ impl RouteSource for RouteProvider {
             Self::Dense(c) => RouteSource::link_at(c.as_ref(), id),
             Self::OnDemand(o) => o.link_at(id),
             Self::Implicit(i) => RouteSource::link_at(i, id),
+            Self::FaultAware(f) => RouteSource::link_at(f, id),
+        }
+    }
+
+    fn validate_pair(&self, src: TileId, dst: TileId) -> Result<(), ModelError> {
+        match self {
+            Self::Dense(_) | Self::OnDemand(_) | Self::Implicit(_) => Ok(()),
+            Self::FaultAware(f) => f.validate_pair(src, dst),
         }
     }
 }

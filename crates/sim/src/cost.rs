@@ -586,11 +586,12 @@ pub(crate) fn init_run<S: RouteSource + ?Sized>(
     for id in cdcg.packet_ids() {
         let i = id.index();
         let p = cdcg.packet(id);
-        let span = routes.walk_span(
-            mapping.tile_of(p.src),
-            mapping.tile_of(p.dst),
-            &mut scratch.walks,
-        );
+        let (src, dst) = (mapping.tile_of(p.src), mapping.tile_of(p.dst));
+        // No-op for the healthy tiers; the fault-aware tier reports
+        // `ModelError::MeshPartitioned` here instead of producing a
+        // nonsense schedule over a degenerate walk.
+        routes.validate_pair(src, dst)?;
+        let span = routes.walk_span(src, dst, &mut scratch.walks);
         scratch.spans[i] = span;
         scratch.flits[i] = params.flits(p.bits).max(1);
         scratch.pending[i] = cdcg.predecessors(id).len() as u32;

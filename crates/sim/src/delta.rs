@@ -575,11 +575,9 @@ impl<'a> IncrementalScheduler<'a> {
             let cand = self.candidate.mapping.as_ref().expect("just set");
             for &p in &self.dirty {
                 let pkt = self.cdcg.packet(PacketId::new(p as usize));
-                let span = self.routes.walk_span(
-                    cand.tile_of(pkt.src),
-                    cand.tile_of(pkt.dst),
-                    &mut self.scratch.walks,
-                );
+                let (src, dst) = (cand.tile_of(pkt.src), cand.tile_of(pkt.dst));
+                self.routes.validate_pair(src, dst)?;
+                let span = self.routes.walk_span(src, dst, &mut self.scratch.walks);
                 self.candidate.spans[p as usize] = span;
             }
         }
