@@ -1,0 +1,12 @@
+// ALLOW01 fixture (known-bad): malformed suppression annotations — a
+// reasonless allow, an unknown rule, and a typo'd marker. None of them
+// suppress anything; each is itself a finding.
+fn annotated() -> u32 {
+    let x: u32 = 1;
+    // noc-verify: allow(PANIC01) //~ ALLOW01
+    let y = x + 1;
+    // noc-verify: allow(NOPE42) — rule retired long ago //~ ALLOW01
+    let z = y + 1;
+    // noc-verify: allowDET01 — missing parentheses //~ ALLOW01
+    z
+}

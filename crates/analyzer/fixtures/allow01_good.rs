@@ -1,0 +1,9 @@
+// ALLOW01 fixture (known-good): a well-formed annotation — known rule,
+// mandatory reason — that actually suppresses its finding.
+use std::sync::Mutex;
+
+fn well_formed(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner()); // noc-verify: allow(LOCK01) — fixture: single call site with a fixed acquisition order
+    *ga + *gb
+}

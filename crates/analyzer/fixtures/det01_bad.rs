@@ -1,0 +1,20 @@
+// DET01 fixture (known-bad): hash-order iteration in a deterministic
+// crate. Tilde markers name the findings expected on their line.
+use std::collections::{HashMap, HashSet};
+
+fn tabu_scan() -> u64 {
+    let mut tabu: HashMap<u64, u64> = HashMap::new();
+    tabu.insert(1, 2);
+    let looked_up = tabu.get(&1).copied().unwrap_or(0);
+    let mut acc = looked_up;
+    for (k, v) in tabu.iter() { //~ DET01
+        acc += k + v;
+    }
+    tabu.retain(|_, v| *v > 0); //~ DET01
+    let mut seen: HashSet<u32> = HashSet::new();
+    seen.insert(7);
+    for s in &seen { //~ DET01
+        acc += u64::from(*s);
+    }
+    acc
+}

@@ -1,0 +1,20 @@
+// DET01 fixture (known-good): ordered collections for anything whose
+// iteration order can matter, and an allow-with-reason for a provably
+// order-insensitive accumulation.
+use std::collections::{BTreeMap, HashMap};
+
+fn counters() -> u64 {
+    let mut totals: HashMap<u64, u64> = HashMap::new();
+    totals.insert(1, 2);
+    let mut sum = 0u64;
+    // noc-verify: allow(DET01) — order-insensitive sum; any iteration order yields the same total
+    for v in totals.values() {
+        sum += v;
+    }
+    let mut ordered: BTreeMap<u64, u64> = BTreeMap::new();
+    ordered.insert(3, 4);
+    for (k, v) in ordered.iter() {
+        sum += k + v;
+    }
+    sum
+}

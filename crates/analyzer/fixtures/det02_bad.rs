@@ -1,0 +1,9 @@
+// DET02 fixture (known-bad): raw wall-clock reads in a deterministic
+// crate instead of the annotated telemetry helper.
+use std::time::{Instant, SystemTime};
+
+fn cooling_probe() -> f64 {
+    let start = Instant::now(); //~ DET02
+    let _wall = SystemTime::now(); //~ DET02
+    start.elapsed().as_secs_f64()
+}

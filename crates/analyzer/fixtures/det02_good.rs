@@ -1,0 +1,9 @@
+// DET02 fixture (known-good): timing flows through the one annotated
+// telemetry scope; the scope itself carries the allow and its reason.
+fn telemetry_probe() -> std::time::Instant {
+    wall_clock()
+}
+
+fn wall_clock() -> std::time::Instant {
+    std::time::Instant::now() // noc-verify: allow(DET02) — fixture's designated telemetry scope; callers only report elapsed time
+}

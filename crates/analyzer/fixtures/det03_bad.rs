@@ -1,0 +1,7 @@
+// DET03 fixture (known-bad): machine shape and environment reads
+// flowing into search behavior.
+fn worker_count() -> usize {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1); //~ DET03
+    let from_env = std::env::var("NOC_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(threads); //~ DET03
+    from_env
+}

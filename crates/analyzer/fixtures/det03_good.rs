@@ -1,0 +1,7 @@
+// DET03 fixture (known-good): parallelism is read only to place work,
+// never to shape it, and says so in the allow reason.
+fn worker_count(configured: usize) -> usize {
+    // noc-verify: allow(DET03) — thread count shapes only work placement; per-member trajectories are seed-fixed
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    threads.min(configured.max(1))
+}

@@ -1,0 +1,9 @@
+// LOCK01 fixture (known-bad): a second shard guard acquired while the
+// first is still live — the ABBA deadlock shape.
+use std::sync::Mutex;
+
+fn cross_shard(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner()); //~ LOCK01
+    *ga + *gb
+}

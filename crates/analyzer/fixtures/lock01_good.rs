@@ -1,0 +1,18 @@
+// LOCK01 fixture (known-good): guards are released (drop or scope end)
+// before the next acquisition, and the one deliberate nesting states
+// its global lock order in the allow reason.
+use std::sync::Mutex;
+
+fn sequential(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap_or_else(|e| e.into_inner());
+    let total = *ga;
+    drop(ga);
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner());
+    total + *gb
+}
+
+fn deliberate(a: &Mutex<u32>, b: &Mutex<u32>) -> u32 {
+    let ga = a.lock().unwrap_or_else(|e| e.into_inner());
+    let gb = b.lock().unwrap_or_else(|e| e.into_inner()); // noc-verify: allow(LOCK01) — fixture: a global lock order (a before b) holds at every call site
+    *ga + *gb
+}

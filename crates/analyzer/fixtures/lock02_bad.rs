@@ -1,0 +1,11 @@
+// LOCK02 fixture (known-bad): a shard guard held across a call into
+// user-supplied objective code.
+trait Cost {
+    fn cost(&self, x: u32) -> u32;
+}
+
+fn evaluate(m: &std::sync::Mutex<u32>, objective: &dyn Cost) -> u32 {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    let c = objective.cost(*g); //~ LOCK02
+    c
+}

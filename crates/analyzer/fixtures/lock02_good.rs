@@ -1,0 +1,18 @@
+// LOCK02 fixture (known-good): snapshot under the guard, call the
+// objective after release; the one deliberate hold explains itself.
+trait Cost {
+    fn cost(&self, x: u32) -> u32;
+}
+
+fn evaluate(m: &std::sync::Mutex<u32>, objective: &dyn Cost) -> u32 {
+    let snapshot = {
+        let g = m.lock().unwrap_or_else(|e| e.into_inner());
+        *g
+    };
+    objective.cost(snapshot)
+}
+
+fn pinned(m: &std::sync::Mutex<u32>, objective: &dyn Cost) -> u32 {
+    let g = m.lock().unwrap_or_else(|e| e.into_inner());
+    objective.cost(*g) // noc-verify: allow(LOCK02) — fixture: the objective is a pure bounded-time function; holding the shard is deliberate
+}

@@ -1,0 +1,13 @@
+// PANIC01 fixture (known-bad): panic-capable constructs on a route-
+// resolution hot path.
+fn resolve_hot(opt: Option<u32>, v: &[u32], i: usize) -> u32 {
+    let a = opt.unwrap(); //~ PANIC01
+    let b = v[i]; //~ PANIC01
+    if a > b {
+        panic!("route decode failed"); //~ PANIC01
+    }
+    match a {
+        0 => unreachable!("zero ids are never encoded"), //~ PANIC01
+        _ => a + b,
+    }
+}

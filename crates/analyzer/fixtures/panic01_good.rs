@@ -1,0 +1,15 @@
+// PANIC01 fixture (known-good): the hot path returns typed errors, and
+// the one deliberate expect proves its infallibility in the allow
+// reason.
+#[derive(Debug)]
+pub enum FixtureError {
+    Missing,
+}
+
+fn resolve_hot(opt: Option<u32>, v: &[u32], i: usize) -> Result<u32, FixtureError> {
+    let a = opt.ok_or(FixtureError::Missing)?;
+    let b = v.get(i).copied().ok_or(FixtureError::Missing)?;
+    let first = v.first().copied().unwrap_or(0);
+    let checked = opt.expect("verified above"); // noc-verify: allow(PANIC01) — `opt` proven Some by the ok_or on the first line
+    Ok(a + b + first + checked)
+}

@@ -1,0 +1,247 @@
+//! Inline `// noc-verify: allow(RULE) — reason` annotations and the
+//! checked-in baseline of grandfathered findings.
+//!
+//! The annotation is the *only* inline suppression the gate honors, and
+//! the reason is mandatory: a suppression without a rationale is itself
+//! a finding (`ALLOW01`). An annotation on its own line covers the next
+//! code line; a trailing annotation covers its own line. Multiple rules
+//! may share one annotation: `allow(DET01, PANIC01)`.
+//!
+//! The baseline file (`crates/analyzer/baseline.txt`) grandfathers
+//! pre-existing sites — primarily the PANIC01 indexing sites inside the
+//! scheduler inner loops, which are deliberate (hot-path, invariant-
+//! checked) and would drown the signal if annotated one by one. Entries
+//! are keyed by `(rule, path, trimmed line content)` rather than line
+//! numbers, so unrelated edits above a site do not invalidate it, while
+//! *editing the flagged line itself* re-opens the finding for review.
+//! Regenerate with `noc-verify --update-baseline`.
+
+use crate::findings::Finding;
+use crate::scan::ScanLine;
+use std::collections::BTreeSet;
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// Rules the annotation silences.
+    pub rules: Vec<String>,
+    /// Mandatory justification.
+    pub reason: String,
+    /// 1-based line of the annotation comment itself.
+    pub comment_line: usize,
+    /// 1-based code line the annotation covers.
+    pub target_line: usize,
+}
+
+/// The annotation marker scanned for inside comments.
+pub const MARKER: &str = "noc-verify:";
+
+/// Extracts allow annotations from a scanned file. Malformed
+/// annotations (missing rules, missing reason) become `ALLOW01`
+/// findings instead of silently suppressing nothing.
+pub fn collect_allows(path: &str, lines: &[ScanLine]) -> (Vec<AllowSite>, Vec<Finding>) {
+    let mut sites = Vec::new();
+    let mut findings = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        // Annotations are plain `//` comments; doc text (`///`, `//!`)
+        // may *describe* the syntax without being parsed as it.
+        let c = line.comment.trim_start();
+        if c.starts_with("///") || c.starts_with("//!") {
+            continue;
+        }
+        let Some(pos) = line.comment.find(MARKER) else {
+            continue;
+        };
+        let lineno = idx + 1;
+        let rest = line.comment[pos + MARKER.len()..].trim_start();
+        match parse_allow(rest) {
+            Ok((rules, reason)) => {
+                // A trailing annotation covers its own line; a standalone
+                // comment line covers the next non-comment code line.
+                let target = if line.code.trim().is_empty() {
+                    lines[idx + 1..]
+                        .iter()
+                        .position(|l| !l.code.trim().is_empty())
+                        .map(|off| lineno + 1 + off)
+                        .unwrap_or(lineno)
+                } else {
+                    lineno
+                };
+                sites.push(AllowSite {
+                    rules,
+                    reason,
+                    comment_line: lineno,
+                    target_line: target,
+                });
+            }
+            Err(why) => findings.push(Finding {
+                rule: "ALLOW01",
+                path: path.to_owned(),
+                line: lineno,
+                message: format!("malformed noc-verify annotation: {why}"),
+                snippet: line.raw.trim().to_owned(),
+                suppressed: None,
+            }),
+        }
+    }
+    (sites, findings)
+}
+
+/// Parses `allow(RULE[, RULE…]) — reason`. The reason separator may be
+/// an em-dash, hyphen or colon; the reason itself must be non-empty.
+fn parse_allow(rest: &str) -> Result<(Vec<String>, String), String> {
+    let rest = rest
+        .strip_prefix("allow")
+        .ok_or_else(|| "expected `allow(RULE) — reason`".to_owned())?;
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `allow`".to_owned())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed rule list".to_owned())?;
+    let rules: Vec<String> = rest[..close]
+        .split(',')
+        .map(|r| r.trim().to_owned())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return Err("empty rule list".to_owned());
+    }
+    for r in &rules {
+        if !crate::KNOWN_RULES.contains(&r.as_str()) {
+            return Err(format!("unknown rule `{r}`"));
+        }
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix('—')
+        .or_else(|| after.strip_prefix('-'))
+        .or_else(|| after.strip_prefix(':'))
+        .map(str::trim)
+        .unwrap_or("");
+    if reason.is_empty() {
+        return Err("missing reason (the justification is mandatory)".to_owned());
+    }
+    Ok((rules, reason.to_owned()))
+}
+
+/// The baseline: a set of `(rule, path, trimmed line content)` keys.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeSet<(String, String, String)>,
+}
+
+impl Baseline {
+    /// Parses the baseline file format: tab-separated
+    /// `RULE<TAB>path<TAB>trimmed line`. Blank lines and `#` comments
+    /// are ignored.
+    pub fn parse(text: &str) -> Self {
+        let mut entries = BTreeSet::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            if let (Some(rule), Some(path), Some(content)) =
+                (parts.next(), parts.next(), parts.next())
+            {
+                entries.insert((rule.to_owned(), path.to_owned(), content.to_owned()));
+            }
+        }
+        Self { entries }
+    }
+
+    /// Whether a finding is grandfathered.
+    pub fn covers(&self, rule: &str, path: &str, snippet: &str) -> bool {
+        self.entries
+            .contains(&(rule.to_owned(), path.to_owned(), snippet.to_owned()))
+    }
+
+    /// Renders findings into the baseline file format (sorted, deduped).
+    pub fn render(findings: &[&Finding]) -> String {
+        let mut lines: BTreeSet<String> = BTreeSet::new();
+        for f in findings {
+            lines.insert(format!("{}\t{}\t{}", f.rule, f.path, f.snippet));
+        }
+        let mut out = String::from(
+            "# noc-verify baseline: grandfathered findings, keyed by\n\
+             # (rule, path, trimmed line). Regenerate: noc-verify --update-baseline\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let lines = scan("let x = m.lock(); // noc-verify: allow(LOCK01) — test rig\n");
+        let (sites, bad) = collect_allows("f.rs", &lines);
+        assert!(bad.is_empty());
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].target_line, 1);
+        assert_eq!(sites[0].rules, vec!["LOCK01"]);
+        assert_eq!(sites[0].reason, "test rig");
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src =
+            "// noc-verify: allow(DET01, DET02) — both fine here\n// more prose\nlet y = 1;\n";
+        let (sites, bad) = collect_allows("f.rs", &scan(src));
+        assert!(bad.is_empty());
+        assert_eq!(sites[0].target_line, 3);
+        assert_eq!(sites[0].rules.len(), 2);
+    }
+
+    #[test]
+    fn reasonless_allow_is_a_finding() {
+        let (sites, bad) =
+            collect_allows("f.rs", &scan("// noc-verify: allow(DET01)\nlet z = 1;\n"));
+        assert!(sites.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].rule, "ALLOW01");
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let (_, bad) = collect_allows(
+            "f.rs",
+            &scan("// noc-verify: allow(NOPE99) — hm\nlet z = 1;\n"),
+        );
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn baseline_roundtrip() {
+        let f = Finding {
+            rule: "PANIC01",
+            path: "crates/sim/src/cost.rs".into(),
+            line: 5,
+            message: "m".into(),
+            snippet: "let (start, len) = scratch.spans[p];".into(),
+            suppressed: None,
+        };
+        let text = Baseline::render(&[&f]);
+        let b = Baseline::parse(&text);
+        assert!(b.covers(
+            "PANIC01",
+            "crates/sim/src/cost.rs",
+            "let (start, len) = scratch.spans[p];"
+        ));
+        assert!(!b.covers(
+            "DET01",
+            "crates/sim/src/cost.rs",
+            "let (start, len) = scratch.spans[p];"
+        ));
+    }
+}

@@ -1,0 +1,142 @@
+//! `noc-verify` — the workspace static-analysis gate.
+//!
+//! Exit codes: 0 = clean (no unsuppressed findings), 1 = findings,
+//! 2 = usage or I/O error.
+
+use noc_analyzer::{allow::Baseline, analyze_workspace, find_workspace_root, shim, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+noc-verify: static-analysis gate for determinism, panic-freedom and lock discipline
+
+USAGE:
+    noc-verify [OPTIONS]
+
+OPTIONS:
+    --json                   emit the machine-readable report on stdout
+    --root <PATH>            workspace root (default: autodetect from cwd)
+    --no-baseline            ignore the checked-in baseline file
+    --update-baseline        rewrite the baseline to cover current findings
+                             (DET/PANIC/LOCK only; SHIM01/ALLOW01 are never baselined)
+    --update-shim-manifest   rewrite the shim API manifest from the live sources
+    -h, --help               show this help
+";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut use_baseline = true;
+    let mut update_baseline = false;
+    let mut update_manifest = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--no-baseline" => use_baseline = false,
+            "--update-baseline" => update_baseline = true,
+            "--update-shim-manifest" => update_manifest = true,
+            "--root" => match argv.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = match root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|cwd| find_workspace_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("error: could not locate a workspace root (no Cargo.toml with [workspace]); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_manifest {
+        let surfaces = match shim::collect_shim_surfaces(&root) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: scanning shims: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let path = root.join(noc_analyzer::SHIM_MANIFEST_PATH);
+        if let Err(e) = std::fs::write(&path, shim::render_manifest(&surfaces)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {} ({} entries)", path.display(), surfaces.len());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut config = Config::new(&root);
+    config.use_baseline = use_baseline && !update_baseline;
+    let report = match analyze_workspace(&config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: analysis failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if update_baseline {
+        // Grandfather every currently-unsuppressed DET/PANIC/LOCK
+        // finding. SHIM01 must go through --update-shim-manifest and a
+        // bad annotation (ALLOW01) must simply be fixed.
+        let eligible: Vec<_> = report
+            .unsuppressed()
+            .filter(|f| f.rule != "SHIM01" && f.rule != "ALLOW01")
+            .collect();
+        let path = root.join(noc_analyzer::BASELINE_PATH);
+        if let Err(e) = std::fs::write(&path, Baseline::render(&eligible)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("wrote {} ({} entries)", path.display(), eligible.len());
+        let residual = report
+            .unsuppressed()
+            .filter(|f| f.rule == "SHIM01" || f.rule == "ALLOW01")
+            .count();
+        if residual > 0 {
+            eprintln!(
+                "note: {residual} SHIM01/ALLOW01 finding(s) cannot be baselined and remain open"
+            );
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        for f in &report.findings {
+            println!("{f}");
+        }
+        let (total, open, allowed, baselined) = report.counts();
+        println!(
+            "noc-verify: {} file(s) scanned, {total} finding(s): {open} open, {allowed} allowed, {baselined} baselined",
+            report.files_scanned
+        );
+    }
+
+    if report.unsuppressed().next().is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

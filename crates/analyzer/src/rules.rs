@@ -1,0 +1,621 @@
+//! The rule registry: DET01–03 (determinism), PANIC01 (panic paths),
+//! LOCK01–02 (lock discipline).
+//!
+//! Every rule is a lexical pass over [`ScanLine`]s — deliberately
+//! heuristic (no type information), tuned to this workspace's idioms,
+//! and biased toward *recall on the invariants the paper reproduction
+//! depends on*: seed-for-seed bit-exact search trajectories, never-panic
+//! route resolution, and deadlock-free sharded fast paths. False
+//! positives are expected and cheap: a true-but-justified site takes an
+//! inline `// noc-verify: allow(RULE) — reason`, a grandfathered one a
+//! baseline entry. Test code (`#[cfg(test)]` / `#[test]`) is never
+//! scanned.
+
+use crate::findings::Finding;
+use crate::scan::{token_positions, ScanLine};
+use std::collections::BTreeSet;
+
+/// Which rule families apply to a file (decided by path in `lib.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuleSet {
+    /// DET01–DET03: the file belongs to a seed-deterministic crate.
+    pub determinism: bool,
+    /// PANIC01: the file is on the route-resolution / scheduler hot list.
+    pub panic_paths: bool,
+    /// LOCK01–LOCK02: scanned everywhere outside the shims.
+    pub locks: bool,
+}
+
+/// Runs every applicable rule over one scanned file.
+pub fn check_file(path: &str, lines: &[ScanLine], rules: RuleSet) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if rules.determinism {
+        det01(path, lines, &mut out);
+        det02(path, lines, &mut out);
+        det03(path, lines, &mut out);
+    }
+    if rules.panic_paths {
+        panic01(path, lines, &mut out);
+    }
+    if rules.locks {
+        lock_rules(path, lines, &mut out);
+    }
+    out
+}
+
+fn finding(
+    rule: &'static str,
+    path: &str,
+    idx: usize,
+    line: &ScanLine,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        path: path.to_owned(),
+        line: idx + 1,
+        message,
+        snippet: line.raw.trim().to_owned(),
+        suppressed: None,
+    }
+}
+
+/// Collects identifiers bound to a type named in `types` — `let`
+/// bindings and struct fields, fully-qualified paths included.
+fn bound_names(lines: &[ScanLine], types: &[&str]) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    for line in lines.iter().filter(|l| !l.in_test) {
+        let code = &line.code;
+        if !types.iter().any(|t| code.contains(t)) {
+            continue;
+        }
+        // `let [mut] NAME : Type` / `let [mut] NAME = Type::new()`.
+        if let Some(p) = code.find("let ") {
+            let rest = code[p + 4..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            if let Some(name) = leading_ident(rest) {
+                names.insert(name);
+                continue;
+            }
+        }
+        // Struct field: `[pub[(…)]] NAME: …Type<…>,`.
+        let trimmed = code.trim_start();
+        let trimmed = strip_pub(trimmed);
+        if let Some(name) = leading_ident(trimmed) {
+            let after = &trimmed[name.len()..];
+            if after.trim_start().starts_with(':') {
+                names.insert(name);
+            }
+        }
+    }
+    names
+}
+
+/// The identifier at the start of `s`, if any.
+fn leading_ident(s: &str) -> Option<String> {
+    let end = s
+        .char_indices()
+        .find(|(_, c)| !(c.is_alphanumeric() || *c == '_'))
+        .map(|(i, _)| i)
+        .unwrap_or(s.len());
+    let id = &s[..end];
+    let starts_ok = id
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_');
+    (starts_ok && !is_keyword(id)).then(|| id.to_owned())
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "mut"
+            | "pub"
+            | "fn"
+            | "if"
+            | "else"
+            | "for"
+            | "while"
+            | "loop"
+            | "match"
+            | "return"
+            | "use"
+            | "mod"
+            | "impl"
+            | "struct"
+            | "enum"
+            | "trait"
+            | "type"
+            | "const"
+            | "static"
+            | "ref"
+            | "move"
+            | "in"
+            | "where"
+            | "self"
+            | "Self"
+            | "super"
+            | "crate"
+    )
+}
+
+fn strip_pub(s: &str) -> &str {
+    let Some(rest) = s.strip_prefix("pub") else {
+        return s;
+    };
+    let rest = rest.trim_start();
+    if let Some(close) = rest
+        .strip_prefix('(')
+        .and_then(|r| r.find(')').map(|i| &r[i + 1..]))
+    {
+        close.trim_start()
+    } else {
+        rest
+    }
+}
+
+/// DET01: iteration over `HashMap`/`HashSet` in a seed-deterministic
+/// crate. Hash iteration order varies between processes (SipHash keys)
+/// and std versions; any walk, `retain` or `drain` that feeds a search
+/// decision breaks seed-for-seed reproducibility.
+fn det01(path: &str, lines: &[ScanLine], out: &mut Vec<Finding>) {
+    let names = bound_names(lines, &["HashMap", "HashSet"]);
+    if names.is_empty() {
+        return;
+    }
+    const ITER_METHODS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".retain(",
+        ".drain(",
+    ];
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for name in &names {
+            // `name.iter()`-style calls (field accesses included: the
+            // boundary check rejects only identifier characters).
+            for m in ITER_METHODS {
+                let probe = format!("{name}{m}");
+                if !token_positions(code, &probe).is_empty() {
+                    out.push(finding(
+                        "DET01",
+                        path,
+                        idx,
+                        line,
+                        format!(
+                            "iteration over hash collection `{name}` (`{}`) — order is \
+                             nondeterministic; use a BTree collection, sort first, or \
+                             justify why order cannot influence results",
+                            m.trim_matches(['.', '('])
+                        ),
+                    ));
+                }
+            }
+            // `for x in [&[mut ]]name`-style loops.
+            if let Some(p) = code.find(" in ") {
+                let rest = code[p + 4..].trim_start();
+                let rest = rest.strip_prefix('&').unwrap_or(rest);
+                let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+                if rest
+                    .strip_prefix(name.as_str())
+                    // Direct iteration only (`for x in &map`); method
+                    // calls are already caught by the probes above.
+                    .is_some_and(|after| {
+                        !after.starts_with(|c: char| c.is_alphanumeric() || c == '_')
+                            && !after.trim_start().starts_with('.')
+                    })
+                    && code.trim_start().starts_with("for ")
+                {
+                    out.push(finding(
+                        "DET01",
+                        path,
+                        idx,
+                        line,
+                        format!(
+                            "`for` loop over hash collection `{name}` — iteration order is \
+                             nondeterministic"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// DET02: wall-clock reads in a seed-deterministic crate. `Instant`/
+/// `SystemTime` are legitimate for *telemetry* (elapsed-time reporting)
+/// but must never feed a decision; every read must flow through one
+/// annotated helper so the audit surface stays a single line.
+fn det02(path: &str, lines: &[ScanLine], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for probe in ["Instant::now(", "SystemTime::now("] {
+            if !token_positions(&line.code, probe).is_empty() {
+                out.push(finding(
+                    "DET02",
+                    path,
+                    idx,
+                    line,
+                    format!(
+                        "wall-clock read `{}` in a deterministic crate — route it through \
+                         `noc_search::wall_clock()` (the one annotated telemetry scope) so \
+                         timing can never leak into decisions unnoticed",
+                        probe.trim_end_matches('(')
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// DET03: environment-derived values (`thread::available_parallelism`,
+/// `env::var`) in a seed-deterministic crate. Machine shape must never
+/// select search parameters: a run on 4 cores and a run on 64 must walk
+/// the same trajectory.
+fn det03(path: &str, lines: &[ScanLine], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for probe in ["available_parallelism", "env::var", "env::vars"] {
+            if !token_positions(&line.code, probe).is_empty() {
+                out.push(finding(
+                    "DET03",
+                    path,
+                    idx,
+                    line,
+                    format!(
+                        "environment-derived value `{probe}` in a deterministic crate — if it \
+                         shapes search behavior the trajectory differs per machine; justify \
+                         (scheduling-only) or derive from the configuration"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// PANIC01: panic-capable constructs on route-resolution / scheduler
+/// hot paths — `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` plus unchecked slice indexing. These paths must
+/// surface typed errors (`MeshPartitioned`, `RouteCacheTooLarge`) or
+/// prove infallibility at the site.
+fn panic01(path: &str, lines: &[ScanLine], out: &mut Vec<Finding>) {
+    const CALLS: &[(&str, &str)] = &[
+        (".unwrap()", "unwrap() panics on None/Err"),
+        (".expect(", "expect() panics on None/Err"),
+        ("panic!(", "explicit panic"),
+        ("unreachable!(", "unreachable! panics if reached"),
+        ("todo!(", "todo! always panics"),
+        ("unimplemented!(", "unimplemented! always panics"),
+    ];
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for (probe, why) in CALLS {
+            if code.contains(probe) {
+                out.push(finding(
+                    "PANIC01",
+                    path,
+                    idx,
+                    line,
+                    format!(
+                        "{why} on a route-resolution/scheduler path — return a typed error \
+                         or prove infallibility in an allow reason"
+                    ),
+                ));
+            }
+        }
+        if has_index_expr(code) {
+            out.push(finding(
+                "PANIC01",
+                path,
+                idx,
+                line,
+                "unchecked slice/array indexing on a hot path — panics on out-of-bounds; \
+                 prefer `get`, or keep the site baselined while the indexing invariant holds"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
+/// Heuristic for an index *expression* (`expr[…]`): a `[` immediately
+/// preceded by an identifier character, `)` or `]`. Skips attribute
+/// lines; array literals/types (`[0; 4]`, `&[u32]`, `vec![…]`) don't
+/// match because their `[` follows whitespace or punctuation.
+fn has_index_expr(code: &str) -> bool {
+    if code.trim_start().starts_with('#') {
+        return false;
+    }
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' || i == 0 {
+            continue;
+        }
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' || prev == ')' || prev == ']' {
+            return true;
+        }
+    }
+    false
+}
+
+/// LOCK01 + LOCK02, tracked per statement with live-guard bookkeeping.
+///
+/// LOCK01: a second `Mutex`/`RwLock` guard acquired while one is live in
+/// the same scope. The 64-way sharded walk arenas take exactly one shard
+/// lock per resolution today; any future cross-shard path that nests
+/// acquisitions is an ABBA deadlock waiting for two threads.
+///
+/// LOCK02: a live guard held across a call into user-supplied objective/
+/// callback code — the callee can take arbitrary time (or re-enter the
+/// provider) while a shard stays locked.
+fn lock_rules(path: &str, lines: &[ScanLine], out: &mut Vec<Finding>) {
+    /// The callee patterns treated as "user-supplied code".
+    const CALLBACK_PATTERNS: &[&str] = &[
+        "objective.",
+        ".cost(",
+        ".swap_delta(",
+        "callback(",
+        "observer.",
+        ".on_improve(",
+    ];
+
+    struct Guard {
+        name: String,
+        depth: usize,
+        line: usize,
+    }
+
+    let rw_names = bound_names(lines, &["RwLock"]);
+    let mut guards: Vec<Guard> = Vec::new();
+
+    // Assemble multi-line statements so `let g = shards[i]\n.lock()…;`
+    // is seen as one acquisition bound to `g`.
+    let mut stmt = String::new();
+    let mut stmt_start = 0usize;
+
+    for (idx, line) in lines.iter().enumerate() {
+        // Guards die when their block closes.
+        guards.retain(|g| line.depth_start >= g.depth);
+        if line.in_test {
+            stmt.clear();
+            continue;
+        }
+        if stmt.is_empty() {
+            stmt_start = idx;
+        }
+        stmt.push(' ');
+        stmt.push_str(line.code.trim());
+        let t = line.code.trim_end();
+        let complete = t.ends_with(';') || t.ends_with('{') || t.ends_with('}') || t.ends_with(',');
+        if !complete && idx + 1 < lines.len() {
+            continue;
+        }
+        let statement = std::mem::take(&mut stmt);
+
+        // Explicit `drop(name)` releases.
+        for g_idx in (0..guards.len()).rev() {
+            let probe = format!("drop({})", guards[g_idx].name);
+            if statement.contains(&probe) {
+                guards.remove(g_idx);
+            }
+        }
+
+        // Acquisitions in this statement.
+        let mut acquisitions = token_positions(&statement, ".lock()").len();
+        for rw in &rw_names {
+            acquisitions += token_positions(&statement, &format!("{rw}.read()")).len();
+            acquisitions += token_positions(&statement, &format!("{rw}.write()")).len();
+        }
+
+        if acquisitions > 0 {
+            if let Some(live) = guards.first() {
+                out.push(finding(
+                    "LOCK01",
+                    path,
+                    stmt_start,
+                    &lines[stmt_start],
+                    format!(
+                        "lock acquired while guard `{}` (line {}) is still live — nested \
+                         guards in one scope can deadlock against another thread taking \
+                         them in the opposite order",
+                        live.name, live.line
+                    ),
+                ));
+            } else if acquisitions > 1 {
+                out.push(finding(
+                    "LOCK01",
+                    path,
+                    stmt_start,
+                    &lines[stmt_start],
+                    "two lock acquisitions in one statement — nested guards can deadlock \
+                     against an opposite-order taker"
+                        .to_owned(),
+                ));
+            }
+            // A `let`-bound guard stays live to the end of its block.
+            let st = statement.trim_start();
+            if let Some(p) = st.find("let ") {
+                let before_lock = st.find(".lock()").map(|l| p < l).unwrap_or(false);
+                if before_lock && (p == 0 || !st[..p].contains('=')) {
+                    let rest = st[p + 4..].trim_start();
+                    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+                    if let Some(name) = leading_ident(rest) {
+                        guards.push(Guard {
+                            name,
+                            depth: lines[stmt_start].depth_start,
+                            line: stmt_start + 1,
+                        });
+                    }
+                }
+            }
+        } else if !guards.is_empty() {
+            for pat in CALLBACK_PATTERNS {
+                if statement.contains(pat) {
+                    let live = &guards[0];
+                    out.push(finding(
+                        "LOCK02",
+                        path,
+                        stmt_start,
+                        &lines[stmt_start],
+                        format!(
+                            "call into user-supplied code (`{pat}`) while guard `{}` \
+                             (line {}) is held — the callee can stall or re-enter the \
+                             provider with the shard locked",
+                            live.name, live.line
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn run(src: &str, rules: RuleSet) -> Vec<Finding> {
+        check_file("f.rs", &scan(src), rules)
+    }
+
+    const DET: RuleSet = RuleSet {
+        determinism: true,
+        panic_paths: false,
+        locks: false,
+    };
+
+    #[test]
+    fn det01_flags_map_iteration_but_not_lookup() {
+        let src = "let mut tabu: HashMap<u64, u64> = HashMap::new();\n\
+                   tabu.insert(1, 2);\n\
+                   let _ = tabu.get(&1);\n\
+                   for (k, v) in tabu.iter() { }\n\
+                   tabu.retain(|_, v| *v > 0);\n";
+        let f = run(src, DET);
+        let det01: Vec<usize> = f
+            .iter()
+            .filter(|f| f.rule == "DET01")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(det01, vec![4, 5]);
+    }
+
+    #[test]
+    fn det01_flags_field_iteration() {
+        let src = "struct S {\n\
+                       entries: HashMap<u64, u32>,\n\
+                   }\n\
+                   fn f(s: &S) { for e in s.entries.values() { } }\n";
+        let f = run(src, DET);
+        assert!(f.iter().any(|f| f.rule == "DET01" && f.line == 4));
+    }
+
+    #[test]
+    fn det02_flags_instant_now_not_type_uses() {
+        let src = "use std::time::Instant;\nlet start = Instant::now();\nfn f(s: Instant) {}\n";
+        let f = run(src, DET);
+        let det02: Vec<usize> = f
+            .iter()
+            .filter(|f| f.rule == "DET02")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(det02, vec![2]);
+    }
+
+    #[test]
+    fn det03_flags_available_parallelism() {
+        let f = run("let t = std::thread::available_parallelism();\n", DET);
+        assert!(f.iter().any(|f| f.rule == "DET03" && f.line == 1));
+    }
+
+    const PANIC: RuleSet = RuleSet {
+        determinism: false,
+        panic_paths: true,
+        locks: false,
+    };
+
+    #[test]
+    fn panic01_flags_unwrap_and_indexing_not_arrays() {
+        let src = "let x = opt.unwrap();\n\
+                   let y = v[i];\n\
+                   let a = [0u32; 4];\n\
+                   let r: &[u32] = &v;\n\
+                   let z = opt.unwrap_or(0);\n";
+        let f = run(src, PANIC);
+        let lines: Vec<usize> = f.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 2]);
+    }
+
+    #[test]
+    fn panic01_skips_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n";
+        assert!(run(src, PANIC).is_empty());
+    }
+
+    const LOCKS: RuleSet = RuleSet {
+        determinism: false,
+        panic_paths: false,
+        locks: true,
+    };
+
+    #[test]
+    fn lock01_flags_nested_guards() {
+        let src = "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                       let ga = a.lock();\n\
+                       let gb = b.lock();\n\
+                   }\n";
+        let f = run(src, LOCKS);
+        assert!(f.iter().any(|f| f.rule == "LOCK01" && f.line == 3));
+    }
+
+    #[test]
+    fn lock01_respects_drop_and_scope() {
+        let src = "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                       let ga = a.lock();\n\
+                       drop(ga);\n\
+                       let gb = b.lock();\n\
+                   }\n\
+                   fn g(c: &Mutex<u32>) { let gc = c.lock(); }\n";
+        assert!(run(src, LOCKS).is_empty());
+    }
+
+    #[test]
+    fn lock01_sees_multiline_statements() {
+        let src = "fn f(s: &[Mutex<u32>]) {\n\
+                       let mut shard = s[0]\n\
+                           .lock()\n\
+                           .unwrap();\n\
+                       let other = s[1].lock();\n\
+                   }\n";
+        let f = run(src, LOCKS);
+        assert!(f.iter().any(|f| f.rule == "LOCK01" && f.line == 5));
+    }
+
+    #[test]
+    fn lock02_flags_callback_under_guard() {
+        let src = "fn f(m: &Mutex<u32>, objective: &dyn Cost) {\n\
+                       let g = m.lock();\n\
+                       let c = objective.cost(&x);\n\
+                   }\n";
+        let f = run(src, LOCKS);
+        assert!(f.iter().any(|f| f.rule == "LOCK02" && f.line == 3));
+    }
+}

@@ -1,0 +1,304 @@
+//! Comment/string-aware line scanner — the lexical substrate of every
+//! rule.
+//!
+//! `noc-verify` deliberately does not parse Rust (no `syn` in the
+//! offline environment); it scans. [`scan`] turns a source file into
+//! per-line [`ScanLine`]s in which string/char-literal contents are
+//! blanked and comments are split out, so rules can pattern-match on
+//! `code` without tripping over `"Instant::now()"` inside a doc string.
+//! The scanner also tracks brace depth (for scope-sensitive rules) and
+//! marks `#[cfg(test)]` / `#[test]` items, which every rule skips: test
+//! code is allowed to `unwrap()` and iterate `HashMap`s.
+
+/// One scanned source line.
+#[derive(Debug, Clone)]
+pub struct ScanLine {
+    /// The raw line, verbatim.
+    pub raw: String,
+    /// Code with string/char contents blanked and comments removed.
+    pub code: String,
+    /// Comment text found on the line (line or block), without markers.
+    pub comment: String,
+    /// Brace depth at the start of the line.
+    pub depth_start: usize,
+    /// Brace depth at the end of the line.
+    pub depth_end: usize,
+    /// Inside a `#[cfg(test)]` module / `#[test]` function.
+    pub in_test: bool,
+}
+
+/// Cross-line lexer state.
+enum Mode {
+    Code,
+    /// Nested block comment (`/* /* */ */` nests in Rust).
+    Block(usize),
+    /// String literal (may span lines).
+    Str,
+    /// Raw string literal with `n` hashes.
+    RawStr(usize),
+}
+
+/// Scans a whole source file into [`ScanLine`]s.
+pub fn scan(source: &str) -> Vec<ScanLine> {
+    let mut mode = Mode::Code;
+    let mut depth: usize = 0;
+    let mut out = Vec::new();
+
+    for raw in source.lines() {
+        let depth_start = depth;
+        let mut code = String::new();
+        let mut comment = String::new();
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        let n = bytes.len();
+
+        while i < n {
+            match mode {
+                Mode::Block(ref mut level) => {
+                    if bytes[i] == '*' && i + 1 < n && bytes[i + 1] == '/' {
+                        *level -= 1;
+                        i += 2;
+                        if *level == 0 {
+                            mode = Mode::Code;
+                        }
+                    } else if bytes[i] == '/' && i + 1 < n && bytes[i + 1] == '*' {
+                        *level += 1;
+                        i += 2;
+                    } else {
+                        comment.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+                Mode::Str => {
+                    if bytes[i] == '\\' {
+                        i += 2; // escape: skip escaped char (may run past EOL)
+                    } else if bytes[i] == '"' {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::RawStr(hashes) => {
+                    if bytes[i] == '"'
+                        && bytes[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&c| c == '#')
+                            .count()
+                            == hashes
+                    {
+                        code.push('"');
+                        mode = Mode::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+                Mode::Code => {
+                    let c = bytes[i];
+                    match c {
+                        '/' if i + 1 < n && bytes[i + 1] == '/' => {
+                            // Line comment: the rest of the line.
+                            comment.push_str(
+                                &raw[raw
+                                    .char_indices()
+                                    .nth(i)
+                                    .map(|(b, _)| b)
+                                    .unwrap_or(raw.len())..],
+                            );
+                            i = n;
+                        }
+                        '/' if i + 1 < n && bytes[i + 1] == '*' => {
+                            mode = Mode::Block(1);
+                            i += 2;
+                        }
+                        '"' => {
+                            // Raw-string prefix? Look back over r / br / #s.
+                            let mut j = i;
+                            let mut hashes = 0;
+                            while j > 0 && bytes[j - 1] == '#' {
+                                hashes += 1;
+                                j -= 1;
+                            }
+                            let is_raw = j > 0 && (bytes[j - 1] == 'r');
+                            code.push('"');
+                            mode = if is_raw {
+                                Mode::RawStr(hashes)
+                            } else {
+                                Mode::Str
+                            };
+                            i += 1;
+                        }
+                        '\'' => {
+                            // Char literal vs lifetime. A char literal is
+                            // `'x'` or `'\x'`-style with a closing quote.
+                            if i + 2 < n && bytes[i + 1] == '\\' {
+                                // Escaped char: skip to the closing quote.
+                                let mut j = i + 2;
+                                while j < n && bytes[j] != '\'' {
+                                    j += 1;
+                                }
+                                code.push_str("' '");
+                                i = (j + 1).min(n);
+                            } else if i + 2 < n && bytes[i + 2] == '\'' {
+                                code.push_str("' '");
+                                i += 3;
+                            } else {
+                                // Lifetime: keep verbatim.
+                                code.push(c);
+                                i += 1;
+                            }
+                        }
+                        '{' => {
+                            depth += 1;
+                            code.push(c);
+                            i += 1;
+                        }
+                        '}' => {
+                            depth = depth.saturating_sub(1);
+                            code.push(c);
+                            i += 1;
+                        }
+                        _ => {
+                            code.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+            }
+        }
+
+        out.push(ScanLine {
+            raw: raw.to_owned(),
+            code,
+            comment,
+            depth_start,
+            depth_end: depth,
+            in_test: false,
+        });
+    }
+
+    mark_test_items(&mut out);
+    out
+}
+
+/// Marks lines belonging to `#[cfg(test)]` items and `#[test]`
+/// functions. An attribute applies to the next item: if that item opens
+/// a block, everything up to the matching close is test code; if it is
+/// a one-liner (`#[cfg(test)] use …;`), just that line.
+fn mark_test_items(lines: &mut [ScanLine]) {
+    let mut skip_depth: Option<usize> = None;
+    let mut pending = false;
+    for line in lines.iter_mut() {
+        if let Some(d) = skip_depth {
+            line.in_test = true;
+            if line.depth_end <= d {
+                skip_depth = None;
+            }
+            continue;
+        }
+        if line.code.contains("#[cfg(test)]") || line.code.contains("#[test]") {
+            pending = true;
+            line.in_test = true;
+            // A one-line item after the attribute on the same line.
+            if line.depth_end > line.depth_start {
+                skip_depth = Some(line.depth_start);
+                pending = false;
+            }
+            continue;
+        }
+        if pending {
+            line.in_test = true;
+            if line.depth_end > line.depth_start {
+                // The item opens a block spanning further lines.
+                skip_depth = Some(line.depth_start);
+                pending = false;
+            } else if line.code.contains('{') || line.code.contains(';') {
+                // One-line item (block opened and closed, or `use …;`).
+                pending = false;
+            }
+        }
+    }
+}
+
+/// True if `code[pos..]` starts a standalone occurrence of `tok` (no
+/// identifier character immediately before).
+pub fn word_boundary_before(code: &str, pos: usize) -> bool {
+    pos == 0
+        || code[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !(c.is_alphanumeric() || c == '_'))
+}
+
+/// All positions where `tok` occurs in `code` with a word boundary
+/// before it. Tokens that open with a non-identifier character (`.lock()`)
+/// are their own boundary — `shard.lock()` must match.
+pub fn token_positions(code: &str, tok: &str) -> Vec<usize> {
+    let needs_boundary = tok
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = code[from..].find(tok) {
+        let pos = from + p;
+        if !needs_boundary || word_boundary_before(code, pos) {
+            out.push(pos);
+        }
+        from = pos + tok.len().max(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let lines = scan("let x = \"Instant::now()\"; // Instant::now()\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].comment.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let lines = scan("/* a\nb */ let y = 1;\n");
+        assert_eq!(lines[0].code.trim(), "");
+        assert!(lines[1].code.contains("let y"));
+    }
+
+    #[test]
+    fn char_literal_is_not_a_lifetime() {
+        let lines = scan("let c = '\"'; let s: &'static str = \"x\";\n");
+        assert!(lines[0].code.contains("&'static str"));
+    }
+
+    #[test]
+    fn depth_tracks_braces() {
+        let lines = scan("fn f() {\n    {\n    }\n}\n");
+        assert_eq!(lines[0].depth_start, 0);
+        assert_eq!(lines[1].depth_start, 1);
+        assert_eq!(lines[2].depth_start, 2);
+        assert_eq!(lines[3].depth_end, 0);
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn live2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test && lines[2].in_test && lines[3].in_test && lines[4].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn cfg_test_one_liner_is_marked() {
+        let lines = scan("#[cfg(test)]\nuse noc_model::TileId;\nuse std::fmt;\n");
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+}

@@ -1,0 +1,283 @@
+//! SHIM01: shim public-API conformance.
+//!
+//! The offline build environment has no crates.io, so `crates/shims/*`
+//! provide hand-written API subsets of serde / serde_json / rand /
+//! criterion / proptest. The ROADMAP's standing caveat is *silent shim
+//! drift*: a shim growing (or losing) surface without anyone re-checking
+//! it against the real crate. This pass extracts each shim's public
+//! surface — top-level `pub` items, `pub fn`s inside `impl` blocks,
+//! trait methods inside `pub trait` blocks, exported macros — and diffs
+//! it against the checked-in manifest
+//! (`crates/analyzer/shim_manifest.txt`). Any delta is a SHIM01 finding
+//! until the manifest is deliberately regenerated with
+//! `noc-verify --update-shim-manifest` (a reviewable, diffable act).
+
+use crate::findings::Finding;
+use crate::scan::{scan, ScanLine};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Extracts the public surface of one shim source file. Entries are
+/// `context :: signature` with whitespace collapsed.
+pub fn public_surface(source: &str) -> BTreeSet<String> {
+    let lines = scan(source);
+    let mut out = BTreeSet::new();
+
+    // Context stack: (header, depth at which the block opened).
+    let mut stack: Vec<(String, usize)> = Vec::new();
+    let mut pending_macro_export = false;
+
+    let mut i = 0;
+    while i < lines.len() {
+        let line = &lines[i];
+        if line.in_test {
+            i += 1;
+            continue;
+        }
+        while let Some(&(_, d)) = stack.last() {
+            if line.depth_start <= d {
+                stack.pop();
+            } else {
+                break;
+            }
+        }
+        let trimmed = line.code.trim();
+        if trimmed.contains("#[macro_export]") {
+            pending_macro_export = true;
+            i += 1;
+            continue;
+        }
+
+        let in_trait = stack
+            .last()
+            .is_some_and(|(h, _)| h.starts_with("pub trait") || h.starts_with("trait"));
+        let is_item = trimmed.starts_with("pub ")
+            || (pending_macro_export && trimmed.starts_with("macro_rules!"))
+            || (in_trait
+                && (trimmed.starts_with("fn ")
+                    || trimmed.starts_with("type ")
+                    || trimmed.starts_with("const ")))
+            || (stack.is_empty() && (trimmed.starts_with("impl ") || trimmed.starts_with("impl<")));
+
+        if !is_item {
+            i += 1;
+            continue;
+        }
+        pending_macro_export = false;
+
+        // Assemble the signature across lines until `{`, `;` or `where`.
+        let (sig, opened, next_i) = assemble_signature(&lines, i);
+        let context = stack
+            .iter()
+            .map(|(h, _)| h.as_str())
+            .collect::<Vec<_>>()
+            .join(" :: ");
+        let entry = if context.is_empty() {
+            sig.clone()
+        } else {
+            format!("{context} :: {sig}")
+        };
+
+        // Impl/trait headers double as context for their methods; the
+        // headers themselves are surface too (`impl Rng for StdRng`
+        // records which traits a shim type provides).
+        let is_block_header = sig.starts_with("impl ")
+            || sig.starts_with("impl<")
+            || sig.starts_with("pub trait")
+            || sig.starts_with("pub struct") && opened
+            || sig.starts_with("pub enum") && opened
+            || sig.starts_with("pub mod") && opened;
+        out.insert(entry);
+        if opened && is_block_header {
+            stack.push((sig, lines[i].depth_start));
+        }
+        i = next_i;
+    }
+    out
+}
+
+/// Collects `sig` from line `start` until a `{`, `;` or `}` at bracket
+/// depth zero, or a trailing comma at depth zero (a struct-field line).
+/// Returns (signature, whether a block was opened, next line index).
+fn assemble_signature(lines: &[ScanLine], start: usize) -> (String, bool, usize) {
+    let mut sig = String::new();
+    let mut i = start;
+    let mut opened = false;
+    // Bracket depth so a comma inside `fn f(\n  a: usize,\n)` does not
+    // terminate the signature the way a field's trailing comma does.
+    let mut nest = 0i32;
+    'lines: while i < lines.len() {
+        let code = lines[i].code.trim();
+        if !sig.is_empty() {
+            sig.push(' ');
+        }
+        for (pos, c) in code.char_indices() {
+            match c {
+                '(' | '[' => nest += 1,
+                ')' | ']' => nest -= 1,
+                '{' | ';' | '}' if nest == 0 => {
+                    sig.push_str(code[..pos].trim_end());
+                    opened = c == '{';
+                    i += 1;
+                    break 'lines;
+                }
+                _ => {}
+            }
+        }
+        sig.push_str(code);
+        i += 1;
+        if nest == 0 && code.ends_with(',') {
+            sig.truncate(sig.len() - 1);
+            break;
+        }
+    }
+    // A trailing `where` clause is implementation detail, not surface.
+    if let Some(w) = sig.find(" where ") {
+        sig.truncate(w);
+    }
+    (normalize_ws(&sig), opened, i.max(start + 1))
+}
+
+fn normalize_ws(s: &str) -> String {
+    s.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// Scans every shim crate under `root/crates/shims` and returns its
+/// surface entries, each prefixed with the shim's directory name.
+pub fn collect_shim_surfaces(root: &Path) -> std::io::Result<BTreeSet<String>> {
+    let shims_dir = root.join("crates/shims");
+    let mut out = BTreeSet::new();
+    let mut crates: Vec<_> = std::fs::read_dir(&shims_dir)?
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .collect();
+    crates.sort_by_key(|e| e.file_name());
+    for entry in crates {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let src_dir = entry.path().join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let source = std::fs::read_to_string(&file)?;
+            for item in public_surface(&source) {
+                out.insert(format!("{name} :: {item}"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Diffs the live shim surfaces against the manifest text and returns
+/// SHIM01 findings: entries that appeared (shim drifted forward without
+/// a manifest update) and entries that vanished (surface silently
+/// removed — the call sites may still expect it).
+pub fn check_manifest(
+    root: &Path,
+    manifest_text: &str,
+    manifest_path: &str,
+) -> std::io::Result<Vec<Finding>> {
+    let live = collect_shim_surfaces(root)?;
+    let recorded: BTreeSet<String> = manifest_text
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect();
+    let mut findings = Vec::new();
+    for added in live.difference(&recorded) {
+        findings.push(Finding {
+            rule: "SHIM01",
+            path: manifest_path.to_owned(),
+            line: 0,
+            message: format!(
+                "shim surface grew without a manifest update: `{added}` — verify it against \
+                 the real crate's API, then run `noc-verify --update-shim-manifest`"
+            ),
+            snippet: String::new(),
+            suppressed: None,
+        });
+    }
+    for removed in recorded.difference(&live) {
+        findings.push(Finding {
+            rule: "SHIM01",
+            path: manifest_path.to_owned(),
+            line: 0,
+            message: format!(
+                "manifest entry no longer present in the shims: `{removed}` — workspace call \
+                 sites may still expect it; update them, then regenerate the manifest"
+            ),
+            snippet: String::new(),
+            suppressed: None,
+        });
+    }
+    Ok(findings)
+}
+
+/// Renders the manifest file.
+pub fn render_manifest(surfaces: &BTreeSet<String>) -> String {
+    let mut out = String::from(
+        "# noc-verify shim manifest: the recorded public API surface of\n\
+         # crates/shims/*. SHIM01 fails on any drift from this file.\n\
+         # Regenerate deliberately with: noc-verify --update-shim-manifest\n",
+    );
+    for s in surfaces {
+        out.push_str(s);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_extracts_items_methods_and_trait_fns() {
+        let src = "\
+pub struct StdRng { state: u64 }\n\
+impl StdRng {\n    pub fn next(&mut self) -> u64 { 0 }\n    fn private(&self) {}\n}\n\
+pub trait Rng {\n    fn gen(&mut self) -> f64;\n}\n\
+fn free_private() {}\n\
+pub fn free() {}\n";
+        let s = public_surface(src);
+        assert!(s.contains("pub struct StdRng"));
+        assert!(s
+            .iter()
+            .any(|e| e.contains("impl StdRng :: pub fn next(&mut self) -> u64")));
+        assert!(s
+            .iter()
+            .any(|e| e.contains("pub trait Rng :: fn gen(&mut self) -> f64")));
+        assert!(s.contains("pub fn free()"));
+        assert!(!s.iter().any(|e| e.contains("private")));
+    }
+
+    #[test]
+    fn multiline_signatures_collapse() {
+        let src = "pub fn with_capacity(\n    a: usize,\n    b: usize,\n) -> Self {\n}\n";
+        let s = public_surface(src);
+        assert!(s.contains("pub fn with_capacity( a: usize, b: usize, ) -> Self"));
+    }
+
+    #[test]
+    fn macro_export_is_surface() {
+        let src = "#[macro_export]\nmacro_rules! json {\n    () => {};\n}\n";
+        let s = public_surface(src);
+        assert!(s.iter().any(|e| e.starts_with("macro_rules! json")));
+    }
+}

@@ -15,7 +15,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::time::Instant;
 
 /// A set of core→tile pins.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -146,7 +145,7 @@ pub fn anneal_constrained<C: CostFunction + ?Sized>(
     constraints
         .validate(mesh, core_count)
         .expect("constraints fit the instance");
-    let start = Instant::now();
+    let start = noc_search::wall_clock();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let swappable: Vec<TileId> = mesh
         .tiles()
@@ -243,7 +242,7 @@ pub fn exhaustive_constrained<C: CostFunction + ?Sized>(
     constraints
         .validate(mesh, core_count)
         .expect("constraints fit the instance");
-    let start = Instant::now();
+    let start = noc_search::wall_clock();
     let free_cores: Vec<CoreId> = (0..core_count)
         .map(CoreId::new)
         .filter(|c| constraints.pinned_tile(*c).is_none())

@@ -14,7 +14,6 @@
 use crate::objective::CostFunction;
 use crate::result::SearchOutcome;
 use noc_model::{CoreId, Cwg, Mapping, Mesh, TileId};
-use std::time::Instant;
 
 /// Builds a mapping for `cwg` on `mesh` with the greedy constructive
 /// heuristic. Deterministic: ties break towards lower ids.
@@ -107,7 +106,7 @@ pub fn constructive<C: CostFunction + ?Sized>(
     cwg: &Cwg,
     mesh: &Mesh,
 ) -> SearchOutcome {
-    let start = Instant::now();
+    let start = noc_search::wall_clock();
     let mapping = constructive_mapping(cwg, mesh);
     let cost = objective.cost(&mapping);
     SearchOutcome {

@@ -10,7 +10,6 @@
 use crate::objective::CostFunction;
 use crate::result::SearchOutcome;
 use noc_model::{Mapping, Mesh, TileId};
-use std::time::Instant;
 
 /// Number of injective placements of `cores` onto `tiles`
 /// (`tiles!/(tiles−cores)!`), saturating at `u64::MAX`.
@@ -71,7 +70,7 @@ pub fn exhaustive<C: CostFunction + ?Sized>(
     mesh: &Mesh,
     core_count: usize,
 ) -> SearchOutcome {
-    let start = Instant::now();
+    let start = noc_search::wall_clock();
     let mut best: Option<(Mapping, f64)> = None;
     let mut evaluations = 0u64;
     for_each_mapping(mesh, core_count, |mapping| {

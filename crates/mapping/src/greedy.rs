@@ -11,7 +11,6 @@ use crate::result::SearchOutcome;
 use noc_model::{Mapping, Mesh, TileId};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Steepest-descent local search with `restarts` random starting points.
 ///
@@ -27,7 +26,7 @@ pub fn greedy<C: CostFunction + ?Sized>(
     seed: u64,
 ) -> SearchOutcome {
     assert!(restarts > 0, "at least one restart is required");
-    let start = Instant::now();
+    let start = noc_search::wall_clock();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut evaluations = 0u64;
     let mut best: Option<(Mapping, f64)> = None;

@@ -120,7 +120,7 @@ impl FaultSet {
         );
         let tile = |z| {
             mesh.tile_at(Coord::new3(x, y, z))
-                .expect("pillar coordinates are inside the mesh")
+                .expect("pillar coordinates are inside the mesh") // noc-verify: allow(PANIC01) — x/y asserted in-bounds above; z iterates 0..depth
         };
         for z in 0..mesh.depth().saturating_sub(1) {
             self.kill_between(tile(z), tile(z + 1));
@@ -236,7 +236,7 @@ impl FaultScenario {
                     for x in x0..x0 + rw {
                         let t = mesh
                             .tile_at(Coord::new3(x, y, z))
-                            .expect("region is clamped to the mesh");
+                            .expect("region is clamped to the mesh"); // noc-verify: allow(PANIC01) — region extent and origin are clamped/reduced modulo the mesh dimensions above
                         for dir in Direction::AXIAL {
                             if let Some(n) = mesh.neighbor(t, dir) {
                                 faults.kill_between(t, n);
@@ -321,6 +321,22 @@ impl FaultAwareRoutes {
         }
     }
 
+    /// [`Self::new`] with an explicit per-shard walk-arena capacity
+    /// (in `u32` link ids). Tiny capacities force constant eviction —
+    /// the concurrency stress tests use this to exercise the
+    /// resolve-under-eviction paths that the default 16M-entry budget
+    /// would never reach.
+    pub fn with_shard_capacity(
+        mesh: &Mesh,
+        kind: RoutingKind,
+        faults: FaultSet,
+        shard_capacity: usize,
+    ) -> Self {
+        let mut this = Self::new(mesh, kind, faults);
+        this.shard_capacity = shard_capacity.max(1);
+        this
+    }
+
     /// The canonical routing kind (used whenever it survives).
     pub fn kind(&self) -> RoutingKind {
         self.kind
@@ -336,6 +352,7 @@ impl FaultAwareRoutes {
         let mut stats = FaultRouteStats::default();
         for shard in self.shards.iter() {
             let shard = shard.lock().unwrap_or_else(|e| e.into_inner());
+            // noc-verify: allow(DET01) — order-insensitive counter accumulation; totals are identical for any iteration order
             for entry in shard.entries.values() {
                 stats.resolved_pairs += 1;
                 match entry {
@@ -378,8 +395,9 @@ impl FaultAwareRoutes {
             .order()
             .for_each_step(&self.mesh, src, dst, |a, b| {
                 let (ta, tb) = (
+                    // noc-verify: allow(PANIC01) — for_each_step yields only in-mesh coordinates by construction, so tile_at cannot return None
                     self.mesh.tile_at(a).expect("walk stays inside mesh"),
-                    self.mesh.tile_at(b).expect("walk stays inside mesh"),
+                    self.mesh.tile_at(b).expect("walk stays inside mesh"), // noc-verify: allow(PANIC01) — same invariant as the line above
                 );
                 touched |= self.faults.is_dead(&Link::between(ta, tb));
                 steps.push((a, b));
@@ -422,13 +440,27 @@ impl FaultAwareRoutes {
         None
     }
 
-    /// Resolves (or fetches) the pair's cached route.
-    fn resolve(&self, src: TileId, dst: TileId) -> PairEntry {
+    /// The pair's cache key and owning shard index.
+    fn shard_of(&self, src: TileId, dst: TileId) -> (usize, u64) {
         let n = self.mesh.tile_count() as u64;
         let key = src.index() as u64 * n + dst.index() as u64;
-        let mut shard = self.shards[key as usize % self.shards.len()]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        (key as usize % self.shards.len(), key)
+    }
+
+    /// Resolves (or fetches) the pair's cached route. Callers that only
+    /// need the entry metadata; [`Self::walk_span`] must use
+    /// [`Self::resolve_in`] under its own guard instead, so the walk
+    /// copy happens before any other thread can evict the shard.
+    fn resolve(&self, src: TileId, dst: TileId) -> PairEntry {
+        let (idx, key) = self.shard_of(src, dst);
+        let mut shard = self.shards[idx].lock().unwrap_or_else(|e| e.into_inner());
+        self.resolve_in(&mut shard, key, src, dst)
+    }
+
+    /// Resolves (or fetches) the pair's route inside an already-locked
+    /// shard. The returned span stays valid for exactly as long as the
+    /// caller holds the guard.
+    fn resolve_in(&self, shard: &mut FaultShard, key: u64, src: TileId, dst: TileId) -> PairEntry {
         if let Some(&entry) = shard.entries.get(&key) {
             return entry;
         }
@@ -525,13 +557,14 @@ impl RouteSource for FaultAwareRoutes {
             buf.push(self.numbering.ejection(dst));
             return (start as u32, (buf.len() - start) as u32);
         }
-        match self.resolve(src, dst) {
+        // Resolve and copy under ONE guard: releasing the shard between
+        // resolution and the walk copy would let a concurrent thread
+        // evict the shard and leave the span pointing at cleared (or
+        // recycled) arena slots.
+        let (idx, key) = self.shard_of(src, dst);
+        let mut shard = self.shards[idx].lock().unwrap_or_else(|e| e.into_inner());
+        match self.resolve_in(&mut shard, key, src, dst) {
             PairEntry::Route { start: s, len, .. } => {
-                let n = self.mesh.tile_count() as u64;
-                let key = src.index() as u64 * n + dst.index() as u64;
-                let shard = self.shards[key as usize % self.shards.len()]
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner());
                 buf.extend_from_slice(&shard.walks[s as usize..(s + len) as usize]);
                 (start as u32, len)
             }

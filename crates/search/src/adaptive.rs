@@ -30,7 +30,6 @@ use crate::strategy::{SearchRun, SearchStrategy};
 use crate::telemetry::{MemberBudget, RoundTelemetry, SearchTelemetry};
 use noc_model::Mesh;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Configuration of the adaptive restart scheduler.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -107,6 +106,7 @@ fn advance_round<C: SwapDeltaCost + Send>(
     jobs: Vec<(usize, u64)>,
     mesh: &Mesh,
 ) {
+    // noc-verify: allow(DET03) — thread count only batches members across workers; results land back by member index, so placement never affects the outcome
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -153,7 +153,7 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for AdaptiveRestarts {
     }
 
     fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
-        let start = Instant::now();
+        let start = crate::telemetry::wall_clock();
         let config = &self.config;
         let population = config.population.max(1);
         let rounds = config.rounds.max(1);

@@ -23,7 +23,6 @@ use noc_model::{Mapping, Mesh, TileId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Which order-preserving crossover operator recombines parents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -208,7 +207,7 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
     }
 
     fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
-        let start = Instant::now();
+        let start = crate::telemetry::wall_clock();
         let config = &self.config;
         let n = mesh.tile_count();
         let budget = config.budget.max(1);

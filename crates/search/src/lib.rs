@@ -84,7 +84,7 @@ pub use sa::{
 };
 pub use strategy::{SearchRun, SearchStrategy};
 pub use tabu::{TabuConfig, TabuSearch, Tenure};
-pub use telemetry::{CurvePoint, MemberBudget, RoundTelemetry, SearchTelemetry};
+pub use telemetry::{wall_clock, CurvePoint, MemberBudget, RoundTelemetry, SearchTelemetry};
 
 pub mod telemetry;
 

@@ -17,7 +17,6 @@ use crate::tabu::{TabuConfig, TabuSearch, Tenure};
 use crate::telemetry::SearchTelemetry;
 use noc_model::Mesh;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Portfolio configuration: one budget, four members.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,7 +87,7 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
     }
 
     fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
-        let start = Instant::now();
+        let start = crate::telemetry::wall_clock();
         let config = &self.config;
         let budget = config.budget.max(1);
         let share = |i: u64| budget / MEMBERS as u64 + u64::from(i < budget % MEMBERS as u64);

@@ -11,7 +11,6 @@ use crate::outcome::SearchOutcome;
 use noc_model::{Mapping, Mesh};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Draws `samples` uniform random mappings and keeps the best.
 ///
@@ -27,7 +26,7 @@ pub fn random_search<C: CostFunction + ?Sized>(
     seed: u64,
 ) -> SearchOutcome {
     assert!(samples > 0, "at least one sample is required");
-    let start = Instant::now();
+    let start = crate::telemetry::wall_clock();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut best: Option<(Mapping, f64)> = None;
     for _ in 0..samples {

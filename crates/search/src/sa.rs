@@ -131,7 +131,7 @@ pub fn anneal<C: CostFunction + ?Sized>(
     core_count: usize,
     config: &SaConfig,
 ) -> SearchOutcome {
-    let start = Instant::now();
+    let start = crate::telemetry::wall_clock();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut current = random_mapping(mesh, core_count, &mut rng);
     let mut current_cost = objective.cost(&current);
@@ -214,7 +214,7 @@ pub fn anneal_delta<C: SwapDeltaCost + ?Sized>(
     core_count: usize,
     config: &SaConfig,
 ) -> SearchOutcome {
-    let start = Instant::now();
+    let start = crate::telemetry::wall_clock();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut current = random_mapping(mesh, core_count, &mut rng);
     let mut current_cost = objective.cost(&current);
@@ -371,7 +371,7 @@ where
     F: Fn(&C, SaConfig) -> SearchOutcome + Sync,
 {
     let restarts = budget.effective_restarts(config.max_evaluations, restarts);
-    let start = Instant::now();
+    let start = crate::telemetry::wall_clock();
     let jobs: Vec<(usize, C, SaConfig)> = (0..restarts)
         .map(|i| {
             let config = SaConfig {
@@ -382,6 +382,7 @@ where
             (i, objective.clone(), config)
         })
         .collect();
+    // noc-verify: allow(DET03) — thread count only shapes work placement; each restart's trajectory is fixed by its seed and the reduction is order-insensitive
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)

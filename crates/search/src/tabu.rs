@@ -22,7 +22,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// How long a just-applied swap's tile pair stays forbidden.
 ///
@@ -122,7 +121,7 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for TabuSearch {
     }
 
     fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
-        let start = Instant::now();
+        let start = crate::telemetry::wall_clock();
         let config = &self.config;
         let budget = config.budget.max(1);
         let neighborhood = config.neighborhood.max(1);

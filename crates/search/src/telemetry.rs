@@ -8,6 +8,20 @@
 //! threads executed the rounds.
 
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// The one sanctioned wall-clock read in the deterministic crates.
+///
+/// Search and mapping code reports elapsed wall time in its telemetry,
+/// but a clock value must never *feed a decision* — trajectories are a
+/// function of (configuration, seed) alone. Funnelling every read
+/// through this helper keeps the audit surface a single line: the
+/// `noc-verify` DET02 rule flags any other `Instant::now()` in
+/// `search`/`mapping`/`model`/`sim`, so a new timing site is a
+/// reviewable event rather than a silent drift risk.
+pub fn wall_clock() -> Instant {
+    Instant::now() // noc-verify: allow(DET02) — the designated telemetry scope; callers may only report elapsed time, never branch on it
+}
 
 /// One point of the best-so-far curve.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -873,6 +873,7 @@ impl<'a> CostEvaluator<'a> {
     pub fn link_traversals(&self) -> impl Iterator<Item = (Link, u64)> + '_ {
         (0..self.routes.dense_link_count() as u32).filter_map(move |id| {
             let n = self.scratch.link_traversals(id);
+            // noc-verify: allow(PANIC01) — a traversal count above zero proves the id was produced by the encoder, so decoding cannot fail
             (n > 0).then(|| (self.routes.link_at(id).expect("traversed ids decode"), n))
         })
     }

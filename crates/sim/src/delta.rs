@@ -515,7 +515,7 @@ impl<'a> IncrementalScheduler<'a> {
         }
         self.align_baseline(mapping)?;
         let n_packets = self.cdcg.packet_count();
-        let base = self.baseline.mapping.as_ref().expect("baseline aligned");
+        let base = self.baseline.mapping.as_ref().expect("baseline aligned"); // noc-verify: allow(PANIC01) — align_baseline() on the line above either set the mapping or returned an error
 
         // Dirty set: packets whose source or destination core moves.
         self.dirty.clear();
@@ -532,7 +532,7 @@ impl<'a> IncrementalScheduler<'a> {
             Some(m) => m.clone_from(base),
             slot @ None => *slot = Some(base.clone()),
         }
-        let cand = self.candidate.mapping.as_mut().expect("just set");
+        let cand = self.candidate.mapping.as_mut().expect("just set"); // noc-verify: allow(PANIC01) — the match directly above guarantees the slot is Some
         cand.swap_tiles(a, b);
 
         if self.dirty.is_empty() {
@@ -555,7 +555,7 @@ impl<'a> IncrementalScheduler<'a> {
             .iter()
             .map(|&p| pack(self.baseline.inject[p as usize], p as usize, INJECT, 0))
             .min()
-            .expect("dirty set non-empty");
+            .expect("dirty set non-empty"); // noc-verify: allow(PANIC01) — the dirty.is_empty() early return above makes min() over the set infallible
 
         // Latest checkpoint strictly before the frontier; index 0 (the
         // initial state) always qualifies.
@@ -572,7 +572,7 @@ impl<'a> IncrementalScheduler<'a> {
         self.scratch.walks.truncate(self.walks_base);
         self.candidate.spans.clone_from(&self.baseline.spans);
         {
-            let cand = self.candidate.mapping.as_ref().expect("just set");
+            let cand = self.candidate.mapping.as_ref().expect("just set"); // noc-verify: allow(PANIC01) — materialized unconditionally earlier in this function
             for &p in &self.dirty {
                 let pkt = self.cdcg.packet(PacketId::new(p as usize));
                 let (src, dst) = (cand.tile_of(pkt.src), cand.tile_of(pkt.dst));
