@@ -159,6 +159,13 @@ impl Baseline {
             .contains(&(rule.to_owned(), path.to_owned(), snippet.to_owned()))
     }
 
+    /// The `(rule, path, trimmed line)` keys, in file order. Drives the
+    /// `--baseline-drift` check: an entry matching no current finding
+    /// is stale and must be pruned.
+    pub fn entries(&self) -> impl Iterator<Item = &(String, String, String)> {
+        self.entries.iter()
+    }
+
     /// Renders findings into the baseline file format (sorted, deduped).
     pub fn render(findings: &[&Finding]) -> String {
         let mut lines: BTreeSet<String> = BTreeSet::new();

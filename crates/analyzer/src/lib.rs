@@ -40,8 +40,10 @@ pub const KNOWN_RULES: &[&str] = &[
 
 /// Crates whose behavior must be bit-reproducible from a seed. DET
 /// rules scan these; `cli` and `bench` may read clocks freely (their
-/// timing output is the telemetry).
-pub const DET_CRATES: &[&str] = &["search", "mapping", "model", "sim"];
+/// timing output is the telemetry). The service layer is in scope: it
+/// promises worker-count-independent results, so provider registry and
+/// queue code must not iterate hash maps or consult the environment.
+pub const DET_CRATES: &[&str] = &["search", "mapping", "model", "sim", "service"];
 
 /// Route-resolution and scheduler inner-loop files — the paths the
 /// fault-tolerance PR audited by hand; PANIC01 keeps them audited.
@@ -181,6 +183,28 @@ pub fn analyze_workspace(config: &Config) -> std::io::Result<Report> {
     Ok(report)
 }
 
+/// Baseline entries that match no finding in `report` — stale
+/// grandfather rows whose flagged line was since fixed, moved or
+/// deleted. A clean gate requires pruning them (regenerate with
+/// `--update-baseline`): a stale entry is a suppression waiting to
+/// silently swallow a future regression on an unrelated line.
+pub fn baseline_drift(config: &Config, report: &Report) -> Vec<(String, String, String)> {
+    let text = std::fs::read_to_string(config.root.join(BASELINE_PATH)).unwrap_or_default();
+    let baseline = Baseline::parse(&text);
+    let live: std::collections::BTreeSet<(&str, &str, &str)> = report
+        .findings
+        .iter()
+        .map(|f| (f.rule, f.path.as_str(), f.snippet.as_str()))
+        .collect();
+    baseline
+        .entries()
+        .filter(|(rule, path, snippet)| {
+            !live.contains(&(rule.as_str(), path.as_str(), snippet.as_str()))
+        })
+        .cloned()
+        .collect()
+}
+
 /// Collects `src/**/*.rs` files of every crate under `dir` (skipping
 /// `target/`, `fixtures/` and crate `tests/` directories — integration
 /// tests are test code).
@@ -216,10 +240,45 @@ mod tests {
         assert!(det.determinism && det.locks && !det.panic_paths);
         let hot = ruleset_for("crates/sim/src/cost.rs");
         assert!(hot.determinism && hot.panic_paths);
+        let service = ruleset_for("crates/service/src/registry.rs");
+        assert!(service.determinism && service.locks && !service.panic_paths);
         let cli = ruleset_for("crates/cli/src/lib.rs");
         assert!(!cli.determinism && cli.locks);
         let shim = ruleset_for("crates/shims/rand/src/lib.rs");
         assert!(!shim.determinism && !shim.locks && !shim.panic_paths);
+    }
+
+    #[test]
+    fn stale_baseline_entries_are_drift() {
+        let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/drift-test");
+        std::fs::create_dir_all(root.join("crates/analyzer")).expect("test scratch dir");
+        std::fs::write(
+            root.join(BASELINE_PATH),
+            "PANIC01\tcrates/sim/src/cost.rs\tlive line\n\
+             PANIC01\tcrates/sim/src/cost.rs\tgone line\n",
+        )
+        .expect("test baseline");
+        let report = Report {
+            findings: vec![Finding {
+                rule: "PANIC01",
+                path: "crates/sim/src/cost.rs".to_owned(),
+                line: 1,
+                message: String::new(),
+                snippet: "live line".to_owned(),
+                suppressed: Some(Suppression::Baseline),
+            }],
+            files_scanned: 1,
+        };
+        let drift = baseline_drift(&Config::new(&root), &report);
+        assert_eq!(
+            drift,
+            vec![(
+                "PANIC01".to_owned(),
+                "crates/sim/src/cost.rs".to_owned(),
+                "gone line".to_owned()
+            )],
+            "only the entry with no matching finding is stale"
+        );
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! Exit codes: 0 = clean (no unsuppressed findings), 1 = findings,
 //! 2 = usage or I/O error.
 
-use noc_analyzer::{allow::Baseline, analyze_workspace, find_workspace_root, shim, Config};
+use noc_analyzer::{
+    allow::Baseline, analyze_workspace, baseline_drift, find_workspace_root, shim, Config,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -17,6 +19,8 @@ OPTIONS:
     --json                   emit the machine-readable report on stdout
     --root <PATH>            workspace root (default: autodetect from cwd)
     --no-baseline            ignore the checked-in baseline file
+    --baseline-drift         fail if the baseline has stale entries matching
+                             no current finding (prune with --update-baseline)
     --update-baseline        rewrite the baseline to cover current findings
                              (DET/PANIC/LOCK only; SHIM01/ALLOW01 are never baselined)
     --update-shim-manifest   rewrite the shim API manifest from the live sources
@@ -27,6 +31,7 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut root: Option<PathBuf> = None;
     let mut use_baseline = true;
+    let mut check_drift = false;
     let mut update_baseline = false;
     let mut update_manifest = false;
 
@@ -35,6 +40,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json = true,
             "--no-baseline" => use_baseline = false,
+            "--baseline-drift" => check_drift = true,
             "--update-baseline" => update_baseline = true,
             "--update-shim-manifest" => update_manifest = true,
             "--root" => match argv.next() {
@@ -119,6 +125,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         return ExitCode::SUCCESS;
+    }
+
+    if check_drift {
+        let stale = baseline_drift(&config, &report);
+        if stale.is_empty() {
+            println!(
+                "noc-verify: baseline clean ({} finding(s) checked)",
+                report.findings.len()
+            );
+            return ExitCode::SUCCESS;
+        }
+        for (rule, path, snippet) in &stale {
+            println!("STALE {rule} {path}: {snippet}");
+        }
+        eprintln!(
+            "noc-verify: {} stale baseline entr(y/ies) match no current finding; \
+             prune with --update-baseline",
+            stale.len()
+        );
+        return ExitCode::FAILURE;
     }
 
     if json {

@@ -1,0 +1,196 @@
+//! CI smoke test for the exploration service layer.
+//!
+//! Four gates, each an assertion (nonzero exit on any failure):
+//!
+//! * **Queue saturation** — far more jobs than workers; every job
+//!   drains to `Done`, the registry builds one provider, and every
+//!   final verification runs on a pooled scratch arena.
+//! * **Pending cancel** — a job cancelled while still queued ends as
+//!   `Cancelled(None)`: no worker ever touched it.
+//! * **Running cancel** — a job cancelled mid-search stops at the next
+//!   cooperative checkpoint and returns its verified partial best,
+//!   `Cancelled(Some(_))`, with fewer evaluations than its budget.
+//! * **Worker-count identity** — the same batch on 1 and 4 workers is
+//!   bit-identical (cost bits, mapping, evaluation counts, telemetry).
+//!
+//! The summary lands in `target/experiments/service_smoke.json`.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin service_smoke`
+
+use noc_bench::write_record;
+use noc_model::Mesh;
+use noc_service::{
+    JobRequest, JobState, MappingService, Priority, SaConfig, SearchMethod, ServiceConfig,
+    ServiceEvent, SolveRequest,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Record {
+    saturation_jobs: usize,
+    saturation_registry_builds: u64,
+    saturation_registry_hits: u64,
+    saturation_scratch_runs: u64,
+    pending_cancel: &'static str,
+    running_cancel_evaluations: u64,
+    running_cancel_budget: u64,
+    worker_identity_jobs: usize,
+}
+
+fn request(evals: u64, seed: u64) -> JobRequest {
+    let app = noc_apps::large_mesh_workload(3, 3, 1);
+    let mesh = Mesh::new(3, 3).expect("valid mesh");
+    let mut config = SaConfig::quick(seed);
+    config.max_evaluations = evals;
+    let mut request = SolveRequest::new(app, mesh, SearchMethod::SimulatedAnnealing(config));
+    request.seed = seed;
+    JobRequest::Solve(Box::new(request))
+}
+
+/// Gate 1: 64 jobs on 4 workers all drain, sharing one provider build.
+fn queue_saturation() -> (usize, u64, u64, u64) {
+    const JOBS: usize = 64;
+    let service = MappingService::start(ServiceConfig::new(4));
+    let ids: Vec<_> = (0..JOBS as u64)
+        .map(|seed| service.submit(request(120, seed), Priority::Normal))
+        .collect();
+    let states = service.wait_all();
+    assert_eq!(states.len(), JOBS, "every job reaches a terminal state");
+    for id in ids {
+        assert!(
+            matches!(service.status(id), Some(JobState::Done(_))),
+            "saturation job {id:?} must finish"
+        );
+    }
+    let stats = service.stats();
+    assert_eq!(stats.done, JOBS as u64, "all jobs done");
+    assert_eq!(stats.registry_misses, 1, "one shared provider build");
+    assert_eq!(
+        stats.registry_hits,
+        JOBS as u64 - 1,
+        "every later job reuses the registry provider"
+    );
+    assert_eq!(
+        stats.scratch_runs, JOBS as u64,
+        "every verification runs on a pooled scratch arena"
+    );
+    println!(
+        "queue saturation: OK ({JOBS} jobs, {} provider build, {} hits)",
+        stats.registry_misses, stats.registry_hits
+    );
+    (
+        JOBS,
+        stats.registry_misses,
+        stats.registry_hits,
+        stats.scratch_runs,
+    )
+}
+
+/// Gate 2: cancelling a queued job yields `Cancelled(None)`.
+fn pending_cancel() -> &'static str {
+    let service = MappingService::start(ServiceConfig::new(1));
+    let events = service.subscribe();
+    let blocker = service.submit(request(200_000, 1), Priority::High);
+    loop {
+        match events.recv().expect("event stream open") {
+            ServiceEvent::Started { job } if job == blocker => break,
+            _ => continue,
+        }
+    }
+    let queued = service.submit(request(120, 2), Priority::Normal);
+    assert!(service.cancel(queued), "a pending job is cancellable");
+    match service.status(queued) {
+        Some(JobState::Cancelled(None)) => {}
+        other => panic!("pending cancel ended as {other:?}, wanted Cancelled(None)"),
+    }
+    service.cancel(blocker);
+    service.wait_all();
+    println!("pending cancel: OK (Cancelled(None), untouched by any worker)");
+    "Cancelled(None)"
+}
+
+/// Gate 3: cancelling a running job returns a verified partial result
+/// that spent less than its budget.
+fn running_cancel() -> (u64, u64) {
+    const BUDGET: u64 = 5_000_000;
+    let service = MappingService::start(ServiceConfig::new(1));
+    let events = service.subscribe();
+    let job = service.submit(request(BUDGET, 3), Priority::Normal);
+    loop {
+        match events.recv().expect("event stream open") {
+            ServiceEvent::Started { job: started } if started == job => break,
+            _ => continue,
+        }
+    }
+    assert!(service.cancel(job), "a running job is cancellable");
+    let state = service.wait(job).expect("job exists");
+    let JobState::Cancelled(Some(result)) = state else {
+        panic!("running cancel ended as {state:?}, wanted Cancelled(Some(_))");
+    };
+    let solve = result.as_solve().expect("solve job");
+    assert!(
+        solve.outcome.evaluations < BUDGET,
+        "cancellation must stop the search early ({} of {BUDGET} evaluations)",
+        solve.outcome.evaluations
+    );
+    assert!(solve.outcome.cost.is_finite(), "partial best is verified");
+    println!(
+        "running cancel: OK (stopped after {} of {BUDGET} evaluations)",
+        solve.outcome.evaluations
+    );
+    (solve.outcome.evaluations, BUDGET)
+}
+
+/// Gate 4: worker count is invisible in the results.
+fn worker_identity() -> usize {
+    const JOBS: u64 = 12;
+    let run = |workers: usize| -> Vec<String> {
+        let service = MappingService::start(ServiceConfig::new(workers));
+        let ids: Vec<_> = (0..JOBS)
+            .map(|seed| service.submit(request(300, seed), Priority::Normal))
+            .collect();
+        service.wait_all();
+        ids.iter()
+            .map(|id| match service.status(*id) {
+                Some(JobState::Done(result)) => {
+                    let solve = result.as_solve().expect("solve job");
+                    format!(
+                        "{:?}|{:#x}|{}|{:?}",
+                        solve.outcome.mapping,
+                        solve.outcome.cost.to_bits(),
+                        solve.outcome.evaluations,
+                        solve.telemetry,
+                    )
+                }
+                other => panic!("identity job {id:?} ended as {other:?}"),
+            })
+            .collect()
+    };
+    assert_eq!(
+        run(1),
+        run(4),
+        "1-worker and 4-worker runs must be bit-identical"
+    );
+    println!("worker identity: OK ({JOBS} jobs bit-identical on 1 and 4 workers)");
+    JOBS as usize
+}
+
+fn main() {
+    let (saturation_jobs, builds, hits, scratch_runs) = queue_saturation();
+    let pending = pending_cancel();
+    let (cancel_evals, cancel_budget) = running_cancel();
+    let identity_jobs = worker_identity();
+
+    let record = Record {
+        saturation_jobs,
+        saturation_registry_builds: builds,
+        saturation_registry_hits: hits,
+        saturation_scratch_runs: scratch_runs,
+        pending_cancel: pending,
+        running_cancel_evaluations: cancel_evals,
+        running_cancel_budget: cancel_budget,
+        worker_identity_jobs: identity_jobs,
+    };
+    let path = write_record("service_smoke", &record);
+    println!("record: {}", path.display());
+}

@@ -1,0 +1,41 @@
+//! The subcommands: each module builds requests from options and
+//! renders results — the work itself happens in `noc-service`.
+
+mod bench;
+mod dot;
+mod evaluate;
+mod explore;
+mod generate;
+mod info;
+mod serve;
+mod solve;
+mod submit;
+mod suite;
+
+pub use bench::cmd_bench;
+pub use dot::cmd_dot;
+pub use evaluate::cmd_evaluate;
+pub use explore::cmd_explore;
+pub use generate::cmd_generate;
+pub use info::cmd_info;
+pub use serve::cmd_serve;
+pub use solve::cmd_map;
+pub use submit::cmd_submit;
+pub use suite::cmd_suite;
+
+use crate::CliError;
+use noc_service::{JobRequest, JobResult, JobState, MappingService, Priority, ServiceConfig};
+
+/// Runs one job on a short-lived service instance and returns its
+/// result. This is how the one-shot subcommands (`map`, `evaluate`)
+/// use the service layer; `serve` keeps an instance alive instead.
+pub(crate) fn run_job(request: JobRequest, workers: usize) -> Result<JobResult, CliError> {
+    let service = MappingService::start(ServiceConfig::new(workers));
+    let id = service.submit(request, Priority::Normal);
+    match service.wait(id) {
+        Some(JobState::Done(result)) => Ok(result),
+        Some(JobState::Failed(message)) => Err(message.into()),
+        Some(JobState::Cancelled(_)) => Err("job was cancelled".into()),
+        Some(JobState::Pending | JobState::Running) | None => Err("service dropped the job".into()),
+    }
+}

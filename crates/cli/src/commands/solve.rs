@@ -1,0 +1,28 @@
+//! `map` / `solve`: search the best mapping for an application.
+
+use crate::commands::run_job;
+use crate::options::Options;
+use crate::render::render_solve;
+use crate::request::build_solve_request;
+use crate::CliError;
+use noc_service::JobRequest;
+
+/// `map` (alias `solve`): search the best mapping for an application.
+/// Builds a solve request, runs it through the service layer and
+/// renders the result.
+///
+/// # Errors
+///
+/// Returns an error on bad options, load failures, infeasible instances
+/// (more cores than tiles), or failed jobs.
+pub fn cmd_map(options: &Options) -> Result<String, CliError> {
+    let request = build_solve_request(options)?;
+    let workers: usize = options.get_parsed("--workers", 1)?;
+    let result = run_job(JobRequest::Solve(Box::new(request)), workers)?;
+    let result = result
+        .as_solve()
+        .ok_or("service returned the wrong result kind")?;
+    let mut out = String::new();
+    render_solve(&mut out, result, options.flag("--telemetry"));
+    Ok(out)
+}

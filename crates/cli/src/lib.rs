@@ -1,15 +1,26 @@
 //! # noc-cli
 //!
 //! Command-line front end for the CDCM NoC-mapping reproduction. The
-//! binary (`noc-cli`) wraps the library crates behind five subcommands:
+//! binary (`noc-cli`) is a set of thin subcommands over the
+//! `noc-service` exploration layer:
 //!
 //! ```text
 //! noc-cli generate --cores 8 --packets 40 --bits 20000 --out app.json
 //! noc-cli info     --app app.json
 //! noc-cli map      --app app.json --mesh 3x3 --strategy cdcm --method sa
 //! noc-cli evaluate --app app.json --mesh 3x3 --mapping 0,1,2,4,5,6,7,8 --gantt
+//! noc-cli explore  --app app.json --mesh 3x3 --methods sa,ga,tabu
+//! noc-cli serve    --socket /tmp/noc.sock --workers 4
+//! noc-cli submit   --socket /tmp/noc.sock --app app.json --mesh 3x3 --wait
 //! noc-cli dot      --app app.json --graph cdcg
 //! ```
+//!
+//! The CLI contains only request building and rendering: [`options`]
+//! parses flags, [`request`] assembles `noc-service` job requests, the
+//! subcommands submit them (to an in-process service for the one-shot
+//! commands, over a Unix socket for `submit`), and [`render`] prints
+//! the results. All orchestration — queueing, worker pools,
+//! route-provider sharing, cancellation — lives in `noc-service`.
 //!
 //! Applications are exchanged as JSON-serialized CDCGs (the same format
 //! `serde_json` produces for [`noc_model::Cdcg`]), so generated
@@ -21,754 +32,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use noc_energy::total::{evaluate_cdcm_with, evaluate_cwm_with};
-use noc_energy::Technology;
-use noc_mapping::{
-    anneal_constrained, AdaptiveConfig, CdcmObjective, Constraints, Crossover, CwmObjective,
-    Explorer, GaConfig, PortfolioConfig, RestartBudget, SaConfig, SearchMethod, SearchTelemetry,
-    Strategy, TabuConfig,
+mod commands;
+pub mod options;
+pub mod render;
+pub mod request;
+
+pub use commands::{
+    cmd_bench, cmd_dot, cmd_evaluate, cmd_explore, cmd_generate, cmd_info, cmd_map, cmd_serve,
+    cmd_submit, cmd_suite,
 };
-use noc_model::{Cdcg, FaultScenario, Mapping, Mesh, RouteProvider, RoutingKind, TileId};
-use noc_sim::gantt::GanttChart;
-use noc_sim::SimParams;
+pub use options::{
+    emit, load_app, parse_fault_scenario, parse_mapping, parse_mesh, parse_mesh_options,
+    parse_pins, parse_route_provider, parse_routing, parse_technology, parse_tenure, Options,
+};
+pub use request::{
+    build_evaluate_request, build_solve_request, build_solve_request_with_method, parse_cache_tier,
+    parse_method, parse_priority, parse_strategy, sa_profile,
+};
+
 use std::error::Error;
-use std::fmt::Write as _;
 
 /// Boxed error type used across the CLI.
 pub type CliError = Box<dyn Error + Send + Sync>;
-
-/// A parsed option bag: `--key value` pairs plus bare flags.
-#[derive(Debug, Clone, Default)]
-pub struct Options {
-    pairs: Vec<(String, String)>,
-    flags: Vec<String>,
-}
-
-impl Options {
-    /// Parses `args` (without the program and subcommand names).
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for a dangling `--key` without a value when the
-    /// key is not a known flag.
-    pub fn parse(args: &[String]) -> Result<Self, CliError> {
-        const FLAGS: [&str; 5] = [
-            "--gantt",
-            "--quick",
-            "--cwg",
-            "--telemetry",
-            "--robustness-report",
-        ];
-        let mut options = Options::default();
-        let mut i = 0;
-        while i < args.len() {
-            let arg = &args[i];
-            if !arg.starts_with("--") {
-                return Err(format!("unexpected positional argument `{arg}`").into());
-            }
-            if FLAGS.contains(&arg.as_str()) {
-                options.flags.push(arg.clone());
-                i += 1;
-                continue;
-            }
-            let value = args
-                .get(i + 1)
-                .ok_or_else(|| format!("missing value for `{arg}`"))?;
-            options.pairs.push((arg.clone(), value.clone()));
-            i += 2;
-        }
-        Ok(options)
-    }
-
-    /// Value of `--key`, if present.
-    pub fn get(&self, key: &str) -> Option<&str> {
-        self.pairs
-            .iter()
-            .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, v)| v.as_str())
-    }
-
-    /// Required value of `--key`.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error naming the missing option.
-    pub fn require(&self, key: &str) -> Result<&str, CliError> {
-        self.get(key)
-            .ok_or_else(|| format!("missing required option `{key}`").into())
-    }
-
-    /// Parsed value of `--key` with a default.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error if the value does not parse as `T`.
-    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
-        match self.get(key) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("invalid value `{v}` for `{key}`").into()),
-        }
-    }
-
-    /// True if the bare flag was passed.
-    pub fn flag(&self, name: &str) -> bool {
-        self.flags.iter().any(|f| f == name)
-    }
-}
-
-/// Parses `WxH` or `WxHxD` mesh syntax (e.g. `3x2`, `4x4x4`).
-///
-/// # Errors
-///
-/// Returns an error for malformed syntax or zero dimensions.
-pub fn parse_mesh(spec: &str) -> Result<Mesh, CliError> {
-    let dims: Result<Vec<usize>, CliError> = spec
-        .split(['x', 'X'])
-        .map(|part| {
-            part.trim()
-                .parse()
-                .map_err(|_| format!("bad mesh dimension `{part}` in `{spec}`").into())
-        })
-        .collect();
-    match dims?.as_slice() {
-        [w, h] => Ok(Mesh::new(*w, *h)?),
-        [w, h, d] => Ok(Mesh::new3(*w, *h, *d)?),
-        _ => Err(format!("mesh must be WxH or WxHxD, got `{spec}`").into()),
-    }
-}
-
-/// Resolves the `--mesh`/`--depth` pair: `--depth N` stacks `N` layers
-/// of a planar `--mesh WxH` (equivalent to `--mesh WxHxN`).
-///
-/// # Errors
-///
-/// Returns an error for a zero depth or a conflicting 3D `--mesh` spec.
-pub fn parse_mesh_options(options: &Options) -> Result<Mesh, CliError> {
-    let mesh = parse_mesh(options.require("--mesh")?)?;
-    match options.get("--depth") {
-        None => Ok(mesh),
-        Some(_) if mesh.depth() > 1 => {
-            Err("pass either --mesh WxHxD or --depth N, not both".into())
-        }
-        Some(d) => {
-            let depth: usize = d.parse().map_err(|_| format!("bad depth `{d}`"))?;
-            Ok(Mesh::new3(mesh.width(), mesh.height(), depth)?)
-        }
-    }
-}
-
-/// Parses a comma-separated tile list into a mapping on `mesh`.
-///
-/// # Errors
-///
-/// Returns an error for unparsable indices or invalid (non-injective /
-/// out-of-mesh) placements.
-pub fn parse_mapping(spec: &str, mesh: &Mesh) -> Result<Mapping, CliError> {
-    let tiles: Result<Vec<TileId>, CliError> = spec
-        .split(',')
-        .map(|part| {
-            part.trim()
-                .parse::<usize>()
-                .map(TileId::new)
-                .map_err(|_| format!("bad tile index `{part}`").into())
-        })
-        .collect();
-    Ok(Mapping::from_tiles(mesh, tiles?)?)
-}
-
-/// Resolves a routing-algorithm name (`xy`, `yx`, `torus-xy`, `xyz`,
-/// `torus-xyz`).
-///
-/// # Errors
-///
-/// Returns an error for unknown names.
-pub fn parse_routing(name: &str) -> Result<RoutingKind, CliError> {
-    RoutingKind::from_name(name.trim()).ok_or_else(|| {
-        format!(
-            "unknown routing `{}` (xy|yx|torus-xy|xyz|torus-xyz)",
-            name.trim()
-        )
-        .into()
-    })
-}
-
-/// Parses a `--tenure` value: a fixed iteration count, or `auto` to
-/// scale the tabu tenure with √tile_count.
-///
-/// # Errors
-///
-/// Returns an error for values that are neither `auto` nor an integer.
-pub fn parse_tenure(value: &str) -> Result<noc_mapping::Tenure, CliError> {
-    match value.trim() {
-        "auto" => Ok(noc_mapping::Tenure::Auto),
-        n => n
-            .parse()
-            .map(noc_mapping::Tenure::Fixed)
-            .map_err(|_| format!("invalid value `{n}` for `--tenure` (auto|N)").into()),
-    }
-}
-
-/// Builds the route provider for a `--route-cache` tier name
-/// (`auto`, `dense`, `on-demand`, `implicit`).
-///
-/// # Errors
-///
-/// Returns an error for unknown tier names, and for `dense` on meshes
-/// too large to precompute (the typed
-/// [`noc_model::ModelError::RouteCacheTooLarge`], surfaced instead of a
-/// panic — pick `on-demand` or `implicit` there).
-pub fn parse_route_provider(
-    name: &str,
-    mesh: &Mesh,
-    kind: RoutingKind,
-) -> Result<RouteProvider, CliError> {
-    match name.trim().to_ascii_lowercase().as_str() {
-        "auto" => Ok(RouteProvider::auto(mesh, kind)),
-        "dense" => Ok(RouteProvider::dense(mesh, kind)?),
-        "on-demand" | "ondemand" | "lazy" => Ok(RouteProvider::on_demand(mesh, kind)),
-        "implicit" => Ok(RouteProvider::implicit(mesh, kind)),
-        other => {
-            Err(format!("unknown route cache `{other}` (auto|dense|on-demand|implicit)").into())
-        }
-    }
-}
-
-/// Resolves a technology name (`paper`, `0.35`, `0.07`, `0.35um`, …).
-///
-/// # Errors
-///
-/// Returns an error for unknown names.
-pub fn parse_technology(name: &str) -> Result<Technology, CliError> {
-    match name.trim().trim_end_matches("um") {
-        "paper" | "paper-example" => Ok(Technology::paper_example()),
-        "0.35" | "350" => Ok(Technology::t035()),
-        "0.07" | "70" => Ok(Technology::t007()),
-        other => Err(format!("unknown technology `{other}` (paper|0.35|0.07)").into()),
-    }
-}
-
-fn load_app(options: &Options) -> Result<Cdcg, CliError> {
-    let path = options.require("--app")?;
-    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-    // `.cdcg`/`.txt` files use the line-oriented text format (typed
-    // errors with line context); everything else is the JSON CDCG.
-    let lower = path.to_ascii_lowercase();
-    let cdcg: Cdcg = if lower.ends_with(".cdcg") || lower.ends_with(".txt") {
-        noc_apps::parse_cdcg(&text).map_err(|e| format!("{path}:{}: {e}", e.line()))?
-    } else {
-        serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?
-    };
-    cdcg.validate()?;
-    Ok(cdcg)
-}
-
-/// Parses the fault-injection options (`--faults K`, `--fault-kind
-/// link|tsv|region`, `--fault-seed S`) into a scenario, when present.
-///
-/// # Errors
-///
-/// Returns an error for unknown kinds or unparsable counts/seeds.
-pub fn parse_fault_scenario(options: &Options) -> Result<Option<FaultScenario>, CliError> {
-    let Some(count) = options.get("--faults") else {
-        return Ok(None);
-    };
-    let count: usize = count
-        .parse()
-        .map_err(|_| format!("invalid value `{count}` for `--faults`"))?;
-    let seed: u64 = options.get_parsed("--fault-seed", 0)?;
-    let scenario = match options.get("--fault-kind").unwrap_or("link") {
-        "link" | "links" => FaultScenario::RandomLinks { count, seed },
-        "tsv" | "tsvs" | "pillar" => FaultScenario::RandomTsvs { count, seed },
-        // `--faults K` sizes the dead region K×K tiles.
-        "region" => FaultScenario::Region {
-            width: count,
-            height: count,
-            seed,
-        },
-        other => return Err(format!("unknown fault kind `{other}` (link|tsv|region)").into()),
-    };
-    Ok(Some(scenario))
-}
-
-fn emit(options: &Options, content: &str) -> Result<String, CliError> {
-    match options.get("--out") {
-        Some(path) => {
-            std::fs::write(path, content).map_err(|e| format!("cannot write `{path}`: {e}"))?;
-            Ok(format!("written to {path}\n"))
-        }
-        None => Ok(content.to_owned()),
-    }
-}
-
-/// `generate`: produce a TGFF-style application (or the paper example).
-///
-/// # Errors
-///
-/// Returns an error on bad options or IO failures.
-pub fn cmd_generate(options: &Options) -> Result<String, CliError> {
-    let app = if options.get("--paper-example").is_some_and(|v| v == "true")
-        || options.get("--cores").is_none()
-    {
-        noc_apps::paper_example::figure1_cdcg()
-    } else {
-        let cores: usize = options.get_parsed("--cores", 6)?;
-        let packets: usize = options.get_parsed("--packets", 20)?;
-        let bits: u64 = options.get_parsed("--bits", 10_000)?;
-        let seed: u64 = options.get_parsed("--seed", 0)?;
-        noc_apps::generate(&noc_apps::TgffConfig::new(cores, packets, bits, seed))
-    };
-    let json = serde_json::to_string_pretty(&app)?;
-    emit(options, &json)
-}
-
-/// `info`: summarize an application graph.
-///
-/// # Errors
-///
-/// Returns an error on load failures.
-pub fn cmd_info(options: &Options) -> Result<String, CliError> {
-    let app = load_app(options)?;
-    let cwg = app.to_cwg();
-    let mut out = String::new();
-    let _ = writeln!(out, "cores:        {}", app.core_count());
-    let _ = writeln!(out, "packets:      {}", app.packet_count());
-    let _ = writeln!(out, "dependences:  {}", app.dependence_count());
-    let _ = writeln!(out, "depth:        {}", app.depth());
-    let _ = writeln!(out, "total bits:   {}", app.total_volume());
-    let _ = writeln!(out, "NCC (flows):  {}", cwg.communication_count());
-    let _ = writeln!(out, "NDP:          {}", app.ndp());
-    let _ = writeln!(
-        out,
-        "start/end:    {} / {}",
-        app.start_packets().count(),
-        app.end_packets().count()
-    );
-    Ok(out)
-}
-
-/// Parses `--pin c0:t3,c2:t0` syntax into [`Constraints`].
-///
-/// # Errors
-///
-/// Returns an error for malformed entries or conflicting pins.
-pub fn parse_pins(spec: &str) -> Result<Constraints, CliError> {
-    let mut constraints = Constraints::new();
-    for entry in spec.split(',') {
-        let (core, tile) = entry
-            .split_once(':')
-            .ok_or_else(|| format!("pin must be core:tile, got `{entry}`"))?;
-        let core: usize = core
-            .trim()
-            .trim_start_matches('c')
-            .parse()
-            .map_err(|_| format!("bad core in pin `{entry}`"))?;
-        let tile: usize = tile
-            .trim()
-            .trim_start_matches('t')
-            .parse()
-            .map_err(|_| format!("bad tile in pin `{entry}`"))?;
-        constraints = constraints.pin(noc_model::CoreId::new(core), TileId::new(tile))?;
-    }
-    Ok(constraints)
-}
-
-/// `map`: search the best mapping for an application.
-///
-/// # Errors
-///
-/// Returns an error on bad options, load failures, or infeasible
-/// instances (more cores than tiles).
-pub fn cmd_map(options: &Options) -> Result<String, CliError> {
-    let app = load_app(options)?;
-    let mesh = parse_mesh_options(options)?;
-    if app.core_count() > mesh.tile_count() {
-        return Err(format!(
-            "{} cores cannot map onto {} tiles",
-            app.core_count(),
-            mesh.tile_count()
-        )
-        .into());
-    }
-    let tech = parse_technology(options.get("--tech").unwrap_or("0.07"))?;
-    let kind = parse_routing(options.get("--routing").unwrap_or("xy"))?;
-    let routing = kind.algorithm();
-    let provider =
-        parse_route_provider(options.get("--route-cache").unwrap_or("auto"), &mesh, kind)?;
-    let strategy = match options.get("--strategy").unwrap_or("cdcm") {
-        "cwm" | "CWM" => Strategy::Cwm,
-        "cdcm" | "CDCM" => Strategy::Cdcm,
-        other => return Err(format!("unknown strategy `{other}` (cwm|cdcm)").into()),
-    };
-    let seed: u64 = options.get_parsed("--seed", 0)?;
-    let mut sa_config = if options.flag("--quick") {
-        SaConfig::quick(seed)
-    } else {
-        SaConfig::new(seed)
-    };
-    if let Some(evals) = options.get("--evals") {
-        sa_config.max_evaluations = evals
-            .parse()
-            .map_err(|_| format!("invalid value `{evals}` for `--evals`"))?;
-    }
-    let budget = sa_config.max_evaluations;
-    let method = match options.get("--method").unwrap_or("sa") {
-        "sa" | "SA" => SearchMethod::SimulatedAnnealing(sa_config),
-        // The total budget is divided across restarts, so `sa-multi`
-        // spends the same number of evaluations as `sa` — not N× it.
-        "sa-multi" | "multistart" => SearchMethod::MultiStartSa {
-            config: sa_config,
-            restarts: options.get_parsed("--restarts", 8u32)?,
-            budget: RestartBudget::Total,
-        },
-        // The adaptive/GA/tabu/portfolio strategies share the same total
-        // budget (`--evals` / the SA profile), so all methods compare at
-        // equal evaluation spend.
-        "adaptive" => {
-            let mut config = AdaptiveConfig::new(seed);
-            config.budget = budget;
-            config.population = options.get_parsed("--population", config.population)?;
-            config.rounds = options.get_parsed("--rounds", config.rounds)?;
-            SearchMethod::Adaptive(config)
-        }
-        "ga" | "genetic" => {
-            let mut config = GaConfig::new(seed);
-            config.budget = budget;
-            config.population = options.get_parsed("--population", config.population)?;
-            config.crossover = match options.get("--crossover").unwrap_or("pmx") {
-                "pmx" => Crossover::Pmx,
-                "cycle" => Crossover::Cycle,
-                other => return Err(format!("unknown crossover `{other}` (pmx|cycle)").into()),
-            };
-            SearchMethod::Genetic(config)
-        }
-        "tabu" => {
-            let mut config = TabuConfig::new(seed);
-            config.budget = budget;
-            if let Some(tenure) = options.get("--tenure") {
-                config.tenure = parse_tenure(tenure)?;
-            }
-            config.neighborhood = options.get_parsed("--neighborhood", config.neighborhood)?;
-            SearchMethod::Tabu(config)
-        }
-        "portfolio" => {
-            let mut config = PortfolioConfig::new(seed);
-            config.budget = budget;
-            config.restarts = options.get_parsed("--restarts", 8u32)? as usize;
-            config.population = options.get_parsed("--population", config.population)?;
-            config.rounds = options.get_parsed("--rounds", config.rounds)?;
-            if let Some(tenure) = options.get("--tenure") {
-                config.tenure = parse_tenure(tenure)?;
-            }
-            SearchMethod::Portfolio(config)
-        }
-        "exhaustive" | "es" | "ES" => SearchMethod::Exhaustive,
-        "random" => SearchMethod::Random {
-            samples: 10_000,
-            seed,
-        },
-        "greedy" => SearchMethod::Greedy {
-            restarts: options.get_parsed("--restarts", 8u32)?,
-            seed,
-        },
-        other => {
-            return Err(format!(
-                "unknown method `{other}` (sa|sa-multi|adaptive|ga|tabu|portfolio|es|random|greedy)"
-            )
-            .into())
-        }
-    };
-
-    let params = SimParams::new();
-    let tier = provider.tier();
-    let explorer = Explorer::with_provider(
-        &app,
-        mesh,
-        tech.clone(),
-        params,
-        std::sync::Arc::new(provider),
-    );
-    let (outcome, telemetry) = match options.get("--pin") {
-        Some(pin_spec) => {
-            // Constrained search: pinned cores stay on their tiles.
-            let pins = parse_pins(pin_spec)?;
-            pins.validate(&mesh, app.core_count())?;
-            let sa = sa_config;
-            // Objectives share the explorer's route provider (already
-            // built for `routing`) instead of deriving a second one.
-            let outcome = match strategy {
-                Strategy::Cwm => {
-                    let cwg = explorer.cwg().clone();
-                    let objective = CwmObjective::with_provider(
-                        &cwg,
-                        &mesh,
-                        &tech,
-                        std::sync::Arc::clone(explorer.route_provider()),
-                    );
-                    anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
-                }
-                Strategy::Cdcm => {
-                    let objective = CdcmObjective::with_provider(
-                        &app,
-                        &tech,
-                        params,
-                        std::sync::Arc::clone(explorer.route_provider()),
-                    );
-                    anneal_constrained(&objective, &mesh, app.core_count(), &pins, &sa)
-                }
-            };
-            (outcome, None)
-        }
-        None => {
-            let run = explorer.explore_with_telemetry(strategy, method);
-            (run.outcome, Some(run.telemetry))
-        }
-    };
-    let eval = evaluate_cdcm_with(&app, &mesh, &outcome.mapping, &tech, &params, routing)?;
-    let cwm_view = evaluate_cwm_with(
-        &explorer.cwg().clone(),
-        &mesh,
-        &outcome.mapping,
-        &tech,
-        routing,
-    );
-
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "strategy:     {} ({})",
-        outcome.objective, outcome.method
-    );
-    let _ = writeln!(out, "routing:      {}", routing.name());
-    let _ = writeln!(out, "route cache:  {}", tier.name());
-    let _ = writeln!(out, "mapping:      {}", outcome.mapping);
-    let tiles: Vec<String> = outcome
-        .mapping
-        .assignments()
-        .map(|(_, t)| t.index().to_string())
-        .collect();
-    let _ = writeln!(out, "tile list:    {}", tiles.join(","));
-    let _ = writeln!(out, "objective:    {:.3} pJ", outcome.cost);
-    let _ = writeln!(out, "texec:        {} ns", eval.texec_ns);
-    let _ = writeln!(out, "energy:       {}", eval.breakdown);
-    let _ = writeln!(out, "dynamic-only: {cwm_view} (the CWM view)");
-    let _ = writeln!(out, "evaluations:  {}", outcome.evaluations);
-    let _ = writeln!(out, "elapsed:      {:.3} s", outcome.elapsed.as_secs_f64());
-    if options.flag("--telemetry") {
-        match telemetry {
-            Some(telemetry) => render_telemetry(&mut out, &telemetry, ""),
-            None => {
-                let _ = writeln!(out, "telemetry:    (not available for constrained search)");
-            }
-        }
-    }
-    if options.flag("--robustness-report") {
-        render_criticality(&mut out, &explorer.link_criticality(&outcome.mapping));
-    }
-    if let Some(scenario) = parse_fault_scenario(options)? {
-        let remap_budget: u64 = options.get_parsed("--fault-evals", 20_000)?;
-        let report = explorer.remap_after_faults(&outcome.mapping, scenario, remap_budget, seed);
-        render_remap(&mut out, &report);
-    }
-    Ok(out)
-}
-
-/// Renders the link-criticality report of a mapping.
-fn render_criticality(out: &mut String, report: &noc_mapping::CriticalityReport) {
-    let _ = writeln!(
-        out,
-        "link load:    {} links carry {} routed bits (HHI {:.4})",
-        report.links_used, report.total_bits, report.hhi
-    );
-    let _ = writeln!(
-        out,
-        "max share:    {:.1}% of traffic rides the busiest link",
-        report.max_share * 100.0
-    );
-    for load in &report.top {
-        let _ = writeln!(
-            out,
-            "  {:>10} bits ({:>5.1}%)  {}",
-            load.bits,
-            load.share * 100.0,
-            load.link
-        );
-    }
-}
-
-/// Renders a fault-injection / re-mapping report.
-fn render_remap(out: &mut String, report: &noc_mapping::RemapReport) {
-    let _ = writeln!(out, "fault tolerance:");
-    let _ = writeln!(out, "  dead links:  {}", report.dead_links);
-    let _ = writeln!(out, "  baseline:    {:.3} pJ", report.baseline_cost);
-    if report.partitioned {
-        let _ = writeln!(out, "  degraded:    unroutable (mesh partitioned)");
-    } else {
-        let _ = writeln!(
-            out,
-            "  degraded:    {:.3} pJ ({:+.2}%)",
-            report.degraded_cost,
-            (report.degraded_cost / report.baseline_cost - 1.0) * 100.0
-        );
-    }
-    if report.recovered_cost.is_finite() {
-        let _ = writeln!(
-            out,
-            "  recovered:   {:.3} pJ ({:+.2}%) after {} evaluations",
-            report.recovered_cost,
-            (report.recovery_ratio - 1.0) * 100.0,
-            report.evaluations
-        );
-    } else {
-        let _ = writeln!(
-            out,
-            "  recovered:   never (no connected placement in {} evaluations)",
-            report.evaluations
-        );
-    }
-    match report.evals_to_recover {
-        Some(0) => {
-            let _ = writeln!(out, "  recovery:    immediate (faults missed this mapping)");
-        }
-        Some(evals) => {
-            let _ = writeln!(out, "  recovery:    matched baseline after {evals} evals");
-        }
-        None => {
-            let _ = writeln!(out, "  recovery:    baseline not matched within budget");
-        }
-    }
-}
-
-/// Renders search telemetry: budget rounds, survivors, best-so-far curve,
-/// and portfolio children (indented).
-fn render_telemetry(out: &mut String, telemetry: &SearchTelemetry, indent: &str) {
-    let _ = writeln!(
-        out,
-        "{indent}telemetry:    {} ({} evals, {} curve points)",
-        telemetry.strategy,
-        telemetry.evaluations,
-        telemetry.best_curve.len()
-    );
-    for round in &telemetry.rounds {
-        let budgets: Vec<String> = round
-            .budgets
-            .iter()
-            .map(|b| format!("m{}={}", b.member, b.evals))
-            .collect();
-        let survivors: Vec<String> = round.survivors.iter().map(usize::to_string).collect();
-        let _ = writeln!(
-            out,
-            "{indent}  round {}: {} -> best {:.3}, survivors [{}]",
-            round.round,
-            budgets.join(" "),
-            round.best_cost,
-            survivors.join(",")
-        );
-    }
-    if let (Some(first), Some(last)) = (telemetry.best_curve.first(), telemetry.best_curve.last()) {
-        let _ = writeln!(
-            out,
-            "{indent}  best curve: {:.3} @ {} evals -> {:.3} @ {} evals",
-            first.cost, first.evaluations, last.cost, last.evaluations
-        );
-    }
-    for child in &telemetry.children {
-        render_telemetry(out, child, &format!("{indent}  "));
-    }
-}
-
-/// `evaluate`: score one explicit mapping (optionally with a Gantt chart).
-///
-/// # Errors
-///
-/// Returns an error on bad options or an invalid mapping.
-pub fn cmd_evaluate(options: &Options) -> Result<String, CliError> {
-    let app = load_app(options)?;
-    let mesh = parse_mesh_options(options)?;
-    let mapping = parse_mapping(options.require("--mapping")?, &mesh)?;
-    if mapping.core_count() != app.core_count() {
-        return Err(format!(
-            "mapping covers {} cores but the application has {}",
-            mapping.core_count(),
-            app.core_count()
-        )
-        .into());
-    }
-    let tech = parse_technology(options.get("--tech").unwrap_or("0.07"))?;
-    let routing = parse_routing(options.get("--routing").unwrap_or("xy"))?.algorithm();
-    let params = SimParams::new();
-    let eval = evaluate_cdcm_with(&app, &mesh, &mapping, &tech, &params, routing)?;
-
-    let mut out = String::new();
-    let _ = writeln!(out, "mapping:    {mapping}");
-    let _ = writeln!(out, "routing:    {}", routing.name());
-    let _ = writeln!(out, "texec:      {} ns", eval.texec_ns);
-    let _ = writeln!(out, "energy:     {}", eval.breakdown);
-    let _ = writeln!(
-        out,
-        "contention: {} events, {} cycles",
-        eval.schedule.contention_events().len(),
-        eval.schedule.total_contention_cycles()
-    );
-    if options.flag("--gantt") {
-        let sched = noc_sim::schedule_with(&app, &mesh, &mapping, &params, routing)?;
-        let _ = writeln!(
-            out,
-            "{}",
-            GanttChart::from_schedule(&sched, &app).render(100)
-        );
-    }
-    Ok(out)
-}
-
-/// `suite`: list the Table 1 benchmarks or export one as JSON.
-///
-/// # Errors
-///
-/// Returns an error for out-of-range rows or IO failures.
-pub fn cmd_suite(options: &Options) -> Result<String, CliError> {
-    match options.get("--row") {
-        None => {
-            let mut out = String::new();
-            let _ = writeln!(out, "row  name       NoC    cores  packets  total bits");
-            for (i, row) in noc_apps::TABLE1_ROWS.iter().enumerate() {
-                let _ = writeln!(
-                    out,
-                    "{:3}  {:9}  {:5}  {:5}  {:7}  {}",
-                    i, row.name, row.group, row.cores, row.packets, row.total_bits
-                );
-            }
-            let _ = writeln!(out, "export one with: noc-cli suite --row N --out app.json");
-            Ok(out)
-        }
-        Some(row) => {
-            let index: usize = row.parse().map_err(|_| format!("bad row `{row}`"))?;
-            let spec = noc_apps::TABLE1_ROWS
-                .get(index)
-                .ok_or_else(|| format!("row {index} out of range (0..18)"))?;
-            let bench = noc_apps::Benchmark::from_spec(*spec);
-            let json = serde_json::to_string_pretty(&bench.cdcg)?;
-            emit(options, &json)
-        }
-    }
-}
-
-/// `dot`: Graphviz export of the CDCG (default) or collapsed CWG.
-///
-/// # Errors
-///
-/// Returns an error on load failures.
-pub fn cmd_dot(options: &Options) -> Result<String, CliError> {
-    let app = load_app(options)?;
-    let dot = if options.flag("--cwg") || options.get("--graph") == Some("cwg") {
-        noc_model::dot::cwg_to_dot(&app.to_cwg())
-    } else {
-        noc_model::dot::cdcg_to_dot(&app)
-    };
-    emit(options, &dot)
-}
 
 /// Usage text.
 pub fn usage() -> String {
@@ -790,12 +75,22 @@ USAGE:
                    [--pin c0:t3,c2:t0]
                    [--faults K] [--fault-kind link|tsv|region]
                    [--fault-seed S] [--fault-evals N]
-                   [--robustness-report]
+                   [--robustness-report] [--workers N]
+  noc-cli solve    (alias of map)
   noc-cli evaluate --app app.json --mesh WxH[xD] [--depth N]
                    --mapping t0,t1,...
                    [--tech paper|0.35|0.07]
                    [--routing xy|yx|torus-xy|xyz|torus-xyz]
                    [--gantt]
+  noc-cli explore  --app app.json --mesh WxH[xD]
+                   [--methods sa,sa-multi,ga,tabu,portfolio]
+                   [--workers N] [map flags]
+  noc-cli bench    [--jobs N] [--workers N] [--evals N]
+                   [--app app.json] [--mesh WxH]
+  noc-cli serve    --socket PATH [--workers N]
+  noc-cli submit   --socket PATH [map/evaluate flags]
+                   [--priority high|normal|low] [--wait]
+                   [--op status|wait|cancel|stats|shutdown] [--job N]
   noc-cli suite    [--row N] [--out app.json]
   noc-cli dot      --app app.json [--graph cdcg|cwg] [--out graph.dot]
 
@@ -826,6 +121,10 @@ recovered cost. `--robustness-report` prints the traffic-weighted
 link-criticality table (single-point-of-failure exposure) of the
 found mapping. `--app FILE.cdcg` (or `.txt`) reads the line-oriented
 text format instead of JSON; parse errors name the offending line.
+`explore` fans the same instance out across methods as concurrent
+service jobs; `serve` keeps a service alive behind a Unix socket and
+`submit` is its line-protocol client. Job results are bit-identical
+for a given seed regardless of `--workers`.
 "
     .to_owned()
 }
@@ -843,8 +142,12 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "generate" => cmd_generate(&options),
         "info" => cmd_info(&options),
-        "map" => cmd_map(&options),
+        "map" | "solve" => cmd_map(&options),
         "evaluate" => cmd_evaluate(&options),
+        "explore" => cmd_explore(&options),
+        "bench" => cmd_bench(&options),
+        "serve" => cmd_serve(&options),
+        "submit" => cmd_submit(&options),
         "suite" => cmd_suite(&options),
         "dot" => cmd_dot(&options),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -855,6 +158,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use noc_model::{Cdcg, FaultScenario};
 
     fn strs(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -936,8 +240,8 @@ mod tests {
 
     #[test]
     fn tenure_values_parse() {
-        assert_eq!(parse_tenure("auto").unwrap(), noc_mapping::Tenure::Auto);
-        assert_eq!(parse_tenure("21").unwrap(), noc_mapping::Tenure::Fixed(21));
+        assert_eq!(parse_tenure("auto").unwrap(), noc_service::Tenure::Auto);
+        assert_eq!(parse_tenure("21").unwrap(), noc_service::Tenure::Fixed(21));
         assert!(parse_tenure("huge").is_err());
     }
 
@@ -947,6 +251,21 @@ mod tests {
         assert_eq!(parse_technology("0.35").unwrap().feature_nm, 350);
         assert_eq!(parse_technology("0.07um").unwrap().feature_nm, 70);
         assert!(parse_technology("5nm").is_err());
+    }
+
+    #[test]
+    fn cache_tiers_and_priorities_parse_symbolically() {
+        use noc_service::{CacheTier, Priority};
+        assert_eq!(parse_cache_tier("auto").unwrap(), CacheTier::Auto);
+        assert_eq!(parse_cache_tier("dense").unwrap(), CacheTier::Dense);
+        assert_eq!(parse_cache_tier("on-demand").unwrap(), CacheTier::OnDemand);
+        assert_eq!(parse_cache_tier("lazy").unwrap(), CacheTier::OnDemand);
+        assert_eq!(parse_cache_tier("implicit").unwrap(), CacheTier::Implicit);
+        assert!(parse_cache_tier("hashmap").is_err());
+        assert_eq!(parse_priority("high").unwrap(), Priority::High);
+        assert_eq!(parse_priority("normal").unwrap(), Priority::Normal);
+        assert_eq!(parse_priority("low").unwrap(), Priority::Low);
+        assert!(parse_priority("urgent").is_err());
     }
 
     #[test]
@@ -1015,6 +334,35 @@ mod tests {
         assert!(eval_out.contains("texec:      100 ns"), "{eval_out}");
         assert!(eval_out.contains("400.000 pJ"), "{eval_out}");
         assert!(eval_out.contains("legend:"), "gantt requested");
+    }
+
+    #[test]
+    fn solve_is_an_alias_of_map() {
+        let path = write_example_app();
+        let args = |cmd: &str| {
+            strs(&[
+                cmd,
+                "--app",
+                path.as_str(),
+                "--mesh",
+                "2x2",
+                "--method",
+                "es",
+                "--tech",
+                "paper",
+            ])
+        };
+        let strip = |out: String| {
+            out.lines()
+                .filter(|l| !l.starts_with("elapsed:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        // Everything except the wall-clock line must match.
+        assert_eq!(
+            strip(run(&args("map")).unwrap()),
+            strip(run(&args("solve")).unwrap())
+        );
     }
 
     #[test]
@@ -1590,5 +938,167 @@ mod tests {
             .unwrap_err()
             .to_string();
         assert!(err.contains("cannot map"), "{err}");
+    }
+
+    #[test]
+    fn map_is_identical_across_worker_counts() {
+        // The service guarantee, surfaced at the CLI: --workers never
+        // changes the result, only the wall clock.
+        let path = write_example_app();
+        let args = |workers: &str| {
+            strs(&[
+                "map",
+                "--app",
+                path.as_str(),
+                "--mesh",
+                "2x2",
+                "--method",
+                "sa",
+                "--quick",
+                "--tech",
+                "paper",
+                "--seed",
+                "13",
+                "--workers",
+                workers,
+            ])
+        };
+        let strip = |out: String| {
+            out.lines()
+                .filter(|l| !l.starts_with("elapsed:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let one = strip(run(&args("1")).unwrap());
+        let four = strip(run(&args("4")).unwrap());
+        assert_eq!(one, four);
+    }
+
+    #[test]
+    fn explore_compares_methods_deterministically() {
+        let path = write_example_app();
+        let args = strs(&[
+            "explore",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--methods",
+            "es,sa,tabu",
+            "--evals",
+            "200",
+            "--tech",
+            "paper",
+            "--seed",
+            "3",
+        ]);
+        let first = run(&args).unwrap();
+        let second = run(&args).unwrap();
+        // No wall-clock columns: the whole table is reproducible.
+        assert_eq!(first, second);
+        assert!(first.contains("method"), "{first}");
+        assert!(first.contains("es"), "{first}");
+        assert!(first.contains("best:"), "{first}");
+        assert!(first.contains("route cache:"), "{first}");
+        // One shared (mesh, routing, faults) identity across all jobs.
+        assert!(first.contains("1 builds, 2 registry hits"), "{first}");
+
+        let err = run(&strs(&[
+            "explore",
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--methods",
+            " , ",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--methods"), "{err}");
+    }
+
+    #[test]
+    fn bench_reports_throughput_and_registry_reuse() {
+        let out = run(&strs(&[
+            "bench",
+            "--jobs",
+            "4",
+            "--workers",
+            "2",
+            "--evals",
+            "50",
+        ]))
+        .unwrap();
+        assert!(out.contains("jobs:         4 (2 workers)"), "{out}");
+        assert!(out.contains("throughput:"), "{out}");
+        assert!(
+            out.contains("route cache:  1 builds, 3 registry hits"),
+            "{out}"
+        );
+        assert!(out.contains("scratch:"), "{out}");
+        assert!(run(&strs(&["bench", "--jobs", "0"])).is_err());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn serve_and_submit_round_trip_over_a_socket() {
+        let path = write_example_app();
+        let dir = std::env::temp_dir().join(format!("noc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let socket = dir.join("serve-test.sock");
+        let socket_str = socket.to_str().expect("utf8 path").to_owned();
+
+        let server = {
+            let socket_str = socket_str.clone();
+            std::thread::spawn(move || {
+                run(&strs(&["serve", "--socket", &socket_str, "--workers", "1"]))
+            })
+        };
+        // Wait for the listener to bind.
+        for _ in 0..500 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(socket.exists(), "server never bound its socket");
+
+        // Submit a solve job and wait for its result in one invocation.
+        let out = run(&strs(&[
+            "submit",
+            "--socket",
+            &socket_str,
+            "--app",
+            path.as_str(),
+            "--mesh",
+            "2x2",
+            "--method",
+            "es",
+            "--tech",
+            "paper",
+            "--priority",
+            "high",
+            "--wait",
+        ]))
+        .unwrap();
+        assert!(out.contains("\"ok\":true"), "{out}");
+        assert!(out.contains("\"state\":\"done\""), "{out}");
+        assert!(out.contains("\"kind\":\"solve\""), "{out}");
+
+        // Control ops work too.
+        let stats = run(&strs(&["submit", "--socket", &socket_str, "--op", "stats"])).unwrap();
+        assert!(stats.contains("\"done\":1"), "{stats}");
+        let bye = run(&strs(&[
+            "submit",
+            "--socket",
+            &socket_str,
+            "--op",
+            "shutdown",
+        ]))
+        .unwrap();
+        assert!(bye.contains("\"ok\":true"), "{bye}");
+
+        let served = server.join().expect("server thread").unwrap();
+        assert!(served.contains("shut down"), "{served}");
     }
 }

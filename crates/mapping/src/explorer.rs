@@ -12,14 +12,15 @@ use crate::greedy::greedy;
 use crate::objective::{CdcmObjective, CwmObjective, SwapDeltaCost};
 use crate::random_search::random_search;
 use crate::result::SearchOutcome;
-use crate::sa::{anneal_delta, RestartBudget, SaConfig};
+use crate::sa::{RestartBudget, SaConfig};
 use noc_energy::Technology;
 use noc_model::{
     Cdcg, Cwg, FaultScenario, Mapping, Mesh, RouteProvider, RouteSource, RoutingAlgorithm,
 };
 use noc_search::{
-    AdaptiveConfig, AdaptiveRestarts, GaConfig, GeneticSearch, MultiStartSa, Portfolio,
-    PortfolioConfig, SearchRun, SearchStrategy, TabuConfig, TabuSearch,
+    anneal_delta_cancellable, AdaptiveConfig, AdaptiveRestarts, CancelToken, GaConfig,
+    GeneticSearch, MultiStartSa, Portfolio, PortfolioConfig, SearchRun, SearchStrategy, TabuConfig,
+    TabuSearch,
 };
 use noc_sim::SimParams;
 use serde::{Deserialize, Serialize};
@@ -96,20 +97,23 @@ pub enum SearchMethod {
 
 /// Runs one search method against a concrete objective. All engines
 /// route through here, so every `Explorer` strategy supports every
-/// method.
+/// method. The cancel token reaches every strategy engine; the
+/// enumerative engines (exhaustive, random, greedy) run to completion —
+/// their budgets are explicit and small by construction.
 fn run_method<C: SwapDeltaCost + Clone + Send>(
     objective: &C,
     mesh: &Mesh,
     cores: usize,
     method: SearchMethod,
+    cancel: &CancelToken,
 ) -> SearchRun {
     match method {
         // Single-start SA uses incremental move evaluation — the low
         // computational complexity the paper credits CWM with, and the
         // dirty-set delta evaluator for CDCM.
-        SearchMethod::SimulatedAnnealing(config) => {
-            SearchRun::from_outcome(anneal_delta(objective, mesh, cores, &config))
-        }
+        SearchMethod::SimulatedAnnealing(config) => SearchRun::from_outcome(
+            anneal_delta_cancellable(objective, mesh, cores, &config, cancel),
+        ),
         SearchMethod::MultiStartSa {
             config,
             restarts,
@@ -119,7 +123,7 @@ fn run_method<C: SwapDeltaCost + Clone + Send>(
             restarts: restarts as usize,
             budget,
         }
-        .search(objective, mesh, cores),
+        .search_cancellable(objective, mesh, cores, cancel),
         SearchMethod::Exhaustive => SearchRun::from_outcome(exhaustive(objective, mesh, cores)),
         SearchMethod::Random { samples, seed } => {
             SearchRun::from_outcome(random_search(objective, mesh, cores, samples, seed))
@@ -128,11 +132,17 @@ fn run_method<C: SwapDeltaCost + Clone + Send>(
             SearchRun::from_outcome(greedy(objective, mesh, cores, restarts, seed))
         }
         SearchMethod::Adaptive(config) => {
-            AdaptiveRestarts::new(config).search(objective, mesh, cores)
+            AdaptiveRestarts::new(config).search_cancellable(objective, mesh, cores, cancel)
         }
-        SearchMethod::Genetic(config) => GeneticSearch::new(config).search(objective, mesh, cores),
-        SearchMethod::Tabu(config) => TabuSearch::new(config).search(objective, mesh, cores),
-        SearchMethod::Portfolio(config) => Portfolio::new(config).search(objective, mesh, cores),
+        SearchMethod::Genetic(config) => {
+            GeneticSearch::new(config).search_cancellable(objective, mesh, cores, cancel)
+        }
+        SearchMethod::Tabu(config) => {
+            TabuSearch::new(config).search_cancellable(objective, mesh, cores, cancel)
+        }
+        SearchMethod::Portfolio(config) => {
+            Portfolio::new(config).search_cancellable(objective, mesh, cores, cancel)
+        }
     }
 }
 
@@ -289,6 +299,21 @@ impl<'a> Explorer<'a> {
     /// survivals, and the best-so-far curve; engines without native
     /// telemetry report a single final point).
     pub fn explore_with_telemetry(&self, strategy: Strategy, method: SearchMethod) -> SearchRun {
+        self.explore_with_telemetry_cancellable(strategy, method, &CancelToken::new())
+    }
+
+    /// [`Explorer::explore_with_telemetry`] under a cooperative
+    /// cancellation token: tripping the token stops the search engine at
+    /// its next checkpoint (epoch, round, generation, or iteration
+    /// boundary), returning the verified best mapping found so far. An
+    /// untripped token changes nothing — the trajectory is bit-identical
+    /// to the uncancellable call.
+    pub fn explore_with_telemetry_cancellable(
+        &self,
+        strategy: Strategy,
+        method: SearchMethod,
+        cancel: &CancelToken,
+    ) -> SearchRun {
         let cores = self.cdcg.core_count();
         match strategy {
             Strategy::Cwm => {
@@ -298,7 +323,7 @@ impl<'a> Explorer<'a> {
                     &self.tech,
                     Arc::clone(&self.routes),
                 );
-                run_method(&objective, &self.mesh, cores, method)
+                run_method(&objective, &self.mesh, cores, method, cancel)
             }
             Strategy::Cdcm => {
                 let objective = CdcmObjective::with_provider(
@@ -307,7 +332,7 @@ impl<'a> Explorer<'a> {
                     self.params,
                     Arc::clone(&self.routes),
                 );
-                run_method(&objective, &self.mesh, cores, method)
+                run_method(&objective, &self.mesh, cores, method, cancel)
             }
         }
     }

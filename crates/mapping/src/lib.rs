@@ -75,8 +75,9 @@ pub use exhaustive::{exhaustive, for_each_mapping, search_space_size};
 pub use explorer::{Explorer, SearchMethod, Strategy};
 pub use greedy::greedy;
 pub use noc_search::{
-    AdaptiveConfig, AdaptiveRestarts, Crossover, GaConfig, GeneticSearch, MultiStartSa, Portfolio,
-    PortfolioConfig, SearchRun, SearchStrategy, SearchTelemetry, TabuConfig, TabuSearch, Tenure,
+    AdaptiveConfig, AdaptiveRestarts, CancelToken, Crossover, GaConfig, GeneticSearch,
+    MultiStartSa, Portfolio, PortfolioConfig, SearchRun, SearchStrategy, SearchTelemetry,
+    TabuConfig, TabuSearch, Tenure,
 };
 pub use objective::{
     CdcmObjective, CostFunction, CwmObjective, ExecTimeObjective, SwapDeltaCost, WeightedObjective,
@@ -90,6 +91,7 @@ pub use robustness::{
     LinkLoad, RemapReport, RobustCdcmObjective,
 };
 pub use sa::{
-    anneal, anneal_delta, anneal_multistart, anneal_multistart_budgeted, anneal_multistart_delta,
-    anneal_multistart_delta_budgeted, RestartBudget, SaConfig,
+    anneal, anneal_cancellable, anneal_delta, anneal_delta_cancellable, anneal_multistart,
+    anneal_multistart_budgeted, anneal_multistart_delta, anneal_multistart_delta_budgeted,
+    anneal_multistart_delta_cancellable, RestartBudget, SaConfig,
 };

@@ -6,8 +6,9 @@
 //! objectives — keep working unchanged.
 
 pub use noc_search::sa::{
-    anneal, anneal_delta, anneal_multistart, anneal_multistart_budgeted, anneal_multistart_delta,
-    anneal_multistart_delta_budgeted, propose_swap, random_mapping, MultiStartSa, RestartBudget,
+    anneal, anneal_cancellable, anneal_delta, anneal_delta_cancellable, anneal_multistart,
+    anneal_multistart_budgeted, anneal_multistart_delta, anneal_multistart_delta_budgeted,
+    anneal_multistart_delta_cancellable, propose_swap, random_mapping, MultiStartSa, RestartBudget,
     SaConfig,
 };
 

@@ -51,7 +51,7 @@ const FAULT_CACHE_CAPACITY: usize = 1 << 24;
 /// contention model) does not arbitrate. Channels are directed, and a
 /// physical failure kills both directions — use [`FaultSet::kill_between`]
 /// or the [`FaultScenario`] generators, which do.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct FaultSet {
     dead: BTreeSet<Link>,
 }

@@ -23,6 +23,7 @@
 //! lower index (the same deterministic-reduction rule as
 //! `anneal_multistart`).
 
+use crate::cancel::CancelToken;
 use crate::objective::SwapDeltaCost;
 use crate::outcome::SearchOutcome;
 use crate::runner::SaMember;
@@ -152,7 +153,13 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for AdaptiveRestarts {
         "adaptive".to_owned()
     }
 
-    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
+    fn search_cancellable(
+        &self,
+        objective: &C,
+        mesh: &Mesh,
+        core_count: usize,
+        cancel: &CancelToken,
+    ) -> SearchRun {
         let start = crate::telemetry::wall_clock();
         let config = &self.config;
         let population = config.population.max(1);
@@ -180,6 +187,12 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for AdaptiveRestarts {
         let mut spent = 0u64;
 
         for round in 0..rounds {
+            // Cancellation checkpoint: stop at the round boundary. Round
+            // 0 always runs, so the winner reduction below has at least
+            // one started member to pick from.
+            if round > 0 && cancel.is_cancelled() {
+                break;
+            }
             let round_budget =
                 budget / rounds as u64 + u64::from((round as u64) < budget % rounds as u64);
             let n = active.len() as u64;
@@ -255,7 +268,10 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for AdaptiveRestarts {
         }
         let winner = winner.expect("budget >= 1 ran at least one member");
         let evaluations: u64 = slots.iter().flatten().map(|m| m.evaluations).sum();
-        debug_assert_eq!(evaluations, budget, "adaptive bills its exact budget");
+        debug_assert!(
+            cancel.is_cancelled() || evaluations == budget,
+            "adaptive bills its exact budget"
+        );
         let cost = winner.verify_cost(&winner.best);
         telemetry.evaluations = evaluations;
         let outcome = SearchOutcome {

@@ -15,6 +15,7 @@
 //! cost. The search is sequential and therefore trivially deterministic
 //! per seed.
 
+use crate::cancel::CancelToken;
 use crate::objective::SwapDeltaCost;
 use crate::outcome::SearchOutcome;
 use crate::strategy::{SearchRun, SearchStrategy};
@@ -206,7 +207,13 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
         format!("GA[{}]", self.config.crossover.label())
     }
 
-    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
+    fn search_cancellable(
+        &self,
+        objective: &C,
+        mesh: &Mesh,
+        core_count: usize,
+        cancel: &CancelToken,
+    ) -> SearchRun {
         let start = crate::telemetry::wall_clock();
         let config = &self.config;
         let n = mesh.tile_count();
@@ -221,9 +228,11 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
         let mut best_cost = f64::INFINITY;
 
         // Initial population: uniform random permutations, fully costed.
+        // At least one individual is always evaluated, so a cancelled
+        // run still returns a verified mapping.
         let mut pop: Vec<Indiv> = Vec::new();
         for _ in 0..pop_size {
-            if evaluations >= budget {
+            if evaluations >= budget || (evaluations > 0 && cancel.is_cancelled()) {
                 break;
             }
             let perm: Vec<u32> = crate::sa::shuffled_tiles(mesh, &mut rng)
@@ -244,7 +253,7 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
         // `elite >= pop_size` the offspring loop would add nothing, bill
         // nothing, and the budget loop would never terminate.
         let elite = config.elite.min(pop.len()).min(pop_size - 1);
-        'outer: while evaluations < budget {
+        'outer: while evaluations < budget && !cancel.is_cancelled() {
             // Rank: cost ascending, ties to the earlier index.
             let mut ranked: Vec<usize> = (0..pop.len()).collect();
             ranked.sort_by(|&a, &b| pop[a].cost.total_cmp(&pop[b].cost).then(a.cmp(&b)));

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod cancel;
 pub mod ga;
 pub mod objective;
 pub mod outcome;
@@ -72,14 +73,16 @@ pub mod strategy;
 pub mod tabu;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveRestarts};
+pub use cancel::CancelToken;
 pub use ga::{Crossover, GaConfig, GeneticSearch};
 pub use objective::{CostFunction, SwapDeltaCost};
 pub use outcome::SearchOutcome;
 pub use portfolio::{Portfolio, PortfolioConfig};
 pub use random::{random_search, sample_mapping};
 pub use sa::{
-    anneal, anneal_delta, anneal_multistart, anneal_multistart_budgeted, anneal_multistart_delta,
-    anneal_multistart_delta_budgeted, propose_swap, random_mapping, MultiStartSa, RestartBudget,
+    anneal, anneal_cancellable, anneal_delta, anneal_delta_cancellable, anneal_multistart,
+    anneal_multistart_budgeted, anneal_multistart_delta, anneal_multistart_delta_budgeted,
+    anneal_multistart_delta_cancellable, propose_swap, random_mapping, MultiStartSa, RestartBudget,
     SaConfig,
 };
 pub use strategy::{SearchRun, SearchStrategy};
@@ -327,6 +330,128 @@ mod tests {
             );
             assert!(run.outcome.evaluations > 0);
             assert_eq!(run.telemetry.children.len(), budget.min(4) as usize);
+        }
+    }
+
+    /// A named strategy invocation that accepts a cancel token.
+    type CancellableRunner = Box<dyn Fn(&Homing, &Mesh, usize, &CancelToken) -> SearchRun>;
+
+    /// Cancellable strategy constructors with a fixed 600-eval budget,
+    /// mirroring `strategies()` but exposing the token.
+    fn cancellable_strategies() -> Vec<(&'static str, CancellableRunner)> {
+        vec![
+            (
+                "multistart-sa",
+                Box::new(|o: &Homing, m: &Mesh, k: usize, t: &CancelToken| {
+                    let mut c = SaConfig::quick(9);
+                    c.max_evaluations = 600;
+                    MultiStartSa {
+                        config: c,
+                        restarts: 4,
+                        budget: RestartBudget::Total,
+                    }
+                    .search_cancellable(o, m, k, t)
+                }),
+            ),
+            (
+                "adaptive",
+                Box::new(|o: &Homing, m: &Mesh, k: usize, t: &CancelToken| {
+                    let mut c = AdaptiveConfig::quick(9);
+                    c.budget = 600;
+                    AdaptiveRestarts::new(c).search_cancellable(o, m, k, t)
+                }),
+            ),
+            (
+                "ga",
+                Box::new(|o: &Homing, m: &Mesh, k: usize, t: &CancelToken| {
+                    let mut c = GaConfig::quick(9);
+                    c.budget = 600;
+                    GeneticSearch::new(c).search_cancellable(o, m, k, t)
+                }),
+            ),
+            (
+                "tabu",
+                Box::new(|o: &Homing, m: &Mesh, k: usize, t: &CancelToken| {
+                    let mut c = TabuConfig::quick(9);
+                    c.budget = 600;
+                    TabuSearch::new(c).search_cancellable(o, m, k, t)
+                }),
+            ),
+            (
+                "portfolio",
+                Box::new(|o: &Homing, m: &Mesh, k: usize, t: &CancelToken| {
+                    let mut c = PortfolioConfig::quick(9);
+                    c.budget = 600;
+                    Portfolio::new(c).search_cancellable(o, m, k, t)
+                }),
+            ),
+        ]
+    }
+
+    /// A pre-cancelled token stops every strategy within its first
+    /// checkpoint: strictly fewer evaluations than the budget, yet the
+    /// result is still a verified, valid mapping.
+    #[test]
+    fn cancelled_runs_bill_fewer_evals_than_their_budget() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let objective = Homing::new(&mesh, 9);
+        for (label, run) in cancellable_strategies() {
+            let token = CancelToken::new();
+            token.cancel();
+            let cancelled = run(&objective, &mesh, 9, &token);
+            assert!(
+                cancelled.outcome.evaluations < 600,
+                "{label}: cancelled run billed its whole budget ({})",
+                cancelled.outcome.evaluations
+            );
+            assert!(
+                cancelled.outcome.evaluations > 0,
+                "{label}: cancelled run must still evaluate something"
+            );
+            assert_eq!(
+                cancelled.outcome.cost,
+                objective.cost(&cancelled.outcome.mapping),
+                "{label}: cancelled result must stay verified"
+            );
+            cancelled.outcome.mapping.validate().unwrap();
+        }
+    }
+
+    /// An untripped token changes nothing: `search_cancellable` with a
+    /// live-but-quiet token is bit-identical to plain `search`. The
+    /// checkpoints only read a flag — they consume no randomness.
+    #[test]
+    fn untripped_token_leaves_trajectories_bit_identical() {
+        let mesh = Mesh::new(4, 4).unwrap();
+        let objective = Homing::new(&mesh, 9);
+        let mut adaptive = AdaptiveConfig::quick(9);
+        adaptive.budget = 600;
+        let mut ga = GaConfig::quick(9);
+        ga.budget = 600;
+        let mut tabu = TabuConfig::quick(9);
+        tabu.budget = 600;
+        let mut portfolio = PortfolioConfig::quick(9);
+        portfolio.budget = 600;
+        let strategies: Vec<(&str, Box<dyn SearchStrategy<Homing>>)> = vec![
+            ("adaptive", Box::new(AdaptiveRestarts::new(adaptive))),
+            ("ga", Box::new(GeneticSearch::new(ga))),
+            ("tabu", Box::new(TabuSearch::new(tabu))),
+            ("portfolio", Box::new(Portfolio::new(portfolio))),
+        ];
+        for (label, strategy) in strategies {
+            let token = CancelToken::new();
+            let with_token = strategy.search_cancellable(&objective, &mesh, 9, &token);
+            let without = strategy.search(&objective, &mesh, 9);
+            assert_eq!(
+                with_token.outcome.mapping, without.outcome.mapping,
+                "{label}"
+            );
+            assert_eq!(with_token.outcome.cost, without.outcome.cost, "{label}");
+            assert_eq!(
+                with_token.outcome.evaluations, without.outcome.evaluations,
+                "{label}"
+            );
+            assert_eq!(with_token.telemetry, without.telemetry, "{label}");
         }
     }
 

@@ -9,6 +9,7 @@
 //! earliest member — the deterministic-reduction rule again).
 
 use crate::adaptive::{AdaptiveConfig, AdaptiveRestarts};
+use crate::cancel::CancelToken;
 use crate::ga::{GaConfig, GeneticSearch};
 use crate::objective::SwapDeltaCost;
 use crate::sa::{MultiStartSa, RestartBudget, SaConfig};
@@ -86,7 +87,13 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
         format!("portfolio[{MEMBERS}]")
     }
 
-    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
+    fn search_cancellable(
+        &self,
+        objective: &C,
+        mesh: &Mesh,
+        core_count: usize,
+        cancel: &CancelToken,
+    ) -> SearchRun {
         let start = crate::telemetry::wall_clock();
         let config = &self.config;
         let budget = config.budget.max(1);
@@ -113,7 +120,7 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
                     restarts: config.restarts,
                     budget: RestartBudget::Total,
                 }
-                .search(objective, mesh, core_count)
+                .search_cancellable(objective, mesh, core_count, cancel)
             }),
             Box::new(|| {
                 AdaptiveRestarts::new(AdaptiveConfig {
@@ -122,14 +129,14 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
                     budget: share(1),
                     ..AdaptiveConfig::new(seed(1))
                 })
-                .search(objective, mesh, core_count)
+                .search_cancellable(objective, mesh, core_count, cancel)
             }),
             Box::new(|| {
                 GeneticSearch::new(GaConfig {
                     budget: share(2),
                     ..GaConfig::new(seed(2))
                 })
-                .search(objective, mesh, core_count)
+                .search_cancellable(objective, mesh, core_count, cancel)
             }),
             Box::new(|| {
                 TabuSearch::new(TabuConfig {
@@ -137,15 +144,22 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
                     tenure: config.tenure,
                     ..TabuConfig::new(seed(3))
                 })
-                .search(objective, mesh, core_count)
+                .search_cancellable(objective, mesh, core_count, cancel)
             }),
         ];
-        let runs: Vec<SearchRun> = member
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| share(i as u64) > 0)
-            .map(|(_, run)| run())
-            .collect();
+        // Cancellation checkpoint: between members. The first eligible
+        // member always runs (its own checkpoints stop it early), so a
+        // cancelled portfolio still returns a verified result.
+        let mut runs: Vec<SearchRun> = Vec::new();
+        for (i, run) in member.iter().enumerate() {
+            if share(i as u64) == 0 {
+                continue;
+            }
+            if !runs.is_empty() && cancel.is_cancelled() {
+                break;
+            }
+            runs.push(run());
+        }
 
         let evaluations: u64 = runs.iter().map(|r| r.outcome.evaluations).sum();
         let mut best_idx = 0;
@@ -157,7 +171,6 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
         }
         let mut telemetry = SearchTelemetry::new(method.clone());
         telemetry.evaluations = evaluations;
-        let mut runs = runs;
         for run in &mut runs {
             telemetry.children.push(std::mem::take(&mut run.telemetry));
         }

@@ -11,6 +11,7 @@
 //! incremental-delta annealer, and the parallel multi-start wrappers with
 //! their deterministic reduction.
 
+use crate::cancel::CancelToken;
 use crate::objective::{CostFunction, SwapDeltaCost};
 use crate::outcome::SearchOutcome;
 use crate::strategy::{SearchRun, SearchStrategy};
@@ -131,6 +132,25 @@ pub fn anneal<C: CostFunction + ?Sized>(
     core_count: usize,
     config: &SaConfig,
 ) -> SearchOutcome {
+    anneal_cancellable(objective, mesh, core_count, config, &CancelToken::new())
+}
+
+/// [`anneal`] under cooperative cancellation: the abort flag is polled
+/// once per temperature epoch, so a cancelled run returns its best-so-far
+/// within one epoch instead of running to budget exhaustion. The poll
+/// consumes no randomness — an uncancelled run is bit-identical to
+/// [`anneal`].
+///
+/// # Panics
+///
+/// Panics if `core_count` exceeds the number of tiles of `mesh`.
+pub fn anneal_cancellable<C: CostFunction + ?Sized>(
+    objective: &C,
+    mesh: &Mesh,
+    core_count: usize,
+    config: &SaConfig,
+    cancel: &CancelToken,
+) -> SearchOutcome {
     let start = crate::telemetry::wall_clock();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut current = random_mapping(mesh, core_count, &mut rng);
@@ -164,6 +184,9 @@ pub fn anneal<C: CostFunction + ?Sized>(
 
     let mut stall = 0usize;
     'outer: while stall < config.stall_epochs {
+        if cancel.is_cancelled() {
+            break 'outer;
+        }
         let mut improved = false;
         for _ in 0..moves {
             if evaluations >= config.max_evaluations {
@@ -214,6 +237,24 @@ pub fn anneal_delta<C: SwapDeltaCost + ?Sized>(
     core_count: usize,
     config: &SaConfig,
 ) -> SearchOutcome {
+    anneal_delta_cancellable(objective, mesh, core_count, config, &CancelToken::new())
+}
+
+/// [`anneal_delta`] under cooperative cancellation — the abort flag is
+/// polled once per temperature epoch, exactly like
+/// [`anneal_cancellable`]; an uncancelled run is bit-identical to
+/// [`anneal_delta`].
+///
+/// # Panics
+///
+/// Panics if `core_count` exceeds the number of tiles of `mesh`.
+pub fn anneal_delta_cancellable<C: SwapDeltaCost + ?Sized>(
+    objective: &C,
+    mesh: &Mesh,
+    core_count: usize,
+    config: &SaConfig,
+    cancel: &CancelToken,
+) -> SearchOutcome {
     let start = crate::telemetry::wall_clock();
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut current = random_mapping(mesh, core_count, &mut rng);
@@ -243,6 +284,9 @@ pub fn anneal_delta<C: SwapDeltaCost + ?Sized>(
 
     let mut stall = 0usize;
     'outer: while stall < config.stall_epochs {
+        if cancel.is_cancelled() {
+            break 'outer;
+        }
         let mut improved = false;
         for _ in 0..moves {
             if evaluations >= config.max_evaluations {
@@ -540,8 +584,42 @@ pub fn anneal_multistart_delta_budgeted<C>(
 where
     C: SwapDeltaCost + Clone + Send,
 {
+    anneal_multistart_delta_cancellable(
+        objective,
+        mesh,
+        core_count,
+        config,
+        restarts,
+        budget,
+        &CancelToken::new(),
+    )
+}
+
+/// [`anneal_multistart_delta_budgeted`] under cooperative cancellation:
+/// every restart polls the shared token at its epoch boundary (see
+/// [`anneal_delta_cancellable`]), so an abort stops the whole population
+/// within one epoch per in-flight restart. The deterministic reduction
+/// is unchanged; an uncancelled run is bit-identical to the
+/// uncancellable variant.
+///
+/// # Panics
+///
+/// Panics if `core_count` exceeds the number of tiles of `mesh`, or if a
+/// search worker panics.
+pub fn anneal_multistart_delta_cancellable<C>(
+    objective: &C,
+    mesh: &Mesh,
+    core_count: usize,
+    config: &SaConfig,
+    restarts: usize,
+    budget: RestartBudget,
+    cancel: &CancelToken,
+) -> SearchOutcome
+where
+    C: SwapDeltaCost + Clone + Send,
+{
     run_multistart(objective, config, restarts, budget, |obj, cfg| {
-        anneal_delta(obj, mesh, core_count, &cfg)
+        anneal_delta_cancellable(obj, mesh, core_count, &cfg, cancel)
     })
 }
 
@@ -567,14 +645,21 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for MultiStartSa {
         "SA-multistart".to_owned()
     }
 
-    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
-        let outcome = anneal_multistart_delta_budgeted(
+    fn search_cancellable(
+        &self,
+        objective: &C,
+        mesh: &Mesh,
+        core_count: usize,
+        cancel: &CancelToken,
+    ) -> SearchRun {
+        let outcome = anneal_multistart_delta_cancellable(
             objective,
             mesh,
             core_count,
             &self.config,
             self.restarts,
             self.budget,
+            cancel,
         );
         let restarts = self
             .budget

@@ -22,6 +22,7 @@
 //!   `evaluations` equals the outcome's and whose best-so-far curve is
 //!   monotone.
 
+use crate::cancel::CancelToken;
 use crate::objective::CostFunction;
 use crate::outcome::SearchOutcome;
 use crate::telemetry::SearchTelemetry;
@@ -60,8 +61,33 @@ pub trait SearchStrategy<C: CostFunction + ?Sized> {
     /// `mesh`, minimizing `objective`. See the module docs for the
     /// determinism/budget/telemetry contract.
     ///
+    /// Defined as [`SearchStrategy::search_cancellable`] under a fresh,
+    /// never-cancelled token — the two are bit-identical for runs that
+    /// are not cancelled.
+    ///
     /// # Panics
     ///
     /// Panics if `core_count` exceeds the number of tiles of `mesh`.
-    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun;
+    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
+        self.search_cancellable(objective, mesh, core_count, &CancelToken::new())
+    }
+
+    /// [`SearchStrategy::search`] under cooperative cancellation: the
+    /// strategy polls `cancel` at its checkpoint boundary (epoch, round,
+    /// generation, iteration, or member — see [`crate::cancel`]) and
+    /// returns its verified best-so-far early once the flag is raised,
+    /// billing strictly fewer evaluations than the configured budget.
+    /// The poll consumes no randomness, so an uncancelled run is
+    /// bit-identical to [`SearchStrategy::search`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core_count` exceeds the number of tiles of `mesh`.
+    fn search_cancellable(
+        &self,
+        objective: &C,
+        mesh: &Mesh,
+        core_count: usize,
+        cancel: &CancelToken,
+    ) -> SearchRun;
 }

@@ -12,6 +12,7 @@
 //! [`SwapDeltaCost`] path and billed as one evaluation; the walk is
 //! sequential and deterministic per seed.
 
+use crate::cancel::CancelToken;
 use crate::objective::SwapDeltaCost;
 use crate::outcome::SearchOutcome;
 use crate::sa::{propose_swap, random_mapping};
@@ -120,7 +121,13 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for TabuSearch {
         "tabu".to_owned()
     }
 
-    fn search(&self, objective: &C, mesh: &Mesh, core_count: usize) -> SearchRun {
+    fn search_cancellable(
+        &self,
+        objective: &C,
+        mesh: &Mesh,
+        core_count: usize,
+        cancel: &CancelToken,
+    ) -> SearchRun {
         let start = crate::telemetry::wall_clock();
         let config = &self.config;
         let budget = config.budget.max(1);
@@ -145,7 +152,8 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for TabuSearch {
         // A 1-tile mesh has no distinct swap; the single mapping is the
         // answer.
         if mesh.tile_count() > 1 {
-            while evaluations < budget {
+            // Cancellation checkpoint: once per iteration.
+            while evaluations < budget && !cancel.is_cancelled() {
                 iteration += 1;
                 // Best admissible candidate (non-tabu, or tabu but
                 // aspirating) and best overall fallback; ties keep the

@@ -1,0 +1,269 @@
+//! Mapping-as-a-service: a concurrent exploration engine over the
+//! mapping/search stack.
+//!
+//! The CLI used to orchestrate everything inline — build an explorer,
+//! run a search, evaluate the winner, print. This crate lifts that
+//! orchestration into a long-running, in-process service:
+//!
+//! ```text
+//!   front ends (CLI subcommands, Unix-socket clients, tests)
+//!        │ JobRequest (solve / evaluate)
+//!        ▼
+//!   ┌──────────────────────────────────────────────┐
+//!   │ MappingService                               │
+//!   │   job queue: High ▸ Normal ▸ Low (FIFO each) │
+//!   │   worker 0 ─┐                                │
+//!   │   worker 1 ─┼─▸ ProviderRegistry             │
+//!   │   worker N ─┘   (mesh, routing, faults) →    │
+//!   │                 shared Arc<RouteProvider>    │
+//!   └──────────────────────────────────────────────┘
+//!        │ JobState / JobResult / ServiceEvent
+//!        ▼
+//!   subscribers, waiters, the wire protocol
+//! ```
+//!
+//! * [`job`] — work orders, priorities, results, job lifecycle.
+//! * [`registry`] — one shared [`RouteProvider`](noc_model::RouteProvider)
+//!   per `(mesh, routing, faults)` across all concurrent jobs.
+//! * [`service`] — the queue, the fixed worker pool, cancellation,
+//!   telemetry streaming, stats.
+//! * [`protocol`] — the line-oriented JSON wire format and the Unix
+//!   socket server behind `noc-cli serve`.
+//!
+//! # Determinism
+//!
+//! Job results are bit-identical regardless of the worker count and of
+//! submission interleaving: every search is seeded, providers answer
+//! route queries identically whether freshly built or shared, and
+//! workers share nothing mid-job. The integration tests pin this by
+//! running the same job set on 1, 2 and 4 workers and comparing results
+//! and telemetry exactly. Cross-job *event* interleaving is the one
+//! timing-dependent surface, and per-job event order is still fixed.
+//!
+//! # Cancellation
+//!
+//! Each job carries a [`CancelToken`]. Cancelling a pending job removes
+//! it from the queue (`Cancelled(None)`); cancelling a running job trips
+//! the token, the search stops at its next checkpoint (one SA epoch, one
+//! adaptive round, one GA generation, one tabu iteration), and the job
+//! lands in `Cancelled(Some(best-so-far))` with its verified partial
+//! result.
+
+pub mod job;
+pub mod protocol;
+pub mod registry;
+pub mod service;
+mod worker;
+
+pub use job::{
+    CacheTier, EvaluateRequest, EvaluateResult, JobId, JobRequest, JobResult, JobState, Priority,
+    SolveRequest, SolveResult,
+};
+pub use registry::{ProviderKey, ProviderLease, ProviderRegistry, RegistryStats};
+pub use service::{MappingService, ServiceConfig, ServiceEvent, ServiceHandle, ServiceStats};
+
+// The types a front end needs to build requests and render results,
+// re-exported so thin clients (the CLI) can depend on this crate alone.
+pub use noc_mapping::{
+    AdaptiveConfig, CancelToken, Constraints, CriticalityReport, Crossover, Explorer, GaConfig,
+    LinkLoad, PortfolioConfig, RemapReport, RestartBudget, SaConfig, SearchMethod, SearchOutcome,
+    SearchTelemetry, Strategy, TabuConfig, Tenure,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_apps::paper_example::{figure1_cdcg, mesh_2x2};
+    use noc_model::{Mesh, TileId};
+
+    fn sa_job(seed: u64) -> JobRequest {
+        let app = noc_apps::large_mesh_workload(4, 4, 1);
+        let mesh = Mesh::new(4, 4).unwrap();
+        let mut config = SaConfig::quick(seed);
+        config.max_evaluations = 400;
+        let mut req = SolveRequest::new(app, mesh, SearchMethod::SimulatedAnnealing(config));
+        req.seed = seed;
+        JobRequest::Solve(Box::new(req))
+    }
+
+    fn run_batch(workers: usize, seeds: &[u64]) -> Vec<SolveResult> {
+        let service = MappingService::start(ServiceConfig::new(workers));
+        let ids: Vec<JobId> = seeds
+            .iter()
+            .map(|&s| service.submit(sa_job(s), Priority::Normal))
+            .collect();
+        ids.iter()
+            .map(|&id| match service.wait(id).unwrap() {
+                JobState::Done(JobResult::Solve(r)) => *r,
+                other => panic!("expected done solve job, got {}", other.name()),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_are_bit_identical_across_worker_counts() {
+        let seeds = [1, 2, 3, 4, 5, 6];
+        let one = run_batch(1, &seeds);
+        let two = run_batch(2, &seeds);
+        let four = run_batch(4, &seeds);
+        for ((a, b), c) in one.iter().zip(&two).zip(&four) {
+            assert_eq!(a.outcome.mapping, b.outcome.mapping);
+            assert_eq!(a.outcome.mapping, c.outcome.mapping);
+            assert_eq!(a.outcome.cost.to_bits(), b.outcome.cost.to_bits());
+            assert_eq!(a.outcome.cost.to_bits(), c.outcome.cost.to_bits());
+            assert_eq!(a.outcome.evaluations, b.outcome.evaluations);
+            assert_eq!(a.telemetry, b.telemetry);
+            assert_eq!(a.telemetry, c.telemetry);
+            assert_eq!(a.texec_cycles, b.texec_cycles);
+            assert_eq!(
+                a.breakdown.total().picojoules().to_bits(),
+                c.breakdown.total().picojoules().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_jobs_share_one_provider_through_the_registry() {
+        let service = MappingService::start(ServiceConfig::new(4));
+        let seeds = [10, 11, 12, 13, 14, 15, 16, 17];
+        for &s in &seeds {
+            service.submit(sa_job(s), Priority::Normal);
+        }
+        service.wait_all();
+        let stats = service.stats();
+        assert_eq!(stats.done, seeds.len() as u64);
+        // All jobs share the same (mesh, routing, faults) identity: one
+        // build, everything else hits.
+        assert_eq!(stats.registry_entries, 1);
+        assert_eq!(stats.registry_misses, 1);
+        assert_eq!(stats.registry_hits, seeds.len() as u64 - 1);
+        // The pooled worker scratches served every final verification.
+        assert!(stats.scratch_runs >= seeds.len() as u64);
+    }
+
+    #[test]
+    fn pending_cancellation_skips_the_job_entirely() {
+        // One worker, so the second job is still queued while the first
+        // runs; cancelling it must yield Cancelled(None).
+        let service = MappingService::start(ServiceConfig::new(1));
+        let first = service.submit(sa_job(1), Priority::Normal);
+        let second = service.submit(sa_job(2), Priority::Normal);
+        let third = service.submit(sa_job(3), Priority::Normal);
+        assert!(service.cancel(second));
+        let states = service.wait_all();
+        assert!(matches!(states[first.index()], JobState::Done(_)));
+        assert!(matches!(states[second.index()], JobState::Cancelled(None)));
+        assert!(matches!(states[third.index()], JobState::Done(_)));
+        // A terminal job cannot be cancelled again.
+        assert!(!service.cancel(second));
+        assert_eq!(service.stats().cancelled, 1);
+    }
+
+    #[test]
+    fn priorities_dispatch_high_before_low_fifo_within_class() {
+        // Single worker. A long-running blocker occupies it; while it
+        // runs, low jobs are submitted before high ones. The event
+        // stream must show the highs starting before the lows, each
+        // class in submission order.
+        let service = MappingService::start(ServiceConfig::new(1));
+        let rx = service.subscribe();
+        let blocker = {
+            let app = noc_apps::large_mesh_workload(4, 4, 1);
+            let mesh = Mesh::new(4, 4).unwrap();
+            let mut config = SaConfig::quick(0);
+            config.max_evaluations = 200_000;
+            let req = SolveRequest::new(app, mesh, SearchMethod::SimulatedAnnealing(config));
+            service.submit(JobRequest::Solve(Box::new(req)), Priority::Normal)
+        };
+        // Gate: the worker has dequeued the blocker before anything else
+        // enters the queue.
+        loop {
+            if let ServiceEvent::Started { job } = rx.recv().unwrap() {
+                assert_eq!(job, blocker);
+                break;
+            }
+        }
+        let low_a = service.submit(sa_job(1), Priority::Low);
+        let low_b = service.submit(sa_job(2), Priority::Low);
+        let high_a = service.submit(sa_job(3), Priority::High);
+        let high_b = service.submit(sa_job(4), Priority::High);
+        service.wait_all();
+        drop(service);
+        let started: Vec<JobId> = rx
+            .try_iter()
+            .filter_map(|e| match e {
+                ServiceEvent::Started { job } => Some(job),
+                _ => None,
+            })
+            .collect();
+        let pos = |id: JobId| started.iter().position(|&j| j == id).unwrap();
+        assert!(pos(high_a) < pos(high_b), "FIFO within the high class");
+        assert!(pos(low_a) < pos(low_b), "FIFO within the low class");
+        assert!(pos(high_b) < pos(low_a), "high dispatches before low");
+    }
+
+    #[test]
+    fn evaluate_jobs_and_failures_round_trip() {
+        let service = MappingService::start(ServiceConfig::new(2));
+        let eval = EvaluateRequest {
+            app: figure1_cdcg(),
+            mesh: mesh_2x2(),
+            mapping: noc_apps::paper_example::mapping_c(),
+            tech: noc_energy::Technology::paper_example(),
+            params: noc_sim::SimParams::new(),
+            routing: noc_model::RoutingKind::Xy,
+            gantt: true,
+        };
+        let good = service.submit(JobRequest::Evaluate(Box::new(eval)), Priority::Normal);
+
+        // Oversubscribed solve: 5 cores on 4 tiles must fail, not panic.
+        let bad = SolveRequest::new(
+            noc_apps::large_mesh_workload(5, 1, 1),
+            mesh_2x2(),
+            SearchMethod::Exhaustive,
+        );
+        let bad = service.submit(JobRequest::Solve(Box::new(bad)), Priority::Normal);
+
+        match service.wait(good).unwrap() {
+            JobState::Done(JobResult::Evaluate(r)) => {
+                assert_eq!(r.texec_ns, 100.0);
+                assert!(r.gantt.is_some());
+            }
+            other => panic!("expected evaluate result, got {}", other.name()),
+        }
+        match service.wait(bad).unwrap() {
+            JobState::Failed(msg) => assert!(msg.contains("cannot map"), "{msg}"),
+            other => panic!("expected failure, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn faulty_jobs_get_fault_aware_providers() {
+        let service = MappingService::start(ServiceConfig::new(2));
+        let mut healthy = sa_job(5);
+        let mut faulty = sa_job(5);
+        if let JobRequest::Solve(req) = &mut faulty {
+            req.faults.kill_between(TileId::new(0), TileId::new(1));
+        }
+        let JobRequest::Solve(h) = &mut healthy else {
+            unreachable!()
+        };
+        h.criticality = true;
+        let healthy = service.submit(healthy, Priority::Normal);
+        let faulty = service.submit(faulty, Priority::Normal);
+
+        let healthy = match service.wait(healthy).unwrap() {
+            JobState::Done(JobResult::Solve(r)) => *r,
+            other => panic!("healthy job failed: {}", other.name()),
+        };
+        let faulty = match service.wait(faulty).unwrap() {
+            JobState::Done(JobResult::Solve(r)) => *r,
+            other => panic!("faulty job failed: {}", other.name()),
+        };
+        assert!(healthy.criticality.is_some());
+        assert_eq!(faulty.route_tier, "fault-aware");
+        assert_ne!(healthy.route_tier, faulty.route_tier);
+        // Distinct provider identities: two entries, no cross-hits.
+        assert_eq!(service.stats().registry_entries, 2);
+    }
+}
