@@ -1,0 +1,10 @@
+//! Known-bad: `std::time` leaking into `crates/obs` outside the clock
+//! module. Even a type import is a finding — the tracing and metrics
+//! paths must be provably clock-free.
+
+use std::time::Duration; //~ DET04
+
+pub fn span_length() -> Duration {
+    let started = std::time::Instant::now(); //~ DET02 DET04
+    started.elapsed()
+}

@@ -1,0 +1,12 @@
+//! Known-good: observability code that keeps time behind the
+//! `noc_obs::clock` facade. The one deliberate `std::time` mention is a
+//! clock-free constant conversion and carries an inline allow.
+
+pub fn elapsed_us(stamp: &noc_obs::Stamp) -> u64 {
+    stamp.elapsed_us()
+}
+
+pub fn budget_nanos() -> u64 {
+    let budget = std::time::Duration::from_micros(200); // noc-verify: allow(DET04) — constant conversion, no clock is read
+    u64::try_from(budget.as_nanos()).unwrap_or(u64::MAX)
+}

@@ -9,6 +9,7 @@
 //! | DET01   | determinism   | `HashMap`/`HashSet` iteration, `retain`, `drain` in seed-deterministic crates |
 //! | DET02   | determinism   | `Instant::now`/`SystemTime::now` outside the annotated telemetry helper |
 //! | DET03   | determinism   | `available_parallelism` / environment reads flowing into search behavior |
+//! | DET04   | determinism   | any `std::time` mention in `crates/obs` outside its annotated clock module |
 //! | PANIC01 | panic paths   | `unwrap`/`expect`/`panic!`/`unreachable!`/unchecked indexing on route-resolution and scheduler hot files |
 //! | LOCK01  | lock discipline | a second guard acquired while one is live in the same scope |
 //! | LOCK02  | lock discipline | a guard held across a call into user-supplied objective/callback code |
@@ -35,7 +36,7 @@ use std::path::{Path, PathBuf};
 
 /// Every rule id the gate knows (the set `allow(…)` validates against).
 pub const KNOWN_RULES: &[&str] = &[
-    "DET01", "DET02", "DET03", "PANIC01", "LOCK01", "LOCK02", "SHIM01", "ALLOW01",
+    "DET01", "DET02", "DET03", "DET04", "PANIC01", "LOCK01", "LOCK02", "SHIM01", "ALLOW01",
 ];
 
 /// Crates whose behavior must be bit-reproducible from a seed. DET
@@ -43,7 +44,13 @@ pub const KNOWN_RULES: &[&str] = &[
 /// timing output is the telemetry). The service layer is in scope: it
 /// promises worker-count-independent results, so provider registry and
 /// queue code must not iterate hash maps or consult the environment.
-pub const DET_CRATES: &[&str] = &["search", "mapping", "model", "sim", "service"];
+/// `obs` instruments the deterministic engines from inside their hot
+/// loops, so it inherits the full determinism scope plus DET04.
+pub const DET_CRATES: &[&str] = &["search", "mapping", "model", "sim", "service", "obs"];
+
+/// The one file in `crates/obs` allowed to mention `std::time` (behind
+/// an inline DET02 allow); everywhere else in the crate DET04 fires.
+pub const OBS_CLOCK_MODULE: &str = "crates/obs/src/clock.rs";
 
 /// Route-resolution and scheduler inner-loop files — the paths the
 /// fault-tolerance PR audited by hand; PANIC01 keeps them audited.
@@ -107,6 +114,7 @@ pub fn ruleset_for(rel_path: &str) -> RuleSet {
         .any(|c| rel_path.starts_with(&format!("crates/{c}/src/")));
     RuleSet {
         determinism,
+        obs_time: rel_path.starts_with("crates/obs/src/") && rel_path != OBS_CLOCK_MODULE,
         panic_paths: PANIC_HOT_FILES.contains(&rel_path),
         locks: rel_path.starts_with("crates/") && rel_path.ends_with(".rs"),
     }
@@ -237,7 +245,14 @@ mod tests {
     #[test]
     fn rulesets_scope_by_path() {
         let det = ruleset_for("crates/search/src/tabu.rs");
-        assert!(det.determinism && det.locks && !det.panic_paths);
+        assert!(det.determinism && det.locks && !det.panic_paths && !det.obs_time);
+        let obs = ruleset_for("crates/obs/src/trace.rs");
+        assert!(obs.determinism && obs.obs_time && obs.locks);
+        let clock = ruleset_for(OBS_CLOCK_MODULE);
+        assert!(
+            clock.determinism && !clock.obs_time,
+            "the clock module is the one exemption"
+        );
         let hot = ruleset_for("crates/sim/src/cost.rs");
         assert!(hot.determinism && hot.panic_paths);
         let service = ruleset_for("crates/service/src/registry.rs");

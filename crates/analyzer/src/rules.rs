@@ -1,4 +1,4 @@
-//! The rule registry: DET01–03 (determinism), PANIC01 (panic paths),
+//! The rule registry: DET01–04 (determinism), PANIC01 (panic paths),
 //! LOCK01–02 (lock discipline).
 //!
 //! Every rule is a lexical pass over [`ScanLine`]s — deliberately
@@ -20,6 +20,9 @@ use std::collections::BTreeSet;
 pub struct RuleSet {
     /// DET01–DET03: the file belongs to a seed-deterministic crate.
     pub determinism: bool,
+    /// DET04: the file is in `crates/obs` but is not its clock module —
+    /// `std::time` may not appear at all.
+    pub obs_time: bool,
     /// PANIC01: the file is on the route-resolution / scheduler hot list.
     pub panic_paths: bool,
     /// LOCK01–LOCK02: scanned everywhere outside the shims.
@@ -33,6 +36,9 @@ pub fn check_file(path: &str, lines: &[ScanLine], rules: RuleSet) -> Vec<Finding
         det01(path, lines, &mut out);
         det02(path, lines, &mut out);
         det03(path, lines, &mut out);
+    }
+    if rules.obs_time {
+        det04(path, lines, &mut out);
     }
     if rules.panic_paths {
         panic01(path, lines, &mut out);
@@ -286,6 +292,32 @@ fn det03(path: &str, lines: &[ScanLine], out: &mut Vec<Finding>) {
     }
 }
 
+/// DET04: any `std::time` mention in `crates/obs` outside its annotated
+/// clock module. The observability crate instruments the deterministic
+/// engines, so it is held to a stricter bar than DET02's call-site
+/// probes: time must stay confined to `clock.rs` (which wraps it in an
+/// opaque `Stamp`), leaving the tracing and metrics paths provably
+/// clock-free — even a `use std::time::Duration` is a reviewable event.
+fn det04(path: &str, lines: &[ScanLine], out: &mut Vec<Finding>) {
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if !token_positions(&line.code, "std::time").is_empty() {
+            out.push(finding(
+                "DET04",
+                path,
+                idx,
+                line,
+                "`std::time` outside the observability clock module — route all time \
+                 through `noc_obs::clock` (opaque `Stamp`s) so tracing and metrics \
+                 stay provably clock-free"
+                    .to_owned(),
+            ));
+        }
+    }
+}
+
 /// PANIC01: panic-capable constructs on route-resolution / scheduler
 /// hot paths — `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
 /// `unimplemented!` plus unchecked slice indexing. These paths must
@@ -498,6 +530,7 @@ mod tests {
 
     const DET: RuleSet = RuleSet {
         determinism: true,
+        obs_time: false,
         panic_paths: false,
         locks: false,
     };
@@ -548,6 +581,7 @@ mod tests {
 
     const PANIC: RuleSet = RuleSet {
         determinism: false,
+        obs_time: false,
         panic_paths: true,
         locks: false,
     };
@@ -572,9 +606,31 @@ mod tests {
 
     const LOCKS: RuleSet = RuleSet {
         determinism: false,
+        obs_time: false,
         panic_paths: false,
         locks: true,
     };
+
+    const OBS: RuleSet = RuleSet {
+        determinism: false,
+        obs_time: true,
+        panic_paths: false,
+        locks: false,
+    };
+
+    #[test]
+    fn det04_flags_any_std_time_mention() {
+        let src = "use std::time::Duration;\n\
+                   fn f() -> u64 { 0 }\n\
+                   let t = std::time::Instant::now();\n";
+        let f = run(src, OBS);
+        let det04: Vec<usize> = f
+            .iter()
+            .filter(|f| f.rule == "DET04")
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(det04, vec![1, 3]);
+    }
 
     #[test]
     fn lock01_flags_nested_guards() {

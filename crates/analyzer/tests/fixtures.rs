@@ -100,6 +100,14 @@ fn det03_fires_and_suppresses() {
 }
 
 #[test]
+fn det04_fires_and_suppresses() {
+    // The pretend path is inside `crates/obs` but is not the clock
+    // module, so the whole-crate `std::time` ban is armed.
+    assert_bad("det04_bad.rs", "crates/obs/src/fixture.rs");
+    assert_good("det04_good.rs", "crates/obs/src/fixture.rs");
+}
+
+#[test]
 fn panic01_fires_and_suppresses() {
     // The pretend path must be on the hot list for PANIC01 to arm.
     assert_bad("panic01_bad.rs", "crates/sim/src/cost.rs");

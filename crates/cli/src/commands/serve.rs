@@ -5,18 +5,21 @@ use crate::CliError;
 
 /// `serve`: start a service instance and speak the line-oriented JSON
 /// protocol over a Unix domain socket until a `shutdown` op arrives.
-/// Pending jobs drain before the process returns.
+/// Pending jobs drain before the process returns. `--trace FILE`
+/// appends every trace event of every served job to `FILE` as JSON
+/// lines; the `metrics`, `trace` and `watch` ops expose the same
+/// observability over the socket.
 ///
 /// # Errors
 ///
 /// Returns an error on bad options or socket failures.
 #[cfg(unix)]
 pub fn cmd_serve(options: &Options) -> Result<String, CliError> {
-    use noc_service::{MappingService, ServiceConfig};
+    use noc_service::MappingService;
 
     let socket = options.require("--socket")?.to_owned();
     let workers: usize = options.get_parsed("--workers", 2)?;
-    let service = MappingService::start(ServiceConfig::new(workers));
+    let service = MappingService::start(crate::commands::service_config(options, workers)?);
     // The accept loop blocks until a shutdown op; announce readiness on
     // stderr so clients scripting against the socket can wait for it.
     eprintln!("noc-service listening on {socket} ({workers} workers)");

@@ -1,6 +1,6 @@
 //! `map` / `solve`: search the best mapping for an application.
 
-use crate::commands::run_job;
+use crate::commands::{run_job_with_config, service_config};
 use crate::options::Options;
 use crate::render::render_solve;
 use crate::request::build_solve_request;
@@ -9,7 +9,9 @@ use noc_service::JobRequest;
 
 /// `map` (alias `solve`): search the best mapping for an application.
 /// Builds a solve request, runs it through the service layer and
-/// renders the result.
+/// renders the result. `--trace FILE` appends every trace event of the
+/// run (search rounds, SA epochs, delta-evaluator stats) to `FILE` as
+/// JSON lines without changing the trajectory.
 ///
 /// # Errors
 ///
@@ -18,7 +20,8 @@ use noc_service::JobRequest;
 pub fn cmd_map(options: &Options) -> Result<String, CliError> {
     let request = build_solve_request(options)?;
     let workers: usize = options.get_parsed("--workers", 1)?;
-    let result = run_job(JobRequest::Solve(Box::new(request)), workers)?;
+    let config = service_config(options, workers)?;
+    let result = run_job_with_config(JobRequest::Solve(Box::new(request)), config)?;
     let result = result
         .as_solve()
         .ok_or("service returned the wrong result kind")?;

@@ -6,8 +6,10 @@ use crate::CliError;
 /// `submit`: send one request to a running `noc-cli serve` instance and
 /// print the JSON reply. Without `--op`, the solve/evaluate flags build
 /// a job exactly as `map`/`evaluate` would and submit it (`--wait`
-/// blocks for the result); `--op status|wait|cancel|stats|shutdown`
-/// sends a control request instead (`--job N` names the job).
+/// blocks for the result); `--op
+/// status|wait|cancel|stats|shutdown|metrics|trace` sends a control
+/// request instead (`--job N` names the job — `trace` requires it and
+/// returns the job's recorded flight tape).
 ///
 /// # Errors
 ///

@@ -12,6 +12,8 @@
 //! noc-cli explore  --app app.json --mesh 3x3 --methods sa,ga,tabu
 //! noc-cli serve    --socket /tmp/noc.sock --workers 4
 //! noc-cli submit   --socket /tmp/noc.sock --app app.json --mesh 3x3 --wait
+//! noc-cli metrics  --socket /tmp/noc.sock
+//! noc-cli watch    --socket /tmp/noc.sock --count 20
 //! noc-cli dot      --app app.json --graph cdcg
 //! ```
 //!
@@ -38,8 +40,8 @@ pub mod render;
 pub mod request;
 
 pub use commands::{
-    cmd_bench, cmd_dot, cmd_evaluate, cmd_explore, cmd_generate, cmd_info, cmd_map, cmd_serve,
-    cmd_submit, cmd_suite,
+    cmd_bench, cmd_dot, cmd_evaluate, cmd_explore, cmd_generate, cmd_info, cmd_map, cmd_metrics,
+    cmd_serve, cmd_submit, cmd_suite, cmd_watch,
 };
 pub use options::{
     emit, load_app, parse_fault_scenario, parse_mapping, parse_mesh, parse_mesh_options,
@@ -75,7 +77,7 @@ USAGE:
                    [--pin c0:t3,c2:t0]
                    [--faults K] [--fault-kind link|tsv|region]
                    [--fault-seed S] [--fault-evals N]
-                   [--robustness-report] [--workers N]
+                   [--robustness-report] [--workers N] [--trace FILE]
   noc-cli solve    (alias of map)
   noc-cli evaluate --app app.json --mesh WxH[xD] [--depth N]
                    --mapping t0,t1,...
@@ -87,10 +89,13 @@ USAGE:
                    [--workers N] [map flags]
   noc-cli bench    [--jobs N] [--workers N] [--evals N]
                    [--app app.json] [--mesh WxH]
-  noc-cli serve    --socket PATH [--workers N]
+  noc-cli serve    --socket PATH [--workers N] [--trace FILE]
   noc-cli submit   --socket PATH [map/evaluate flags]
                    [--priority high|normal|low] [--wait]
-                   [--op status|wait|cancel|stats|shutdown] [--job N]
+                   [--op status|wait|cancel|stats|shutdown|metrics|trace]
+                   [--job N]
+  noc-cli metrics  --socket PATH [--json]
+  noc-cli watch    --socket PATH [--count N]
   noc-cli suite    [--row N] [--out app.json]
   noc-cli dot      --app app.json [--graph cdcg|cwg] [--out graph.dot]
 
@@ -125,6 +130,13 @@ text format instead of JSON; parse errors name the offending line.
 service jobs; `serve` keeps a service alive behind a Unix socket and
 `submit` is its line-protocol client. Job results are bit-identical
 for a given seed regardless of `--workers`.
+`map --trace FILE` (also on `serve`) appends every trace event —
+search rounds, SA epochs, best-so-far improvements, delta-evaluator
+stats — to FILE as JSON lines; tracing never changes the trajectory.
+`metrics` prints a served instance's Prometheus exposition (`--json`
+for the structured snapshot); `watch` streams its live service events
+as JSON lines (`--count N` to disconnect after N events); and
+`submit --op trace --job N` fetches job N's recorded flight tape.
 "
     .to_owned()
 }
@@ -148,6 +160,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench" => cmd_bench(&options),
         "serve" => cmd_serve(&options),
         "submit" => cmd_submit(&options),
+        "metrics" => cmd_metrics(&options),
+        "watch" => cmd_watch(&options),
         "suite" => cmd_suite(&options),
         "dot" => cmd_dot(&options),
         "help" | "--help" | "-h" => Ok(usage()),
@@ -1100,5 +1114,177 @@ mod tests {
 
         let served = server.join().expect("server thread").unwrap();
         assert!(served.contains("shut down"), "{served}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn observability_ops_round_trip_over_a_socket() {
+        let path = write_example_app();
+        let dir = std::env::temp_dir().join(format!("noc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let socket = dir.join("obs-test.sock");
+        let socket_str = socket.to_str().expect("utf8 path").to_owned();
+
+        let server = {
+            let socket_str = socket_str.clone();
+            std::thread::spawn(move || {
+                run(&strs(&["serve", "--socket", &socket_str, "--workers", "1"]))
+            })
+        };
+        for _ in 0..500 {
+            if socket.exists() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        assert!(socket.exists(), "server never bound its socket");
+
+        // A second client watches live while jobs run. The subscription
+        // only sees events emitted after it connects, so keep submitting
+        // until the watcher has collected its quota.
+        let watcher = {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut lines = Vec::new();
+                let seen = crate::commands::watch_stream(&socket, 4, |line| {
+                    lines.push(line.to_owned());
+                })
+                .expect("watch stream");
+                (seen, lines)
+            })
+        };
+        let submit = |wait: bool| {
+            let mut args = strs(&[
+                "submit",
+                "--socket",
+                &socket_str,
+                "--app",
+                path.as_str(),
+                "--mesh",
+                "2x2",
+                "--method",
+                "es",
+                "--tech",
+                "paper",
+            ]);
+            if wait {
+                args.push("--wait".to_owned());
+            }
+            run(&args).unwrap()
+        };
+        let first = submit(true);
+        assert!(first.contains("\"state\":\"done\""), "{first}");
+        for _ in 0..200 {
+            if watcher.is_finished() {
+                break;
+            }
+            submit(false);
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        let (seen, lines) = watcher.join().expect("watcher thread");
+        assert_eq!(seen, 4, "watcher quota");
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            serde_json::parse(line).expect("event lines are JSON");
+        }
+
+        // The metrics op, through both renderings.
+        let text = run(&strs(&["metrics", "--socket", &socket_str])).unwrap();
+        assert!(
+            text.contains("# TYPE noc_jobs_completed_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("noc_jobs_submitted_total{class=\"normal\"}"),
+            "{text}"
+        );
+        let json = run(&strs(&["metrics", "--socket", &socket_str, "--json"])).unwrap();
+        assert!(json.contains("\"exposition\""), "{json}");
+        assert!(json.contains("\"counters\""), "{json}");
+
+        // The flight tape of the first job, via `submit --op trace`.
+        let tape = run(&strs(&[
+            "submit",
+            "--socket",
+            &socket_str,
+            "--op",
+            "trace",
+            "--job",
+            "0",
+        ]))
+        .unwrap();
+        assert!(tape.contains("\"job\":0"), "{tape}");
+        assert!(tape.contains("job_start"), "{tape}");
+        assert!(tape.contains("job_end"), "{tape}");
+
+        let bye = run(&strs(&[
+            "submit",
+            "--socket",
+            &socket_str,
+            "--op",
+            "shutdown",
+        ]))
+        .unwrap();
+        assert!(bye.contains("\"ok\":true"), "{bye}");
+        server.join().expect("server thread").unwrap();
+    }
+
+    #[test]
+    fn map_trace_file_records_the_run_without_changing_it() {
+        let path = write_example_app();
+        let dir = std::env::temp_dir().join(format!("noc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let trace = dir.join(format!(
+            "trace-{}.jsonl",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("time")
+                .as_nanos()
+        ));
+        let trace = tempfile::TempPath(trace);
+        let args = |extra: &[&str]| {
+            let mut v = strs(&[
+                "map",
+                "--app",
+                path.as_str(),
+                "--mesh",
+                "2x2",
+                "--method",
+                "sa",
+                "--quick",
+                "--tech",
+                "paper",
+                "--seed",
+                "11",
+            ]);
+            v.extend(strs(extra));
+            v
+        };
+        let strip = |out: String| {
+            out.lines()
+                .filter(|l| !l.starts_with("elapsed:"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let traced = strip(run(&args(&["--trace", trace.as_str()])).unwrap());
+        let untraced = strip(run(&args(&[])).unwrap());
+        // Tracing reads the search; it never steers it.
+        assert_eq!(traced, untraced);
+
+        let recorded = std::fs::read_to_string(&trace.0).expect("trace file written");
+        let kinds: Vec<String> = recorded
+            .lines()
+            .map(|l| {
+                let value = serde_json::parse(l).expect("trace lines are JSON");
+                match value.get_field("kind") {
+                    Some(serde::Value::Str(kind)) => kind.clone(),
+                    other => panic!("kind missing in {l}: {other:?}"),
+                }
+            })
+            .collect();
+        assert_eq!(kinds.first().map(String::as_str), Some("job_start"));
+        assert_eq!(kinds.last().map(String::as_str), Some("job_end"));
+        assert!(kinds.iter().any(|k| k == "epoch"), "{kinds:?}");
+        assert!(kinds.iter().any(|k| k == "best"), "{kinds:?}");
     }
 }

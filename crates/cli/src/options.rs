@@ -25,13 +25,14 @@ impl Options {
     /// Returns an error for a dangling `--key` without a value when the
     /// key is not a known flag.
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
-        const FLAGS: [&str; 6] = [
+        const FLAGS: [&str; 7] = [
             "--gantt",
             "--quick",
             "--cwg",
             "--telemetry",
             "--robustness-report",
             "--wait",
+            "--json",
         ];
         let mut options = Options::default();
         let mut i = 0;

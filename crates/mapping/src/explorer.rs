@@ -332,7 +332,30 @@ impl<'a> Explorer<'a> {
                     self.params,
                     Arc::clone(&self.routes),
                 );
-                run_method(&objective, &self.mesh, cores, method, cancel)
+                let run = run_method(&objective, &self.mesh, cores, method, cancel);
+                // The objective (and its delta-evaluator counters) is
+                // dropped when this frame returns; surface the counters
+                // as a trace event so observers see them. Pure read —
+                // the outcome is already fixed.
+                noc_obs::emit_with(|| {
+                    let stats = objective.delta_stats();
+                    let mut event = noc_obs::TraceEvent::new("delta_stats");
+                    event.label = run.outcome.method.clone();
+                    event.evaluations = run.outcome.evaluations;
+                    event.counters = vec![
+                        ("incremental_moves", stats.incremental_moves),
+                        ("route_unchanged_moves", stats.route_unchanged_moves),
+                        ("full_restores", stats.full_restores),
+                        ("tail_converged_moves", stats.tail_converged_moves),
+                        ("full_rebaselines", stats.full_rebaselines),
+                        ("tape_refreshes", stats.tape_refreshes),
+                        ("cache_hits", stats.cache_hits),
+                        ("events_replayed", stats.events_replayed),
+                        ("events_total", stats.events_total),
+                    ];
+                    event
+                });
+                run
             }
         }
     }

@@ -1,0 +1,47 @@
+//! The observability crate's one wall-clock scope.
+//!
+//! Everything in `noc-obs` (and everything that reports time *through*
+//! `noc-obs` — trace event timestamps, service sojourn histograms)
+//! reads the clock here and nowhere else. The `noc-verify` DET04 rule
+//! flags any other `std::time` use inside `crates/obs`, so a second
+//! wall-clock surface cannot grow quietly; DET02 keeps the single
+//! `Instant::now()` below annotated. Clock values only ever *report*
+//! elapsed time — nothing downstream may branch on them.
+
+/// An opaque monotonic timestamp. The inner `Instant` is deliberately
+/// private: consumers can measure elapsed time from a stamp but cannot
+/// smuggle raw clock values into decisions.
+#[derive(Debug, Clone, Copy)]
+pub struct Stamp(std::time::Instant);
+
+/// Reads the monotonic clock — the one sanctioned wall-clock read in
+/// this crate.
+pub fn stamp() -> Stamp {
+    Stamp(std::time::Instant::now()) // noc-verify: allow(DET02) — the observability clock scope; stamps only report elapsed time, never feed decisions
+}
+
+impl Stamp {
+    /// Microseconds elapsed since the stamp was taken.
+    pub fn elapsed_us(&self) -> u64 {
+        u64::try_from(self.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Seconds elapsed since the stamp was taken.
+    pub fn elapsed_s(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_monotone() {
+        let s = stamp();
+        let a = s.elapsed_us();
+        let b = s.elapsed_us();
+        assert!(b >= a);
+        assert!(s.elapsed_s() >= 0.0);
+    }
+}

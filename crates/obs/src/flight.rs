@@ -1,0 +1,136 @@
+//! The search flight recorder: a bounded, per-job ring buffer of trace
+//! events.
+//!
+//! The service installs one [`FlightRecorder`] as (part of) its trace
+//! sink; the `trace <job>` socket op snapshots a job's [`Tape`]. Both
+//! bounds are hard: each tape keeps at most `per_job` events (oldest
+//! dropped first, with a drop count so truncation is visible), and the
+//! recorder keeps at most `max_jobs` tapes (smallest job id — the
+//! oldest submission — evicted first). Memory use is therefore fixed no
+//! matter how long the service runs.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use crate::trace::{TraceEvent, TraceSink};
+
+/// One job's recorded event window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tape {
+    /// The most recent events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// Bounded per-job event recorder; see module docs.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    per_job: usize,
+    max_jobs: usize,
+    tapes: Mutex<BTreeMap<u64, Ring>>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `per_job` events for each of at most
+    /// `max_jobs` jobs. Both bounds are clamped to at least 1.
+    pub fn new(per_job: usize, max_jobs: usize) -> Self {
+        Self {
+            per_job: per_job.max(1),
+            max_jobs: max_jobs.max(1),
+            tapes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Records one event for `job`.
+    pub fn push(&self, job: u64, event: &TraceEvent) {
+        let mut tapes = self.tapes.lock().expect("flight recorder lock poisoned");
+        if !tapes.contains_key(&job) && tapes.len() >= self.max_jobs {
+            // Evict the oldest job (smallest id — ids are allocated in
+            // submission order) to stay within the tape budget.
+            if let Some((&oldest, _)) = tapes.iter().next() {
+                tapes.remove(&oldest);
+            }
+        }
+        let ring = tapes.entry(job).or_default();
+        if ring.events.len() >= self.per_job {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event.clone());
+    }
+
+    /// A copy of `job`'s tape, or `None` if the recorder has never seen
+    /// the job (or has evicted it).
+    pub fn snapshot(&self, job: u64) -> Option<Tape> {
+        let tapes = self.tapes.lock().expect("flight recorder lock poisoned");
+        tapes.get(&job).map(|ring| Tape {
+            events: ring.events.iter().cloned().collect(),
+            dropped: ring.dropped,
+        })
+    }
+
+    /// Job ids currently held, ascending.
+    pub fn jobs(&self) -> Vec<u64> {
+        let tapes = self.tapes.lock().expect("flight recorder lock poisoned");
+        tapes.keys().copied().collect()
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&self, job: u64, event: &TraceEvent) {
+        self.push(job, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(label: &str) -> TraceEvent {
+        let mut e = TraceEvent::new("best");
+        e.label = label.to_owned();
+        e
+    }
+
+    #[test]
+    fn per_job_ring_drops_oldest_and_counts() {
+        let recorder = FlightRecorder::new(3, 8);
+        for i in 0..5 {
+            recorder.push(1, &event(&format!("e{i}")));
+        }
+        let tape = recorder.snapshot(1).unwrap();
+        assert_eq!(tape.dropped, 2);
+        assert_eq!(
+            tape.events
+                .iter()
+                .map(|e| e.label.as_str())
+                .collect::<Vec<_>>(),
+            vec!["e2", "e3", "e4"]
+        );
+    }
+
+    #[test]
+    fn oldest_job_is_evicted_when_full() {
+        let recorder = FlightRecorder::new(4, 2);
+        recorder.push(10, &event("a"));
+        recorder.push(11, &event("b"));
+        recorder.push(12, &event("c"));
+        assert_eq!(recorder.jobs(), vec![11, 12]);
+        assert!(recorder.snapshot(10).is_none());
+        assert!(recorder.snapshot(12).is_some());
+    }
+
+    #[test]
+    fn unknown_jobs_have_no_tape() {
+        let recorder = FlightRecorder::new(4, 4);
+        assert!(recorder.snapshot(99).is_none());
+        assert!(recorder.jobs().is_empty());
+    }
+}

@@ -1,0 +1,454 @@
+//! The metrics registry: named counters, gauges and fixed log-bucket
+//! histograms, with a Prometheus-style text exposition and a JSON
+//! snapshot.
+//!
+//! Metric *names* may carry Prometheus-style labels inline —
+//! `noc_job_sojourn_us{class="high"}` — and the exposition groups the
+//! `# HELP`/`# TYPE` headers by base name, so one logical metric with
+//! three label values renders as one family. Name maps are `BTreeMap`s
+//! (DET01: deterministic iteration), so two snapshots of the same state
+//! are byte-identical.
+//!
+//! Hot-path cost: [`Counter::inc`] is one relaxed `fetch_add` on a
+//! thread-striped shard (no shared cache line between worker threads);
+//! [`Gauge`] is a single atomic; [`Histogram::observe`] is two atomics
+//! plus a bucket add. Registry lookups (`counter(..)` etc.) take a
+//! mutex — callers on hot paths hold the returned `Arc` instead of
+//! re-looking-up.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Shards per counter. Power of two; eight covers the worker-pool sizes
+/// the service runs while keeping a counter at half a kilobyte.
+const COUNTER_SHARDS: usize = 8;
+
+/// Finite histogram buckets: powers of two `2^0 ..= 2^39`, then +Inf.
+/// In microseconds that spans 1 µs to ~6 days — every latency this
+/// workspace measures fits with ~2x resolution.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Monotone counter: relaxed sharded atomics, summed on read.
+#[derive(Debug, Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// The calling thread's shard slot: assigned once per thread from a
+/// global ticket counter (no thread-id or environment reads — DET03
+/// stays clean), then reduced mod [`COUNTER_SHARDS`] at use.
+fn shard_slot() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SLOT.with(|slot| {
+        let v = slot.get();
+        if v != usize::MAX {
+            return v;
+        }
+        let v = NEXT.fetch_add(1, Ordering::Relaxed);
+        slot.set(v);
+        v
+    })
+}
+
+impl Counter {
+    /// Adds `n`.
+    pub fn inc(&self, n: u64) {
+        let shard = shard_slot() & (COUNTER_SHARDS - 1);
+        self.shards[shard].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total across shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Signed gauge (queue depths, busy-worker counts).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed log-bucket histogram over `u64` observations (microseconds,
+/// evaluation counts): powers-of-two bounds, a running sum and a count.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Per-bucket (non-cumulative) counts; index [`HISTOGRAM_BUCKETS`]
+    /// is the +Inf overflow bucket.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the first bucket whose bound (`2^i`) is `>= v`.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - (v - 1).leading_zeros()) as usize).min(HISTOGRAM_BUCKETS)
+    }
+}
+
+/// Upper bound of finite bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket (non-cumulative) counts, +Inf bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Approximate quantile (`0.0 ..= 1.0`): the upper bound of the
+    /// first bucket at which the cumulative count reaches `q * count`.
+    /// Resolution is the bucket width (~2x), which is plenty for p50/p99
+    /// dashboards; exact percentiles stay with the benches.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cumulative += b.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return if i < HISTOGRAM_BUCKETS {
+                    bucket_bound(i) as f64
+                } else {
+                    f64::INFINITY
+                };
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// A named-metric registry. Each service instance owns one, so
+/// concurrent services (the test suite runs many) never cross-count;
+/// nothing here is process-global.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
+}
+
+/// Splits `noc_x{class="high"}` into (`noc_x`, `class="high"`).
+fn split_name(name: &str) -> (&str, &str) {
+    match name.find('{') {
+        Some(p) => (&name[..p], name[p + 1..].trim_end_matches('}')),
+        None => (name, ""),
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use. Hold the `Arc`
+    /// on hot paths.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("metrics lock poisoned");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("metrics lock poisoned");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().expect("metrics lock poisoned");
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Registers `# HELP` text for a *base* metric name (the part
+    /// before any `{labels}`).
+    pub fn describe(&self, base: &str, help: &str) {
+        let mut map = self.help.lock().expect("metrics lock poisoned");
+        map.insert(base.to_owned(), help.to_owned());
+    }
+
+    fn counter_values(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().expect("metrics lock poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    fn gauge_values(&self) -> Vec<(String, i64)> {
+        let map = self.gauges.lock().expect("metrics lock poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    fn histogram_values(&self) -> Vec<(String, Vec<u64>, u64, u64)> {
+        let map = self.histograms.lock().expect("metrics lock poisoned");
+        map.iter()
+            .map(|(k, v)| (k.clone(), v.bucket_counts(), v.sum(), v.count()))
+            .collect()
+    }
+
+    fn help_texts(&self) -> BTreeMap<String, String> {
+        let map = self.help.lock().expect("metrics lock poisoned");
+        map.clone()
+    }
+
+    /// Prometheus-style text exposition: `# HELP`/`# TYPE` headers per
+    /// base name, one sample line per labelled series, histograms as
+    /// cumulative `_bucket{le=...}` series plus `_sum`/`_count`.
+    /// Deterministic: byte-identical for identical metric state.
+    pub fn exposition(&self) -> String {
+        use std::fmt::Write as _;
+        let help = self.help_texts();
+        let mut out = String::new();
+        let header = |out: &mut String, base: &str, kind: &str, seen: &mut Option<String>| {
+            if seen.as_deref() == Some(base) {
+                return;
+            }
+            *seen = Some(base.to_owned());
+            if let Some(text) = help.get(base) {
+                let _ = writeln!(out, "# HELP {base} {text}");
+            }
+            let _ = writeln!(out, "# TYPE {base} {kind}");
+        };
+
+        let mut seen = None;
+        for (name, value) in self.counter_values() {
+            let (base, _) = split_name(&name);
+            header(&mut out, base, "counter", &mut seen);
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let mut seen = None;
+        for (name, value) in self.gauge_values() {
+            let (base, _) = split_name(&name);
+            header(&mut out, base, "gauge", &mut seen);
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let mut seen = None;
+        for (name, buckets, sum, count) in self.histogram_values() {
+            let (base, labels) = split_name(&name);
+            header(&mut out, base, "histogram", &mut seen);
+            let prefix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{labels},")
+            };
+            let mut cumulative = 0u64;
+            for (i, b) in buckets.iter().enumerate() {
+                cumulative += b;
+                if i < HISTOGRAM_BUCKETS {
+                    // Only print buckets up to the last non-empty finite
+                    // bound (plus +Inf) — 40 zero lines per histogram
+                    // would drown the exposition.
+                    if cumulative > 0 {
+                        let _ = writeln!(
+                            out,
+                            "{base}_bucket{{{prefix}le=\"{}\"}} {cumulative}",
+                            bucket_bound(i)
+                        );
+                    }
+                } else {
+                    let _ = writeln!(out, "{base}_bucket{{{prefix}le=\"+Inf\"}} {cumulative}");
+                }
+            }
+            let suffix = if labels.is_empty() {
+                String::new()
+            } else {
+                format!("{{{labels}}}")
+            };
+            let _ = writeln!(out, "{base}_sum{suffix} {sum}");
+            let _ = writeln!(out, "{base}_count{suffix} {count}");
+        }
+        out
+    }
+
+    /// The whole registry as one JSON object:
+    /// `{"counters": {..}, "gauges": {..}, "histograms": {..}}`.
+    /// Deterministic for identical metric state (sorted maps).
+    pub fn snapshot_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counter_values().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", crate::json::escape(name));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauge_values().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", crate::json::escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, buckets, sum, count)) in self.histogram_values().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{count},\"sum\":{sum},\"buckets\":[",
+                crate::json::escape(name)
+            );
+            let mut first = true;
+            let mut cumulative = 0u64;
+            for (b, n) in buckets.iter().enumerate() {
+                cumulative += n;
+                let last = b == HISTOGRAM_BUCKETS;
+                if *n == 0 && !last {
+                    continue;
+                }
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                if last {
+                    let _ = write!(out, "[\"+Inf\",{cumulative}]");
+                } else {
+                    let _ = write!(out, "[{},{cumulative}]", bucket_bound(b));
+                }
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_sum_across_threads() {
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("noc_test_total");
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = Arc::clone(&counter);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        counter.inc(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.get(), 4000);
+        // Re-looking-up the same name yields the same counter.
+        assert_eq!(registry.counter("noc_test_total").get(), 4000);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS);
+
+        let h = Histogram::default();
+        for v in [1, 2, 3, 100, 1_000_000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1_000_106);
+        assert!(h.quantile(0.5) >= 2.0);
+        assert!(h.quantile(1.0) >= 1_000_000.0);
+    }
+
+    #[test]
+    fn exposition_groups_labelled_series_under_one_header() {
+        let registry = MetricsRegistry::new();
+        registry.describe("noc_jobs_total", "Jobs by class.");
+        registry.counter("noc_jobs_total{class=\"high\"}").inc(2);
+        registry.counter("noc_jobs_total{class=\"low\"}").inc(1);
+        registry.gauge("noc_depth").set(-3);
+        let text = registry.exposition();
+        assert_eq!(
+            text.matches("# TYPE noc_jobs_total counter").count(),
+            1,
+            "{text}"
+        );
+        assert!(text.contains("# HELP noc_jobs_total Jobs by class."));
+        assert!(text.contains("noc_jobs_total{class=\"high\"} 2"));
+        assert!(text.contains("noc_depth -3"));
+        // Deterministic: two reads of the same state are identical.
+        assert_eq!(text, registry.exposition());
+    }
+
+    #[test]
+    fn snapshot_is_json_shaped() {
+        let registry = MetricsRegistry::new();
+        registry.counter("noc_a_total").inc(7);
+        registry.histogram("noc_lat_us").observe(5);
+        let json = registry.snapshot_json();
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(json.contains("\"noc_a_total\":7"), "{json}");
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("[\"+Inf\",1]"), "{json}");
+    }
+}

@@ -246,7 +246,7 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for AdaptiveRestarts {
                 }
                 survivors = ranked;
             }
-            telemetry.rounds.push(RoundTelemetry {
+            telemetry.push_round(RoundTelemetry {
                 round,
                 budgets,
                 survivors: survivors.clone(),

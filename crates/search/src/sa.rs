@@ -22,6 +22,22 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
+/// Mirrors one temperature epoch as an `"epoch"` trace event when a
+/// `noc-obs` context is installed (free otherwise — the closure never
+/// runs). The accept/reject stream is what the flight recorder shows
+/// per live job.
+fn emit_epoch(label: &'static str, epoch: u64, evaluations: u64, best: f64, a: u64, r: u64) {
+    noc_obs::emit_with(|| {
+        let mut event = noc_obs::TraceEvent::new("epoch");
+        event.label = label.to_owned();
+        event.round = Some(epoch);
+        event.evaluations = evaluations;
+        event.cost = Some(best);
+        event.counters = vec![("accepts", a), ("rejects", r)];
+        event
+    });
+}
+
 /// Annealer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SaConfig {
@@ -183,11 +199,17 @@ pub fn anneal_cancellable<C: CostFunction + ?Sized>(
     });
 
     let mut stall = 0usize;
+    let mut epoch: u64 = 0;
     'outer: while stall < config.stall_epochs {
         if cancel.is_cancelled() {
             break 'outer;
         }
         let mut improved = false;
+        // Accept/reject tallies are plain local adds, kept even when
+        // tracing is off: they feed nothing back into the walk, and the
+        // branch-free bookkeeping keeps traced and untraced runs on the
+        // exact same instruction path through the RNG.
+        let (mut accepts, mut rejects) = (0u64, 0u64);
         for _ in 0..moves {
             if evaluations >= config.max_evaluations {
                 break 'outer;
@@ -199,6 +221,7 @@ pub fn anneal_cancellable<C: CostFunction + ?Sized>(
             let delta = candidate_cost - current_cost;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
             if accept {
+                accepts += 1;
                 current_cost = candidate_cost;
                 if current_cost < best_cost {
                     best_cost = current_cost;
@@ -206,9 +229,12 @@ pub fn anneal_cancellable<C: CostFunction + ?Sized>(
                     improved = true;
                 }
             } else {
+                rejects += 1;
                 current.swap_tiles(a, b); // undo
             }
         }
+        emit_epoch("SA", epoch, evaluations, best_cost, accepts, rejects);
+        epoch += 1;
         temperature *= config.cooling;
         stall = if improved { 0 } else { stall + 1 };
     }
@@ -283,11 +309,14 @@ pub fn anneal_delta_cancellable<C: SwapDeltaCost + ?Sized>(
     });
 
     let mut stall = 0usize;
+    let mut epoch: u64 = 0;
     'outer: while stall < config.stall_epochs {
         if cancel.is_cancelled() {
             break 'outer;
         }
         let mut improved = false;
+        // Same unconditional tally discipline as `anneal_cancellable`.
+        let (mut accepts, mut rejects) = (0u64, 0u64);
         for _ in 0..moves {
             if evaluations >= config.max_evaluations {
                 break 'outer;
@@ -297,6 +326,7 @@ pub fn anneal_delta_cancellable<C: SwapDeltaCost + ?Sized>(
             evaluations += 1;
             let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
             if accept {
+                accepts += 1;
                 current.swap_tiles(a, b);
                 current_cost += delta;
                 if current_cost < best_cost - 1e-9 {
@@ -304,8 +334,12 @@ pub fn anneal_delta_cancellable<C: SwapDeltaCost + ?Sized>(
                     best = current.clone();
                     improved = true;
                 }
+            } else {
+                rejects += 1;
             }
         }
+        emit_epoch("SA-delta", epoch, evaluations, best_cost, accepts, rejects);
+        epoch += 1;
         // Re-synchronise against drift (within the budget: the reported
         // evaluation count must never exceed `max_evaluations`).
         if evaluations < config.max_evaluations {
@@ -666,7 +700,7 @@ impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for MultiStartSa {
             .effective_restarts(self.config.max_evaluations, self.restarts);
         let mut telemetry = SearchTelemetry::new(outcome.method.clone());
         telemetry.evaluations = outcome.evaluations;
-        telemetry.rounds.push(RoundTelemetry {
+        telemetry.push_round(RoundTelemetry {
             round: 0,
             budgets: (0..restarts)
                 .map(|i| MemberBudget {

@@ -80,10 +80,20 @@ impl SearchTelemetry {
     }
 
     /// Minimal telemetry for engines without rounds: evaluation total and
-    /// a single final curve point.
+    /// a single final curve point. Mirrored as a `"best"` trace event
+    /// when a `noc-obs` context is installed, like
+    /// [`SearchTelemetry::record_best`].
     pub fn single_point(strategy: impl Into<String>, evaluations: u64, cost: f64) -> Self {
+        let strategy = strategy.into();
+        noc_obs::emit_with(|| {
+            let mut event = noc_obs::TraceEvent::new("best");
+            event.label = strategy.clone();
+            event.evaluations = evaluations;
+            event.cost = Some(cost);
+            event
+        });
         Self {
-            strategy: strategy.into(),
+            strategy,
             evaluations,
             best_curve: vec![CurvePoint { evaluations, cost }],
             ..Self::default()
@@ -91,11 +101,43 @@ impl SearchTelemetry {
     }
 
     /// Appends a best-so-far point if it improves on the last one (or is
-    /// the first).
+    /// the first). Improvements are also mirrored as a `"best"` trace
+    /// event when the calling thread has a `noc-obs` context installed
+    /// (the mirror only *reads* the new point, so trajectories are
+    /// unaffected).
     pub fn record_best(&mut self, evaluations: u64, cost: f64) {
         if self.best_curve.last().is_none_or(|last| cost < last.cost) {
             self.best_curve.push(CurvePoint { evaluations, cost });
+            noc_obs::emit_with(|| {
+                let mut event = noc_obs::TraceEvent::new("best");
+                event.label = self.strategy.clone();
+                event.evaluations = evaluations;
+                event.cost = Some(cost);
+                event
+            });
         }
+    }
+
+    /// Appends one round of telemetry, mirroring it as a `"round"` trace
+    /// event (budgets as `members`, survivors, best cost) when a
+    /// `noc-obs` context is installed. Call sites that previously pushed
+    /// onto [`SearchTelemetry::rounds`] directly go through here so the
+    /// flight recorder sees every round live.
+    pub fn push_round(&mut self, round: RoundTelemetry) {
+        noc_obs::emit_with(|| {
+            let mut event = noc_obs::TraceEvent::new("round");
+            event.label = self.strategy.clone();
+            event.round = Some(round.round as u64);
+            event.cost = Some(round.best_cost);
+            event.members = round
+                .budgets
+                .iter()
+                .map(|b| (b.member as u64, b.evals))
+                .collect();
+            event.survivors = round.survivors.iter().map(|&s| s as u64).collect();
+            event
+        });
+        self.rounds.push(round);
     }
 
     /// Total evaluations granted to each member across all rounds, in

@@ -27,8 +27,19 @@
 //!   per `(mesh, routing, faults)` across all concurrent jobs.
 //! * [`service`] — the queue, the fixed worker pool, cancellation,
 //!   telemetry streaming, stats.
+//! * [`events`] — the bounded, drop-oldest event streams behind
+//!   [`ServiceHandle::subscribe`] (a stalled subscriber can never stall
+//!   the service).
 //! * [`protocol`] — the line-oriented JSON wire format and the Unix
 //!   socket server behind `noc-cli serve`.
+//!
+//! Observability: each service owns a `noc-obs`
+//! [`MetricsRegistry`] (job/queue/worker/registry/engine metrics, see
+//! `noc-cli metrics`) and a flight recorder capturing per-job trace
+//! events — rounds, best-so-far improvements, SA accept/reject streams —
+//! queryable via [`ServiceHandle::flight_snapshot`] and the `trace`
+//! socket op, and streamed live to subscribers as
+//! [`ServiceEvent::Progress`].
 //!
 //! # Determinism
 //!
@@ -49,18 +60,26 @@
 //! lands in `Cancelled(Some(best-so-far))` with its verified partial
 //! result.
 
+pub mod events;
 pub mod job;
+mod obs;
 pub mod protocol;
 pub mod registry;
 pub mod service;
 mod worker;
 
+pub use events::EventStream;
 pub use job::{
     CacheTier, EvaluateRequest, EvaluateResult, JobId, JobRequest, JobResult, JobState, Priority,
     SolveRequest, SolveResult,
 };
 pub use registry::{ProviderKey, ProviderLease, ProviderRegistry, RegistryStats};
 pub use service::{MappingService, ServiceConfig, ServiceEvent, ServiceHandle, ServiceStats};
+
+// Observability types front ends interact with (sinks to configure,
+// tapes and registries to render), re-exported like the search types
+// below so thin clients depend on this crate alone.
+pub use noc_obs::{JsonLinesSink, MemorySink, MetricsRegistry, Tape, TraceEvent, TraceSink};
 
 // The types a front end needs to build requests and render results,
 // re-exported so thin clients (the CLI) can depend on this crate alone.
@@ -235,6 +254,107 @@ mod tests {
             JobState::Failed(msg) => assert!(msg.contains("cannot map"), "{msg}"),
             other => panic!("expected failure, got {}", other.name()),
         }
+    }
+
+    #[test]
+    fn stalled_subscriber_loses_oldest_events_but_never_stalls_the_service() {
+        // Tiny per-subscriber bound; the subscriber never reads while
+        // the jobs run. The service must complete everything, and the
+        // stream must hold only the *newest* events with the loss
+        // counted (stream-local and in the metrics).
+        let service = MappingService::start(ServiceConfig::new(2).with_event_capacity(4));
+        let stalled = service.subscribe();
+        for seed in 0..6 {
+            service.submit(sa_job(seed), Priority::Normal);
+        }
+        service.wait_all();
+        assert_eq!(service.stats().done, 6);
+
+        assert!(stalled.dropped() > 0, "4-deep queue must have overflowed");
+        let exposition = service.handle().metrics_exposition();
+        let line = exposition
+            .lines()
+            .find(|l| l.starts_with("noc_subscriber_dropped_events_total"))
+            .expect("dropped-events metric exposed");
+        let count: u64 = line.split_whitespace().last().unwrap().parse().unwrap();
+        assert_eq!(count, stalled.dropped());
+
+        let remaining: Vec<ServiceEvent> = stalled.try_iter().collect();
+        assert_eq!(remaining.len(), 4, "queue capped at capacity");
+        // A live subscriber on a fresh service sees everything.
+        let service = MappingService::start(ServiceConfig::new(1).with_event_capacity(1024));
+        let live = service.subscribe();
+        let job = service.submit(sa_job(1), Priority::High);
+        service.wait(job);
+        drop(service);
+        let kinds: Vec<ServiceEvent> = live.try_iter().collect();
+        assert!(matches!(
+            kinds.first(),
+            Some(ServiceEvent::Submitted { .. })
+        ));
+        assert!(kinds
+            .iter()
+            .any(|e| matches!(e, ServiceEvent::Completed { .. })));
+    }
+
+    #[test]
+    fn observability_captures_metrics_progress_and_a_flight_tape() {
+        let service = MappingService::start(ServiceConfig::new(1));
+        let events = service.subscribe();
+        let job = service.submit(sa_job(42), Priority::Normal);
+        service.wait(job);
+
+        // Flight recorder: the tape brackets the run and carries search
+        // checkpoints.
+        let tape = service.handle().flight_snapshot(job).expect("tape");
+        let kinds: Vec<&str> = tape.events.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds.first(), Some(&"job_start"));
+        assert!(kinds.contains(&"best"), "{kinds:?}");
+        assert!(kinds.contains(&"epoch"), "{kinds:?}");
+        assert!(
+            kinds.last() == Some(&"job_end") || tape.dropped > 0,
+            "{kinds:?}"
+        );
+        assert_eq!(service.handle().flight_jobs(), vec![job]);
+
+        // Progress events reached the subscriber while the job ran.
+        drop(service);
+        let progressed = events
+            .try_iter()
+            .filter(|e| matches!(e, ServiceEvent::Progress { .. }))
+            .count();
+        assert!(progressed > 0, "expected live Progress events");
+
+        let mut tape_progress = 0;
+        for event in &tape.events {
+            if matches!(event.kind, "best" | "round") {
+                tape_progress += 1;
+            }
+        }
+        assert!(tape_progress > 0);
+    }
+
+    #[test]
+    fn disabling_observability_changes_nothing_but_the_tape() {
+        let observed = run_batch(2, &[9, 10]);
+        let service = MappingService::start(ServiceConfig::new(2).without_observability());
+        let ids: Vec<JobId> = [9u64, 10]
+            .iter()
+            .map(|&s| service.submit(sa_job(s), Priority::Normal))
+            .collect();
+        let blind: Vec<SolveResult> = ids
+            .iter()
+            .map(|&id| match service.wait(id).unwrap() {
+                JobState::Done(JobResult::Solve(r)) => *r,
+                other => panic!("expected done solve job, got {}", other.name()),
+            })
+            .collect();
+        for (a, b) in observed.iter().zip(&blind) {
+            assert_eq!(a.outcome.mapping, b.outcome.mapping);
+            assert_eq!(a.outcome.cost.to_bits(), b.outcome.cost.to_bits());
+            assert_eq!(a.telemetry, b.telemetry);
+        }
+        assert!(service.handle().flight_snapshot(ids[0]).is_none());
     }
 
     #[test]

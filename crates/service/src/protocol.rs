@@ -13,8 +13,21 @@
 //! {"op": "wait", "job": 0}
 //! {"op": "cancel", "job": 0}
 //! {"op": "stats"}
+//! {"op": "metrics"}
+//! {"op": "trace", "job": 0}
+//! {"op": "watch"}
 //! {"op": "shutdown"}
 //! ```
+//!
+//! `metrics` returns the service's metric registry (`"exposition"` as
+//! Prometheus-style text, `"metrics"` as a parsed JSON snapshot).
+//! `trace` returns the flight recorder's tape for a job: the bounded
+//! window of its structured trace events (rounds, best-so-far
+//! improvements, SA accept/reject epochs) plus how many older events
+//! the ring dropped. `watch` upgrades the connection to a stream: after
+//! the `{"ok":true}` ack, every [`ServiceEvent`](crate::ServiceEvent)
+//! is forwarded as one JSON line until the client disconnects or the
+//! service shuts down — live telemetry with no polling.
 //!
 //! A solve job carries the application either as parsed CDCG JSON
 //! (`"app"`) or as the text format (`"app_text"`), plus `"mesh"`,
@@ -395,6 +408,9 @@ pub struct Reply {
     pub line: String,
     /// True after a `shutdown` op.
     pub shutdown: bool,
+    /// True after a `watch` op: the server should follow the reply with
+    /// a live event stream on the same connection.
+    pub stream: bool,
 }
 
 impl Reply {
@@ -402,6 +418,7 @@ impl Reply {
         Self {
             line,
             shutdown: false,
+            stream: false,
         }
     }
 }
@@ -473,9 +490,50 @@ pub fn handle_line(handle: &ServiceHandle, line: &str) -> Reply {
             "stats".to_owned(),
             handle.stats().to_value(),
         )])),
+        "metrics" => {
+            // The snapshot is noc-obs's own JSON; re-parse it into a
+            // Value so it embeds as structure, not as an escaped string.
+            let snapshot = serde_json::parse(&handle.metrics_json())
+                .unwrap_or_else(|_| Value::Map(Vec::new()));
+            Reply::respond(ok_line(vec![
+                (
+                    "exposition".to_owned(),
+                    Value::Str(handle.metrics_exposition()),
+                ),
+                ("metrics".to_owned(), snapshot),
+            ]))
+        }
+        "trace" => {
+            let id = match job_id() {
+                Ok(id) => id,
+                Err(e) => return Reply::respond(error_line(&e)),
+            };
+            if handle.status(id).is_none() {
+                return Reply::respond(error_line(&format!("unknown job {}", id.0)));
+            }
+            // A known job with no tape (observability off, or evicted)
+            // answers with an empty window rather than an error.
+            let tape = handle.flight_snapshot(id).unwrap_or_default();
+            let events: Vec<Value> = tape
+                .events
+                .iter()
+                .filter_map(|e| serde_json::parse(&e.to_json_line(id.0)).ok())
+                .collect();
+            Reply::respond(ok_line(vec![
+                ("job".to_owned(), Value::UInt(id.0)),
+                ("dropped".to_owned(), Value::UInt(tape.dropped)),
+                ("events".to_owned(), Value::Seq(events)),
+            ]))
+        }
+        "watch" => Reply {
+            line: ok_line(vec![("watch".to_owned(), Value::Bool(true))]),
+            shutdown: false,
+            stream: true,
+        },
         "shutdown" => Reply {
             line: ok_line(vec![]),
             shutdown: true,
+            stream: false,
         },
         other => Reply::respond(error_line(&format!("unknown op `{other}`"))),
     }
@@ -545,11 +603,50 @@ mod unix {
                 break;
             }
             let _ = writer.flush();
+            if reply.stream {
+                stream_events(handle, &mut writer, stop);
+                return;
+            }
             if reply.shutdown {
                 stop.store(true, Ordering::Release);
                 // Wake the accept loop with a throwaway connection.
                 let _ = UnixStream::connect(path);
                 return;
+            }
+        }
+    }
+
+    /// The `watch` tail: forwards every service event as one JSON line
+    /// until the client hangs up or the service closes the stream. The
+    /// subscription is bounded (drop-oldest), so a slow client throttles
+    /// only its own view, never the service.
+    /// When the service is idle the loop must still notice a vanished
+    /// client (and a server shutdown), so it waits in short slices and
+    /// probes the socket with a blank heartbeat line between events —
+    /// clients skip empty lines.
+    fn stream_events(handle: &ServiceHandle, writer: &mut UnixStream, stop: &AtomicBool) {
+        use std::sync::mpsc::RecvTimeoutError;
+        let events = handle.subscribe();
+        loop {
+            match events.recv_timeout(std::time::Duration::from_millis(200)) {
+                Ok(event) => {
+                    let Ok(line) = serde_json::to_string(&event) else {
+                        continue;
+                    };
+                    if writer.write_all(format!("{line}\n").as_bytes()).is_err() {
+                        return; // client gone
+                    }
+                    let _ = writer.flush();
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if stop.load(Ordering::Acquire) {
+                        return; // server shutting down
+                    }
+                    if writer.write_all(b"\n").is_err() || writer.flush().is_err() {
+                        return; // client gone between events
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => return,
             }
         }
     }
@@ -630,6 +727,35 @@ mod tests {
             "{}",
             reply.line
         );
+    }
+
+    #[test]
+    fn metrics_trace_and_watch_ops_answer() {
+        let service = service();
+        let handle = service.handle();
+        handle_line(&handle, &encode_submit(&solve_request(), Priority::Normal));
+        handle_line(&handle, &encode_op("wait", Some(JobId(0))));
+
+        let reply = handle_line(&handle, &encode_op("metrics", None));
+        assert!(reply.line.contains("\"ok\":true"), "{}", reply.line);
+        assert!(
+            reply.line.contains("noc_jobs_completed_total"),
+            "{}",
+            reply.line
+        );
+        assert!(reply.line.contains("\"metrics\""), "{}", reply.line);
+
+        let reply = handle_line(&handle, &encode_op("trace", Some(JobId(0))));
+        assert!(reply.line.contains("\"ok\":true"), "{}", reply.line);
+        assert!(reply.line.contains("\"events\""), "{}", reply.line);
+        assert!(reply.line.contains("job_start"), "{}", reply.line);
+
+        let reply = handle_line(&handle, &encode_op("trace", Some(JobId(99))));
+        assert!(reply.line.contains("\"ok\":false"), "{}", reply.line);
+
+        let reply = handle_line(&handle, &encode_op("watch", None));
+        assert!(reply.stream && !reply.shutdown, "{reply:?}");
+        assert!(reply.line.contains("\"watch\":true"), "{}", reply.line);
     }
 
     #[test]

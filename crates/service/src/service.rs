@@ -21,34 +21,91 @@
 //! Three priority classes, each a FIFO. A worker always dequeues from
 //! the highest non-empty class; within a class, submission order wins.
 
+use crate::events::{bounded, EventSender, EventStream};
 use crate::job::{JobId, JobRequest, JobResult, JobState, Priority};
+use crate::obs::ServiceMetrics;
 use crate::registry::{ProviderRegistry, RegistryStats};
 use crate::worker;
+use noc_obs::{FlightRecorder, MetricsRegistry, Stamp, Tape, TraceEvent, TraceSink};
 use noc_search::{CancelToken, SearchTelemetry};
 use noc_sim::ScheduleScratch;
 use serde::Serialize;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Events each flight-recorder tape retains per job (oldest dropped
+/// first, with a visible drop count).
+const FLIGHT_EVENTS_PER_JOB: usize = 256;
+/// Jobs the flight recorder retains tapes for (oldest job evicted).
+const FLIGHT_MAX_JOBS: usize = 64;
 
 /// Configuration of a service instance.
 ///
 /// The worker count is explicit by design: the service never consults
 /// the machine (`available_parallelism` and friends) so that a config is
 /// reproducible wherever it runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct ServiceConfig {
     /// Number of worker threads (clamped to at least 1).
     pub workers: usize,
+    /// Install a per-job trace context around execution (flight
+    /// recorder, `Progress` events, delta metrics). Metrics counting is
+    /// always on; this only controls tracing. Defaults to true — the
+    /// determinism suite proves on ≡ off bit-identically, so there is
+    /// no correctness reason to disable it.
+    pub observe: bool,
+    /// Per-subscriber event-queue bound; a subscriber that falls
+    /// further behind loses the oldest events (counted in
+    /// `noc_subscriber_dropped_events_total`).
+    pub event_capacity: usize,
+    /// Additional sink receiving every trace event (e.g. a
+    /// [`JsonLinesSink`](noc_obs::JsonLinesSink) writing a trace file).
+    /// The flight recorder records regardless.
+    pub trace_sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("workers", &self.workers)
+            .field("observe", &self.observe)
+            .field("event_capacity", &self.event_capacity)
+            .field("trace_sink", &self.trace_sink.as_ref().map(|_| ".."))
+            .finish()
+    }
 }
 
 impl ServiceConfig {
-    /// A config with the given worker count.
+    /// A config with the given worker count (observability on, event
+    /// queues bounded at 1024, no extra trace sink).
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
+            observe: true,
+            event_capacity: 1024,
+            trace_sink: None,
         }
+    }
+
+    /// Disables the per-job trace context (flight recorder and
+    /// `Progress` events stay empty; results are identical either way).
+    pub fn without_observability(mut self) -> Self {
+        self.observe = false;
+        self
+    }
+
+    /// Adds a sink that receives every trace event.
+    pub fn with_trace_sink(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace_sink = Some(sink);
+        self
+    }
+
+    /// Overrides the per-subscriber event-queue bound.
+    pub fn with_event_capacity(mut self, capacity: usize) -> Self {
+        self.event_capacity = capacity.max(1);
+        self
     }
 }
 
@@ -103,6 +160,19 @@ pub enum ServiceEvent {
         /// Human-readable error.
         error: String,
     },
+    /// A running job reported search progress (a scheduling round or a
+    /// best-so-far improvement). Emitted only while the service observes
+    /// (see [`ServiceConfig::observe`]); purely informational.
+    Progress {
+        /// The job.
+        job: JobId,
+        /// Search round index, when the checkpoint was round-scoped.
+        round: Option<u64>,
+        /// Evaluations spent so far.
+        evaluations: u64,
+        /// Best cost known so far.
+        best_cost: f64,
+    },
 }
 
 impl ServiceEvent {
@@ -113,7 +183,8 @@ impl ServiceEvent {
             | Self::Started { job }
             | Self::Completed { job, .. }
             | Self::Cancelled { job, .. }
-            | Self::Failed { job, .. } => *job,
+            | Self::Failed { job, .. }
+            | Self::Progress { job, .. } => *job,
         }
     }
 }
@@ -150,6 +221,10 @@ struct JobSlot {
     request: Option<JobRequest>,
     state: JobState,
     cancel: CancelToken,
+    priority: Priority,
+    /// When the job was submitted; feeds the sojourn histogram at the
+    /// terminal transition (report-only, like every obs timestamp).
+    submitted: Stamp,
 }
 
 struct State {
@@ -157,28 +232,41 @@ struct State {
     /// One FIFO per priority class, holding job indices.
     queues: [VecDeque<u64>; Priority::COUNT],
     shutdown: bool,
-    subscribers: Vec<mpsc::Sender<ServiceEvent>>,
+    subscribers: Vec<EventSender>,
 }
 
 impl State {
     fn emit(&mut self, event: ServiceEvent) {
-        self.subscribers.retain(|tx| tx.send(event.clone()).is_ok());
+        self.subscribers.retain(|tx| tx.send(event.clone()));
     }
 
     /// Dequeues the next runnable job: highest class first, FIFO within
     /// a class, skipping entries cancelled while still pending.
-    fn pop_next(&mut self) -> Option<(JobId, JobRequest, CancelToken)> {
+    fn pop_next(&mut self, metrics: &ServiceMetrics) -> Option<(JobId, JobRequest, CancelToken)> {
         for queue in &mut self.queues {
             while let Some(index) = queue.pop_front() {
                 let slot = &mut self.jobs[index as usize];
                 let Some(request) = slot.request.take() else {
-                    continue; // cancelled while pending
+                    continue; // cancelled while pending (gauge already decremented)
                 };
                 slot.state = JobState::Running;
+                metrics.queue_depth[slot.priority.class()].add(-1);
                 return Some((JobId(index), request, slot.cancel.clone()));
             }
         }
         None
+    }
+
+    /// Records a job's terminal transition into the metric counters.
+    fn observe_terminal(&self, metrics: &ServiceMetrics, job: JobId) {
+        let slot = &self.jobs[job.index()];
+        metrics.sojourn[slot.priority.class()].observe(slot.submitted.elapsed_us());
+        match slot.state {
+            JobState::Done(_) => metrics.completed.inc(1),
+            JobState::Failed(_) => metrics.failed.inc(1),
+            JobState::Cancelled(_) => metrics.cancelled.inc(1),
+            JobState::Pending | JobState::Running => {}
+        }
     }
 }
 
@@ -189,6 +277,59 @@ struct Shared {
     registry: ProviderRegistry,
     scratch_runs: AtomicU64,
     scratch_events: AtomicU64,
+    metrics: ServiceMetrics,
+    flight: Arc<FlightRecorder>,
+    observe: bool,
+    event_capacity: usize,
+    trace_sink: Option<Arc<dyn TraceSink>>,
+}
+
+/// The per-job trace sink the worker installs: feeds the flight
+/// recorder, maps engine counters into metrics, forwards progress to
+/// event subscribers, and relays to the configured extra sink.
+struct WorkerSink {
+    shared: Arc<Shared>,
+}
+
+impl TraceSink for WorkerSink {
+    fn record(&self, job: u64, event: &TraceEvent) {
+        let shared = &*self.shared;
+        shared.flight.push(job, event);
+        shared.metrics.trace_events.inc(1);
+        if event.kind == "delta_stats" {
+            let mut stats = noc_sim::DeltaStats::default();
+            for (name, value) in &event.counters {
+                match *name {
+                    "incremental_moves" => stats.incremental_moves = *value,
+                    "route_unchanged_moves" => stats.route_unchanged_moves = *value,
+                    "full_restores" => stats.full_restores = *value,
+                    "tail_converged_moves" => stats.tail_converged_moves = *value,
+                    "full_rebaselines" => stats.full_rebaselines = *value,
+                    "tape_refreshes" => stats.tape_refreshes = *value,
+                    "cache_hits" => stats.cache_hits = *value,
+                    "events_replayed" => stats.events_replayed = *value,
+                    "events_total" => stats.events_total = *value,
+                    _ => {}
+                }
+            }
+            noc_sim::obs::publish_delta_stats(&shared.metrics.registry, &stats);
+        }
+        if matches!(event.kind, "round" | "best" | "epoch") {
+            // The worker holds no locks while executing, so taking the
+            // state lock here (to fan the progress out) cannot deadlock.
+            let progress = ServiceEvent::Progress {
+                job: JobId(job),
+                round: event.round,
+                evaluations: event.evaluations,
+                best_cost: event.cost.unwrap_or(f64::NAN),
+            };
+            let mut state = shared.state.lock().expect("service lock poisoned");
+            state.emit(progress);
+        }
+        if let Some(sink) = &shared.trace_sink {
+            sink.record(job, event);
+        }
+    }
 }
 
 /// A cloneable reference to a running service: submit, query, cancel,
@@ -216,8 +357,12 @@ impl ServiceHandle {
             request: Some(request),
             state: JobState::Pending,
             cancel: CancelToken::new(),
+            priority,
+            submitted: noc_obs::stamp(),
         });
         state.queues[priority.class()].push_back(id.0);
+        self.shared.metrics.submitted[priority.class()].inc(1);
+        self.shared.metrics.queue_depth[priority.class()].add(1);
         state.emit(ServiceEvent::Submitted {
             job: id,
             kind,
@@ -242,6 +387,8 @@ impl ServiceHandle {
                 slot.request = None;
                 slot.cancel.cancel();
                 slot.state = JobState::Cancelled(None);
+                self.shared.metrics.queue_depth[slot.priority.class()].add(-1);
+                state.observe_terminal(&self.shared.metrics, job);
                 state.emit(ServiceEvent::Cancelled {
                     job,
                     partial: false,
@@ -296,11 +443,43 @@ impl ServiceHandle {
     }
 
     /// Registers an event subscriber. Events submitted before the call
-    /// are not replayed.
-    pub fn subscribe(&self) -> mpsc::Receiver<ServiceEvent> {
-        let (tx, rx) = mpsc::channel();
+    /// are not replayed. The stream is bounded
+    /// ([`ServiceConfig::event_capacity`]): a subscriber that stops
+    /// reading loses the *oldest* undelivered events rather than
+    /// stalling the service or growing its memory without limit.
+    pub fn subscribe(&self) -> EventStream {
+        let (tx, rx) = bounded(
+            self.shared.event_capacity,
+            Arc::clone(&self.shared.metrics.dropped_events),
+        );
         self.lock().subscribers.push(tx);
         rx
+    }
+
+    /// The service's metrics registry (shared; live).
+    pub fn metrics(&self) -> Arc<MetricsRegistry> {
+        Arc::clone(&self.shared.metrics.registry)
+    }
+
+    /// Prometheus-style text exposition of every service metric.
+    pub fn metrics_exposition(&self) -> String {
+        self.shared.metrics.registry.exposition()
+    }
+
+    /// JSON snapshot of every service metric.
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics.registry.snapshot_json()
+    }
+
+    /// The flight recorder's tape for a job, if the recorder has seen
+    /// it (requires [`ServiceConfig::observe`], the default).
+    pub fn flight_snapshot(&self, job: JobId) -> Option<Tape> {
+        self.shared.flight.snapshot(job.0)
+    }
+
+    /// Job ids the flight recorder currently holds tapes for.
+    pub fn flight_jobs(&self) -> Vec<JobId> {
+        self.shared.flight.jobs().into_iter().map(JobId).collect()
     }
 
     /// Aggregate counters: job states, registry hit rate, pooled
@@ -373,6 +552,11 @@ impl MappingService {
             registry: ProviderRegistry::new(),
             scratch_runs: AtomicU64::new(0),
             scratch_events: AtomicU64::new(0),
+            metrics: ServiceMetrics::new(),
+            flight: Arc::new(FlightRecorder::new(FLIGHT_EVENTS_PER_JOB, FLIGHT_MAX_JOBS)),
+            observe: config.observe,
+            event_capacity: config.event_capacity,
+            trace_sink: config.trace_sink,
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -420,7 +604,7 @@ impl MappingService {
     }
 
     /// Convenience: subscribe directly on the service.
-    pub fn subscribe(&self) -> mpsc::Receiver<ServiceEvent> {
+    pub fn subscribe(&self) -> EventStream {
         self.handle.subscribe()
     }
 
@@ -451,14 +635,14 @@ impl Drop for MappingService {
 
 /// One worker: dequeue → execute → record, with a pooled scratch arena
 /// that outlives every job the worker runs.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Arc<Shared>) {
     let mut scratch = ScheduleScratch::new();
     let mut reported = scratch.run_stats();
     loop {
         let (id, request, cancel) = {
             let mut state = shared.state.lock().expect("service lock poisoned");
             loop {
-                if let Some(next) = state.pop_next() {
+                if let Some(next) = state.pop_next(&shared.metrics) {
                     state.emit(ServiceEvent::Started { job: next.0 });
                     break next;
                 }
@@ -472,17 +656,67 @@ fn worker_loop(shared: &Shared) {
             }
         };
 
-        let result = worker::execute(&request, &shared.registry, &mut scratch, &cancel);
+        shared.metrics.workers_busy.add(1);
+        let result = if shared.observe {
+            // Install the per-job trace context: every emission inside
+            // the search/mapping stack lands on this worker's sink.
+            // Execution itself is untouched — the context only carries
+            // events *out*.
+            let sink: Arc<dyn TraceSink> = Arc::new(WorkerSink {
+                shared: Arc::clone(shared),
+            });
+            noc_obs::trace::with_job(id.0, sink, || {
+                noc_obs::emit_with(|| {
+                    let mut event = TraceEvent::new("job_start");
+                    event.label = request.kind().to_owned();
+                    event
+                });
+                let result = worker::execute(&request, &shared.registry, &mut scratch, &cancel);
+                noc_obs::emit_with(|| {
+                    let mut event = TraceEvent::new("job_end");
+                    event.label = match &result {
+                        Ok(_) if cancel.is_cancelled() => "cancelled".to_owned(),
+                        Ok(_) => "done".to_owned(),
+                        Err(e) => format!("failed: {e}"),
+                    };
+                    event
+                });
+                result
+            })
+        } else {
+            worker::execute(&request, &shared.registry, &mut scratch, &cancel)
+        };
+        shared.metrics.workers_busy.add(-1);
 
         // Publish the pooled arena's reuse counters (monotone deltas).
         let now = scratch.run_stats();
-        shared
-            .scratch_runs
-            .fetch_add(now.runs - reported.runs, Ordering::Relaxed);
+        let delta = noc_sim::RunStats {
+            runs: now.runs - reported.runs,
+            events: now.events - reported.events,
+        };
+        shared.scratch_runs.fetch_add(delta.runs, Ordering::Relaxed);
         shared
             .scratch_events
-            .fetch_add(now.events - reported.events, Ordering::Relaxed);
+            .fetch_add(delta.events, Ordering::Relaxed);
+        noc_sim::obs::publish_run_stats(&shared.metrics.registry, delta);
         reported = now;
+
+        // Registry and evaluation metrics from the finished result.
+        // Hit/miss only counts auto-tier jobs — explicit tiers build
+        // providers privately without consulting the registry, matching
+        // what `registry.stats()` reports.
+        if let Ok(JobResult::Solve(r)) = &result {
+            if matches!(&request, JobRequest::Solve(req)
+                if req.route_cache == crate::job::CacheTier::Auto)
+            {
+                if r.registry_hit {
+                    shared.metrics.registry_hits.inc(1);
+                } else {
+                    shared.metrics.registry_misses.inc(1);
+                }
+            }
+            shared.metrics.search_evaluations.inc(r.outcome.evaluations);
+        }
 
         let mut state = shared.state.lock().expect("service lock poisoned");
         let (next_state, event) = match result {
@@ -525,6 +759,7 @@ fn worker_loop(shared: &Shared) {
             }
         };
         state.jobs[id.index()].state = next_state;
+        state.observe_terminal(&shared.metrics, id);
         state.emit(event);
         drop(state);
         shared.job_done.notify_all();

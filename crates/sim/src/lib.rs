@@ -78,6 +78,7 @@ pub mod error;
 mod event;
 pub mod gantt;
 pub mod interval;
+pub mod obs;
 pub mod params;
 pub mod resource;
 pub mod schedule;
