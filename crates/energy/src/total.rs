@@ -17,7 +17,7 @@ use noc_model::{
     Cdcg, Cwg, Mapping, Mesh, RouteCache, RouteProvider, RouteSource, RoutingAlgorithm,
     RoutingKind, XyRouting,
 };
-use noc_sim::{schedule_with, IncrementalScheduler, Schedule, SimError, SimParams};
+use noc_sim::{schedule_with, BatchEvaluator, IncrementalScheduler, Schedule, SimError, SimParams};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
@@ -184,6 +184,14 @@ pub struct CdcmCostEvaluator<'a> {
     /// Most recent full evaluation, so delta queries against an
     /// unchanged baseline skip the `O(packets)` energy recomputation.
     last: Option<(Mapping, CdcmCost)>,
+    /// Lazily built batch engine ([`Self::evaluate_batch`]); shares the
+    /// route provider with `engine` but owns its own scratch and memo.
+    batch: Option<BatchEvaluator<'a>>,
+    /// Reusable `texec` buffer for batch evaluations.
+    batch_texecs: Vec<u64>,
+    /// Walk-memo policy ([`Self::set_walk_memo`]); applied to the batch
+    /// engine when it is lazily built.
+    walk_memo: bool,
 }
 
 impl<'a> CdcmCostEvaluator<'a> {
@@ -229,6 +237,22 @@ impl<'a> CdcmCostEvaluator<'a> {
             tech,
             swapped: None,
             last: None,
+            batch: None,
+            batch_texecs: Vec::new(),
+            walk_memo: true,
+        }
+    }
+
+    /// Enables or disables walk memoization in both inner engines (the
+    /// incremental scheduler and the batch evaluator). A no-op under a
+    /// dense provider; costs are bit-identical either way — this is a
+    /// performance knob and the lever the memo-equivalence property
+    /// tests flip.
+    pub fn set_walk_memo(&mut self, enabled: bool) {
+        self.walk_memo = enabled;
+        self.engine.set_walk_memo(enabled);
+        if let Some(batch) = self.batch.as_mut() {
+            batch.set_walk_memo(enabled);
         }
     }
 
@@ -278,6 +302,58 @@ impl<'a> CdcmCostEvaluator<'a> {
             slot @ None => *slot = Some((mapping.clone(), cost)),
         }
         Ok(cost)
+    }
+
+    /// Evaluates every mapping in `batch` through the data-oriented
+    /// batch engine ([`noc_sim::BatchEvaluator`]), appending one
+    /// [`CdcmCost`] per mapping to `out` in batch order. Each cost is
+    /// bit-identical to what [`Self::evaluate`] returns for that mapping
+    /// (identical event loop, identical floating-point energy terms);
+    /// the batch shares one workload pass and deduplicates route
+    /// resolution across sibling candidates. The incremental baseline
+    /// and its cache are untouched, so interleaving batch and swap
+    /// queries is safe.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::evaluate`], checked per candidate before any
+    /// evaluation runs; a failing candidate aborts the whole batch and
+    /// `out` is left unchanged.
+    pub fn evaluate_batch(
+        &mut self,
+        batch: &[Mapping],
+        out: &mut Vec<CdcmCost>,
+    ) -> Result<(), SimError> {
+        if self.batch.is_none() {
+            let mut evaluator = BatchEvaluator::with_provider(
+                self.engine.cdcg(),
+                self.engine.params(),
+                Arc::clone(self.engine.provider()),
+            );
+            evaluator.set_walk_memo(self.walk_memo);
+            self.batch = Some(evaluator);
+        }
+        let mut texecs = std::mem::take(&mut self.batch_texecs);
+        let evaluator = self.batch.as_mut().expect("just built");
+        let result = evaluator.evaluate_into(batch, &mut texecs);
+        if result.is_ok() {
+            out.reserve(batch.len());
+            for (mapping, &texec) in batch.iter().zip(&texecs) {
+                let cost = self.cost_at(texec, mapping);
+                out.push(cost);
+            }
+        }
+        self.batch_texecs = texecs;
+        result
+    }
+
+    /// Telemetry of the batch engine: `(batch stats, memo stats)`, or
+    /// `None` before the first [`Self::evaluate_batch`] call. Memo stats
+    /// are `None` under a dense provider (no dedup needed).
+    pub fn batch_stats(&self) -> Option<(noc_sim::BatchStats, Option<noc_model::WalkMemoStats>)> {
+        self.batch
+            .as_ref()
+            .map(|b| (b.stats(), b.walk_memo_stats()))
     }
 
     /// Evaluates `mapping` with tiles `a` and `b` swapped, incrementally:

@@ -9,7 +9,7 @@
 
 use crate::exhaustive::exhaustive;
 use crate::greedy::greedy;
-use crate::objective::{CdcmObjective, CwmObjective, SwapDeltaCost};
+use crate::objective::{BatchCost, CdcmObjective, CwmObjective, SwapDeltaCost};
 use crate::random_search::random_search;
 use crate::result::SearchOutcome;
 use crate::sa::{RestartBudget, SaConfig};
@@ -100,7 +100,7 @@ pub enum SearchMethod {
 /// method. The cancel token reaches every strategy engine; the
 /// enumerative engines (exhaustive, random, greedy) run to completion —
 /// their budgets are explicit and small by construction.
-fn run_method<C: SwapDeltaCost + Clone + Send>(
+fn run_method<C: SwapDeltaCost + BatchCost + Clone + Send>(
     objective: &C,
     mesh: &Mesh,
     cores: usize,
@@ -348,6 +348,7 @@ impl<'a> Explorer<'a> {
                         ("full_restores", stats.full_restores),
                         ("tail_converged_moves", stats.tail_converged_moves),
                         ("full_rebaselines", stats.full_rebaselines),
+                        ("full_path_moves", stats.full_path_moves),
                         ("tape_refreshes", stats.tape_refreshes),
                         ("cache_hits", stats.cache_hits),
                         ("events_replayed", stats.events_replayed),
@@ -355,6 +356,36 @@ impl<'a> Explorer<'a> {
                     ];
                     event
                 });
+                // Same treatment for the batch engine's counters, when
+                // a batching strategy (GA generations, the portfolio)
+                // drove evaluations through it.
+                if let Some((batch, memo)) = objective.batch_stats() {
+                    noc_obs::emit_with(|| {
+                        let mut event = noc_obs::TraceEvent::new("batch_stats");
+                        event.label = run.outcome.method.clone();
+                        event.counters = vec![
+                            ("batches", batch.batches),
+                            ("candidates", batch.candidates),
+                            ("max_batch", batch.max_batch),
+                        ];
+                        for (name, &n) in noc_sim::obs::BATCH_SIZE_BUCKET_NAMES
+                            .iter()
+                            .zip(&batch.size_log2)
+                        {
+                            if n > 0 {
+                                event.counters.push((*name, n));
+                            }
+                        }
+                        if let Some(memo) = memo {
+                            event.counters.extend([
+                                ("memo_hits", memo.hits),
+                                ("memo_misses", memo.misses),
+                                ("memo_evictions", memo.evictions),
+                            ]);
+                        }
+                        event
+                    });
+                }
                 run
             }
         }

@@ -80,7 +80,8 @@ pub use noc_search::{
     TabuConfig, TabuSearch, Tenure,
 };
 pub use objective::{
-    CdcmObjective, CostFunction, CwmObjective, ExecTimeObjective, SwapDeltaCost, WeightedObjective,
+    BatchCost, CdcmObjective, CostFunction, CwmObjective, ExecTimeObjective, SwapDeltaCost,
+    WeightedObjective,
 };
 pub use pareto::{pareto_front, ParetoPoint};
 pub use random_search::random_search;

@@ -18,7 +18,7 @@ use noc_model::{
     Cdcg, Cwg, Mapping, Mesh, RouteCache, RouteProvider, RouteSource, RoutingAlgorithm,
     RoutingKind, TileId,
 };
-use noc_sim::{CostEvaluator, SimParams};
+use noc_sim::{BatchEvaluator, CostEvaluator, SimParams};
 use std::cell::RefCell;
 use std::sync::Arc;
 
@@ -41,7 +41,7 @@ fn provider_for(mesh: &Mesh, routing: &dyn RoutingAlgorithm) -> Arc<RouteProvide
 // subsystem (`noc-search`), which the engines share; they are re-exported
 // here so objective implementors and downstream users are unaffected by
 // the move.
-pub use noc_search::{CostFunction, SwapDeltaCost};
+pub use noc_search::{BatchCost, CostFunction, SwapDeltaCost};
 
 /// The CWM objective (Equation 3): NoC dynamic energy of a CWG.
 ///
@@ -175,6 +175,10 @@ impl SwapDeltaCost for CwmObjective<'_> {
     }
 }
 
+// Hop counts are O(1) lookups, so the CWM objective gains nothing from
+// batching; the sequential default is already its fast path.
+impl BatchCost for CwmObjective<'_> {}
+
 /// The CDCM objective (Equation 10): total NoC energy including leakage
 /// over the contention-aware execution time.
 ///
@@ -256,6 +260,22 @@ impl<'a> CdcmObjective<'a> {
     pub fn delta_stats(&self) -> noc_sim::DeltaStats {
         self.engine.borrow().delta_stats()
     }
+
+    /// Telemetry of the batch engine behind [`BatchCost::batch_cost`]:
+    /// batch counters plus the walk-memo dedup counters (inner `None`
+    /// under a dense provider). `None` until the first batched
+    /// evaluation.
+    pub fn batch_stats(&self) -> Option<(noc_sim::BatchStats, Option<noc_model::WalkMemoStats>)> {
+        self.engine.borrow().batch_stats()
+    }
+
+    /// Enables or disables walk memoization in the backing engines
+    /// (incremental scheduler and batch evaluator). Costs — and
+    /// therefore search trajectories — are bit-identical either way;
+    /// the memo-equivalence property tests pin that by flipping this.
+    pub fn set_walk_memo(&self, enabled: bool) {
+        self.engine.borrow_mut().set_walk_memo(enabled);
+    }
 }
 
 impl Clone for CdcmObjective<'_> {
@@ -303,6 +323,58 @@ impl SwapDeltaCost for CdcmObjective<'_> {
             Err(_) => f64::INFINITY,
         }
     }
+
+    /// Neighborhood form: the shared baseline is evaluated once (not
+    /// once per move, as chaining [`Self::swap_delta`] would), then each
+    /// move runs only its incremental suffix re-run. Deltas are
+    /// bit-identical to per-move calls — the baseline a per-move chain
+    /// re-evaluates comes from the engine's unchanged-mapping cache and
+    /// is bitwise the same value.
+    fn batch_swap_delta(&self, mapping: &Mapping, moves: &[(TileId, TileId)], out: &mut Vec<f64>) {
+        let mut engine = self.engine.borrow_mut();
+        let base = match engine.evaluate(mapping) {
+            Ok(c) => c.objective_pj,
+            Err(_) => {
+                // Per-move parity: `swap_delta` short-circuits `a == b`
+                // to 0.0 before it ever evaluates the baseline.
+                out.extend(
+                    moves
+                        .iter()
+                        .map(|&(a, b)| if a == b { 0.0 } else { f64::INFINITY }),
+                );
+                return;
+            }
+        };
+        for &(a, b) in moves {
+            if a == b {
+                out.push(0.0);
+                continue;
+            }
+            match engine.evaluate_swap(mapping, a, b) {
+                Ok(c) => out.push(c.objective_pj - base),
+                Err(_) => out.push(f64::INFINITY),
+            }
+        }
+    }
+}
+
+impl BatchCost for CdcmObjective<'_> {
+    /// Batched full evaluations through the data-oriented engine
+    /// ([`CdcmCostEvaluator::evaluate_batch`]): one workload pass,
+    /// deduplicated route resolution, pooled scratch. Bit-identical to
+    /// per-mapping [`CostFunction::cost`] calls; on a batch-aborting
+    /// error it falls back to the sequential path so per-mapping
+    /// infinities land exactly where `cost` would put them.
+    fn batch_cost(&self, batch: &[Mapping], out: &mut Vec<f64>) {
+        let mut engine = self.engine.borrow_mut();
+        let mut costs = Vec::with_capacity(batch.len());
+        if engine.evaluate_batch(batch, &mut costs).is_ok() {
+            out.extend(costs.iter().map(|c| c.objective_pj));
+        } else {
+            drop(engine);
+            out.extend(batch.iter().map(|m| self.cost(m)));
+        }
+    }
 }
 
 /// Pure execution-time objective (`texec` in nanoseconds), evaluated on
@@ -310,14 +382,19 @@ impl SwapDeltaCost for CdcmObjective<'_> {
 #[derive(Debug)]
 pub struct ExecTimeObjective<'a> {
     engine: RefCell<CostEvaluator<'a>>,
+    /// Batch engine for [`BatchCost::batch_cost`]; shares the provider
+    /// with `engine` but owns private scratch and memo.
+    batch: RefCell<BatchEvaluator<'a>>,
 }
 
 impl<'a> ExecTimeObjective<'a> {
     /// Creates the objective, under XY routing.
     pub fn new(cdcg: &'a Cdcg, mesh: &'a Mesh, params: SimParams) -> Self {
-        Self {
-            engine: RefCell::new(CostEvaluator::new(cdcg, mesh, &params)),
-        }
+        Self::with_provider(
+            cdcg,
+            params,
+            Arc::new(RouteProvider::auto(mesh, RoutingKind::Xy)),
+        )
     }
 
     /// Creates the objective under an explicit routing algorithm.
@@ -338,7 +415,12 @@ impl<'a> ExecTimeObjective<'a> {
     /// Creates the objective over an existing shared route provider.
     pub fn with_provider(cdcg: &'a Cdcg, params: SimParams, routes: Arc<RouteProvider>) -> Self {
         Self {
-            engine: RefCell::new(CostEvaluator::with_provider(cdcg, &params, routes)),
+            engine: RefCell::new(CostEvaluator::with_provider(
+                cdcg,
+                &params,
+                Arc::clone(&routes),
+            )),
+            batch: RefCell::new(BatchEvaluator::with_provider(cdcg, &params, routes)),
         }
     }
 }
@@ -347,6 +429,7 @@ impl Clone for ExecTimeObjective<'_> {
     fn clone(&self) -> Self {
         Self {
             engine: RefCell::new(self.engine.borrow().clone()),
+            batch: RefCell::new(self.batch.borrow().clone()),
         }
     }
 }
@@ -361,6 +444,23 @@ impl CostFunction for ExecTimeObjective<'_> {
 
     fn name(&self) -> String {
         "texec".to_owned()
+    }
+}
+
+impl BatchCost for ExecTimeObjective<'_> {
+    /// Batched `texec` through [`noc_sim::BatchEvaluator`]: the cycle
+    /// counts are bit-identical to the sequential fast path, and the
+    /// cycles→ns conversion is the same operation `cost` performs.
+    fn batch_cost(&self, batch: &[Mapping], out: &mut Vec<f64>) {
+        let mut engine = self.batch.borrow_mut();
+        let mut texecs = Vec::with_capacity(batch.len());
+        if engine.evaluate_into(batch, &mut texecs).is_ok() {
+            let params = *engine.params();
+            out.extend(texecs.iter().map(|&t| params.cycles_to_ns(t)));
+        } else {
+            drop(engine);
+            out.extend(batch.iter().map(|m| self.cost(m)));
+        }
     }
 }
 
@@ -471,6 +571,27 @@ impl CostFunction for WeightedObjective<'_> {
 
     fn name(&self) -> String {
         format!("{}*ENoC+{}*texec", self.energy_weight, self.time_weight)
+    }
+}
+
+impl BatchCost for WeightedObjective<'_> {
+    /// Batched blend over [`CdcmCostEvaluator::evaluate_batch`]: the
+    /// energy and time terms are bit-identical to a sequential
+    /// evaluation, and the blend is the same two-operation expression
+    /// `cost` computes.
+    fn batch_cost(&self, batch: &[Mapping], out: &mut Vec<f64>) {
+        let mut engine = self.engine.borrow_mut();
+        let mut costs = Vec::with_capacity(batch.len());
+        if engine.evaluate_batch(batch, &mut costs).is_ok() {
+            out.extend(
+                costs
+                    .iter()
+                    .map(|c| self.energy_weight * c.objective_pj + self.time_weight * c.texec_ns),
+            );
+        } else {
+            drop(engine);
+            out.extend(batch.iter().map(|m| self.cost(m)));
+        }
     }
 }
 

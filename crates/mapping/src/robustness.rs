@@ -20,7 +20,7 @@
 //!   penalty `cost × (1 + w·HHI)`, for searches that should trade a
 //!   little energy for spreading traffic across more links.
 
-use crate::objective::{CdcmObjective, CostFunction, SwapDeltaCost};
+use crate::objective::{BatchCost, CdcmObjective, CostFunction, SwapDeltaCost};
 use noc_energy::Technology;
 use noc_model::{Cdcg, Cwg, FaultSet, Link, Mapping, RouteProvider, RouteSource, TileId};
 use noc_search::propose_swap;
@@ -315,6 +315,18 @@ impl CostFunction for RobustCdcmObjective<'_> {
 
     fn name(&self) -> String {
         format!("CDCM*(1+{}*HHI)", self.weight)
+    }
+}
+
+impl BatchCost for RobustCdcmObjective<'_> {
+    /// Batched penalized costs: the energy term comes from the inner
+    /// objective's batched engine, the HHI penalty is recomputed per
+    /// mapping — the exact expression `cost` evaluates, in the same
+    /// operation order.
+    fn batch_cost(&self, batch: &[Mapping], out: &mut Vec<f64>) {
+        let mut inner = Vec::with_capacity(batch.len());
+        self.inner.batch_cost(batch, &mut inner);
+        out.extend(batch.iter().zip(&inner).map(|(m, &c)| c * self.penalty(m)));
     }
 }
 

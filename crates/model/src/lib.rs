@@ -57,6 +57,7 @@ pub mod mapping;
 pub mod route_cache;
 pub mod route_provider;
 pub mod routing;
+pub mod walk_memo;
 
 pub use cdcg::{Cdcg, Packet};
 pub use crg::{Coord, Direction, Link, Mesh};
@@ -71,3 +72,4 @@ pub use routing::{
     Path, RoutingAlgorithm, RoutingKind, TorusXyRouting, TorusXyzRouting, XyRouting, XyzRouting,
     YxRouting,
 };
+pub use walk_memo::{WalkMemo, WalkMemoStats};

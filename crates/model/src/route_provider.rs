@@ -609,6 +609,25 @@ impl RouteProvider {
         }
     }
 
+    /// Whether evaluators should front this provider with a private
+    /// [`crate::WalkMemo`] by default. True for the tiers where
+    /// resolution takes locks (the sharded on-demand cache) or runs a
+    /// search (fault-aware BFS detours) — exactly where PR 3 measured
+    /// shared-cache synchronization costing more than recomputation.
+    /// The implicit walker recomputes lock-free and the dense tier's
+    /// spans index its own flat array, so neither defaults on (a memo
+    /// is *incorrect* over dense: nothing is appended to its arena).
+    pub fn local_memo_default(&self) -> bool {
+        matches!(self, Self::OnDemand(_) | Self::FaultAware(_))
+    }
+
+    /// Whether a [`crate::WalkMemo`] may front this provider at all:
+    /// every buffering tier (`walk_span` appends the walk to the
+    /// caller's buffer). Only the dense tier is excluded.
+    pub fn memo_compatible(&self) -> bool {
+        !matches!(self, Self::Dense(_))
+    }
+
     /// The dense cache, when this is the dense tier.
     pub fn as_dense(&self) -> Option<&Arc<RouteCache>> {
         match self {

@@ -22,6 +22,13 @@
 //! collected by member index and every ranking tie breaks toward the
 //! lower index (the same deterministic-reduction rule as
 //! `anneal_multistart`).
+//!
+//! The objective clones are also what keeps the walk-memoization story
+//! lock-free under round advancement: a simulator-backed objective's
+//! clone duplicates its private `noc_model::WalkMemo` table wholesale
+//! (or starts a fresh one), so each member thread memoizes into memory
+//! it exclusively owns — no shards, no guards, no cross-thread sharing,
+//! and a member's hit pattern depends only on its own trajectory.
 
 use crate::cancel::CancelToken;
 use crate::objective::SwapDeltaCost;

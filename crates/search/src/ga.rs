@@ -14,9 +14,21 @@
 //! full re-evaluation; only crossover offspring pay for a from-scratch
 //! cost. The search is sequential and therefore trivially deterministic
 //! per seed.
+//!
+//! ## Generation batching
+//!
+//! Crossover offspring are not costed one by one: each generation packs
+//! them into a single [`BatchCost::batch_cost`] call at the generation
+//! flush, so simulator-backed objectives amortize route resolution and
+//! scratch arenas across the whole brood (see
+//! `noc_sim::BatchEvaluator`). The trajectory is bit-identical to
+//! per-offspring costing because every RNG draw happens at offspring
+//! *creation*, costs are pure per mapping (the [`BatchCost`] contract),
+//! and best-tracking/telemetry replay in creation order with the
+//! evaluation numbers billed at creation.
 
 use crate::cancel::CancelToken;
-use crate::objective::SwapDeltaCost;
+use crate::objective::{BatchCost, SwapDeltaCost};
 use crate::outcome::SearchOutcome;
 use crate::strategy::{SearchRun, SearchStrategy};
 use crate::telemetry::SearchTelemetry;
@@ -202,7 +214,12 @@ impl GeneticSearch {
     }
 }
 
-impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
+/// One deferred best-tracking replay entry: which `next` slot, the
+/// evaluation number billed at creation, and (for crossover offspring)
+/// the slot in the generation's cost batch.
+type Pending = (usize, u64, Option<usize>);
+
+impl<C: SwapDeltaCost + BatchCost + ?Sized> SearchStrategy<C> for GeneticSearch {
     fn name(&self) -> String {
         format!("GA[{}]", self.config.crossover.label())
     }
@@ -227,10 +244,14 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
         let mut best_perm: Vec<u32> = Vec::new();
         let mut best_cost = f64::INFINITY;
 
-        // Initial population: uniform random permutations, fully costed.
-        // At least one individual is always evaluated, so a cancelled
-        // run still returns a verified mapping.
+        // Initial population: uniform random permutations, costed in one
+        // batch after creation (every RNG draw happens at creation, so
+        // batching cannot perturb the stream). At least one individual is
+        // always evaluated, so a cancelled run still returns a verified
+        // mapping.
         let mut pop: Vec<Indiv> = Vec::new();
+        let mut batch: Vec<Mapping> = Vec::new();
+        let mut batch_costs: Vec<f64> = Vec::new();
         for _ in 0..pop_size {
             if evaluations >= budget || (evaluations > 0 && cancel.is_cancelled()) {
                 break;
@@ -239,29 +260,41 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
                 .iter()
                 .map(|t| t.index() as u32)
                 .collect();
-            let cost = objective.cost(&mapping_of(mesh, &perm, core_count));
+            batch.push(mapping_of(mesh, &perm, core_count));
             evaluations += 1;
+            pop.push(Indiv {
+                perm,
+                cost: f64::NAN,
+            });
+        }
+        objective.batch_cost(&batch, &mut batch_costs);
+        for (idx, (indiv, &cost)) in pop.iter_mut().zip(&batch_costs).enumerate() {
+            indiv.cost = cost;
             if cost < best_cost {
                 best_cost = cost;
-                best_perm = perm.clone();
-                telemetry.record_best(evaluations, cost);
+                best_perm = indiv.perm.clone();
+                telemetry.record_best(idx as u64 + 1, cost);
             }
-            pop.push(Indiv { perm, cost });
         }
 
         // Elites alone must never fill a generation: with
         // `elite >= pop_size` the offspring loop would add nothing, bill
         // nothing, and the budget loop would never terminate.
         let elite = config.elite.min(pop.len()).min(pop_size - 1);
+        let mut pending: Vec<Pending> = Vec::new();
         'outer: while evaluations < budget && !cancel.is_cancelled() {
             // Rank: cost ascending, ties to the earlier index.
             let mut ranked: Vec<usize> = (0..pop.len()).collect();
             ranked.sort_by(|&a, &b| pop[a].cost.total_cmp(&pop[b].cost).then(a.cmp(&b)));
 
             let mut next: Vec<Indiv> = ranked[..elite].iter().map(|&i| pop[i].clone()).collect();
+            batch.clear();
+            pending.clear();
+            let mut exhausted = false;
             while next.len() < pop_size {
                 if evaluations >= budget {
-                    break 'outer;
+                    exhausted = true;
+                    break;
                 }
                 let pa = self.tournament(&pop, &mut rng);
                 // On a 1-tile mesh there is no distinct pair to mutate;
@@ -269,7 +302,7 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
                 // offspring still bills an evaluation and the budget
                 // loop terminates.
                 let crossed = n < 2 || rng.gen::<f64>() < config.crossover_rate;
-                let (perm, cost) = if crossed {
+                if crossed {
                     let pb = self.tournament(&pop, &mut rng);
                     let child = match config.crossover {
                         Crossover::Pmx => {
@@ -282,15 +315,21 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
                         }
                         Crossover::Cycle => cycle_crossover(&pop[pa].perm, &pop[pb].perm),
                     };
-                    let cost = objective.cost(&mapping_of(mesh, &child, core_count));
+                    // Deferred: the cost arrives at the generation flush.
                     evaluations += 1;
-                    (child, cost)
+                    pending.push((next.len(), evaluations, Some(batch.len())));
+                    batch.push(mapping_of(mesh, &child, core_count));
+                    next.push(Indiv {
+                        perm: child,
+                        cost: f64::NAN,
+                    });
                 } else {
                     // Swap mutation on the incremental fast path: the
                     // move is a tile swap touching at least one occupied
                     // tile, costed as parent + swap_delta (one billed
                     // evaluation, no full re-schedule for objectives
-                    // with a real delta engine).
+                    // with a real delta engine). Parents come from the
+                    // previous, fully costed generation.
                     let parent = &pop[pa];
                     let i = rng.gen_range(0..core_count);
                     let mut j = rng.gen_range(0..n - 1);
@@ -304,16 +343,35 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for GeneticSearch {
                     let delta =
                         objective.swap_delta(&mapping_of(mesh, &parent.perm, core_count), ta, tb);
                     evaluations += 1;
-                    let mut child = parent.perm.clone();
+                    pending.push((next.len(), evaluations, None));
+                    let cost = pop[pa].cost + delta;
+                    let mut child = pop[pa].perm.clone();
                     child.swap(i, j);
-                    (child, parent.cost + delta)
-                };
+                    next.push(Indiv { perm: child, cost });
+                }
+            }
+            // Generation flush: cost the deferred crossover brood in one
+            // batched call, then replay best-tracking in creation order
+            // under the evaluation numbers billed at creation. Batch
+            // costs are bit-equal to per-offspring costs (the
+            // `BatchCost` contract), so the trajectory is unchanged.
+            batch_costs.clear();
+            objective.batch_cost(&batch, &mut batch_costs);
+            for &(slot, eval_no, in_batch) in &pending {
+                if let Some(b) = in_batch {
+                    next[slot].cost = batch_costs[b];
+                }
+                let cost = next[slot].cost;
                 if cost < best_cost - 1e-9 {
                     best_cost = cost;
-                    best_perm = perm.clone();
-                    telemetry.record_best(evaluations, cost);
+                    best_perm = next[slot].perm.clone();
+                    telemetry.record_best(eval_no, cost);
                 }
-                next.push(Indiv { perm, cost });
+            }
+            if exhausted {
+                // The sequential path discards a generation it could not
+                // finish; `pop` keeps the last complete one.
+                break 'outer;
             }
             pop = next;
         }

@@ -49,9 +49,17 @@
 //! |----------|--------|-----------------|
 //! | [`MultiStartSa`] | static budget split across restarts | `SwapDeltaCost + Clone + Send` |
 //! | [`AdaptiveRestarts`] | successive-halving rounds + reheating | `SwapDeltaCost + Clone + Send` |
-//! | [`GeneticSearch`] | tournament/PMX-or-cycle/elitism GA | `SwapDeltaCost` |
+//! | [`GeneticSearch`] | tournament/PMX-or-cycle/elitism GA | `SwapDeltaCost + BatchCost` |
 //! | [`TabuSearch`] | swap-attribute tabu list + aspiration | `SwapDeltaCost` |
-//! | [`Portfolio`] | even split across the four above | `SwapDeltaCost + Clone + Send` |
+//! | [`Portfolio`] | even split across the four above | `SwapDeltaCost + BatchCost + Clone + Send` |
+//!
+//! [`BatchCost`] (defaulted to a sequential loop, so plain objectives
+//! implement it with one empty `impl` line) lets the GA cost a whole
+//! generation of crossover offspring in one call; tabu's neighborhood
+//! rides the defaulted [`SwapDeltaCost::batch_swap_delta`] the same way.
+//! Both loops stay bit-identical to per-candidate costing by
+//! construction — batching changes *when* an evaluation runs, never what
+//! it returns or which RNG draw precedes it.
 //!
 //! [`AdaptiveRestarts`] subsumes the static multi-start modes:
 //! `rounds = 1` *is* `RestartBudget::Total` splitting, and a population
@@ -75,7 +83,7 @@ pub mod tabu;
 pub use adaptive::{AdaptiveConfig, AdaptiveRestarts};
 pub use cancel::CancelToken;
 pub use ga::{Crossover, GaConfig, GeneticSearch};
-pub use objective::{CostFunction, SwapDeltaCost};
+pub use objective::{BatchCost, CostFunction, SwapDeltaCost};
 pub use outcome::SearchOutcome;
 pub use portfolio::{Portfolio, PortfolioConfig};
 pub use random::{random_search, sample_mapping};
@@ -144,6 +152,8 @@ mod tests {
             self.cost(&swapped) - self.cost(mapping)
         }
     }
+
+    impl BatchCost for Homing {}
 
     type StrategyFn = Box<dyn Fn(&Homing, &Mesh, usize) -> SearchRun>;
 

@@ -28,4 +28,32 @@ pub trait CostFunction {
 pub trait SwapDeltaCost: CostFunction {
     /// Cost change if tiles `a` and `b` of `mapping` were swapped.
     fn swap_delta(&self, mapping: &Mapping, a: TileId, b: TileId) -> f64;
+
+    /// Cost changes for many candidate swaps against the same base
+    /// mapping, appended to `out` in move order.
+    ///
+    /// Must push exactly `swap_delta(mapping, a, b)` for every move —
+    /// bit-identical, not approximately. The default loops; objectives
+    /// whose delta engine re-evaluates a shared baseline override it to
+    /// pay that baseline once per neighborhood instead of once per move.
+    fn batch_swap_delta(&self, mapping: &Mapping, moves: &[(TileId, TileId)], out: &mut Vec<f64>) {
+        out.extend(moves.iter().map(|&(a, b)| self.swap_delta(mapping, a, b)));
+    }
+}
+
+/// Objectives that can evaluate many candidate mappings in one call,
+/// sharing route resolution and scratch state across the batch.
+///
+/// The contract is bit-exactness: `batch_cost` must push exactly
+/// `cost(m)` for every mapping, in batch order, so engines may batch
+/// freely without perturbing a search trajectory. The default loops
+/// over [`CostFunction::cost`]; simulator-backed objectives override it
+/// with [`noc_sim::BatchEvaluator`](../../noc_sim/batch/index.html),
+/// which packs candidate injections into struct-of-arrays buffers and
+/// deduplicates route resolution across sibling candidates.
+pub trait BatchCost: CostFunction {
+    /// Costs of every mapping in `batch`, appended to `out` in order.
+    fn batch_cost(&self, batch: &[Mapping], out: &mut Vec<f64>) {
+        out.extend(batch.iter().map(|m| self.cost(m)));
+    }
 }

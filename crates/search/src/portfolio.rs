@@ -11,7 +11,7 @@
 use crate::adaptive::{AdaptiveConfig, AdaptiveRestarts};
 use crate::cancel::CancelToken;
 use crate::ga::{GaConfig, GeneticSearch};
-use crate::objective::SwapDeltaCost;
+use crate::objective::{BatchCost, SwapDeltaCost};
 use crate::sa::{MultiStartSa, RestartBudget, SaConfig};
 use crate::strategy::{SearchRun, SearchStrategy};
 use crate::tabu::{TabuConfig, TabuSearch, Tenure};
@@ -82,7 +82,7 @@ impl Portfolio {
 
 const MEMBERS: usize = 4;
 
-impl<C: SwapDeltaCost + Clone + Send> SearchStrategy<C> for Portfolio {
+impl<C: SwapDeltaCost + BatchCost + Clone + Send> SearchStrategy<C> for Portfolio {
     fn name(&self) -> String {
         format!("portfolio[{MEMBERS}]")
     }

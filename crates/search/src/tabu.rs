@@ -9,8 +9,13 @@
 //! everything seen cannot be cycling).
 //!
 //! Every sampled neighbor is costed through the objective's incremental
-//! [`SwapDeltaCost`] path and billed as one evaluation; the walk is
-//! sequential and deterministic per seed.
+//! [`SwapDeltaCost`] path and billed as one evaluation. Since PR 10 the
+//! whole neighborhood is proposed up front and costed through one
+//! [`SwapDeltaCost::batch_swap_delta`] call, which lets objectives whose
+//! delta engine re-evaluates a shared baseline pay it once per
+//! neighborhood; selection replays in sample order, so the walk is
+//! sequential, deterministic per seed, and bit-identical to per-move
+//! costing.
 
 use crate::cancel::CancelToken;
 use crate::objective::SwapDeltaCost;
@@ -152,21 +157,34 @@ impl<C: SwapDeltaCost + ?Sized> SearchStrategy<C> for TabuSearch {
         // A 1-tile mesh has no distinct swap; the single mapping is the
         // answer.
         if mesh.tile_count() > 1 {
+            // Neighborhood buffers, reused across iterations.
+            let mut moves: Vec<(TileId, TileId)> = Vec::new();
+            let mut deltas: Vec<f64> = Vec::new();
             // Cancellation checkpoint: once per iteration.
             while evaluations < budget && !cancel.is_cancelled() {
                 iteration += 1;
+                // Sample the whole neighborhood first (every RNG draw
+                // happens at proposal time), cost it in one batched
+                // delta call, then replay selection in sample order.
+                // Batched deltas are bit-equal to per-move deltas (the
+                // `batch_swap_delta` contract), so the walk is unchanged
+                // move-for-move.
+                moves.clear();
+                for _ in 0..neighborhood {
+                    if evaluations >= budget {
+                        break;
+                    }
+                    moves.push(propose_swap(mesh, &mut rng));
+                    evaluations += 1;
+                }
+                deltas.clear();
+                objective.batch_swap_delta(&current, &moves, &mut deltas);
                 // Best admissible candidate (non-tabu, or tabu but
                 // aspirating) and best overall fallback; ties keep the
                 // first-sampled candidate, so the walk is deterministic.
                 let mut chosen: Option<(TileId, TileId, f64)> = None;
                 let mut fallback: Option<(TileId, TileId, f64)> = None;
-                for _ in 0..neighborhood {
-                    if evaluations >= budget {
-                        break;
-                    }
-                    let (a, b) = propose_swap(mesh, &mut rng);
-                    let delta = objective.swap_delta(&current, a, b);
-                    evaluations += 1;
+                for (&(a, b), &delta) in moves.iter().zip(&deltas) {
                     if fallback.is_none_or(|f| delta < f.2) {
                         fallback = Some((a, b, delta));
                     }

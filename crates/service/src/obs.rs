@@ -17,6 +17,10 @@
 //! | `noc_search_evaluations_total` | counter | Evaluations billed by completed jobs |
 //! | `noc_schedule_runs_total` / `noc_schedule_events_total` | counter | Pooled scratch-arena engine work |
 //! | `noc_delta_*_total` | counter | Incremental delta-evaluator counters |
+//! | `noc_batch_batches_total` / `noc_batch_candidates_total` | counter | Batch-engine flushes and candidates evaluated |
+//! | `noc_batch_size` | histogram | Candidates per batch |
+//! | `noc_walk_memo_{hits,misses,evictions}_total` | counter | Walk-memo route-dedup outcomes |
+//! | `noc_batch_dedup_ratio_permille` | gauge | Route-dedup ratio of the last published batch work |
 
 use crate::job::Priority;
 use noc_obs::{Counter, Gauge, Histogram, MetricsRegistry};

@@ -305,6 +305,7 @@ impl TraceSink for WorkerSink {
                     "full_restores" => stats.full_restores = *value,
                     "tail_converged_moves" => stats.tail_converged_moves = *value,
                     "full_rebaselines" => stats.full_rebaselines = *value,
+                    "full_path_moves" => stats.full_path_moves = *value,
                     "tape_refreshes" => stats.tape_refreshes = *value,
                     "cache_hits" => stats.cache_hits = *value,
                     "events_replayed" => stats.events_replayed = *value,
@@ -313,6 +314,42 @@ impl TraceSink for WorkerSink {
                 }
             }
             noc_sim::obs::publish_delta_stats(&shared.metrics.registry, &stats);
+        }
+        if event.kind == "batch_stats" {
+            let mut batch = noc_sim::BatchStats::default();
+            let mut memo = noc_model::WalkMemoStats::default();
+            let mut has_memo = false;
+            for (name, value) in &event.counters {
+                match *name {
+                    "batches" => batch.batches = *value,
+                    "candidates" => batch.candidates = *value,
+                    "max_batch" => batch.max_batch = *value,
+                    "memo_hits" => {
+                        memo.hits = *value;
+                        has_memo = true;
+                    }
+                    "memo_misses" => {
+                        memo.misses = *value;
+                        has_memo = true;
+                    }
+                    "memo_evictions" => {
+                        memo.evictions = *value;
+                        has_memo = true;
+                    }
+                    other => {
+                        if let Some(i) = noc_sim::obs::BATCH_SIZE_BUCKET_NAMES
+                            .iter()
+                            .position(|n| *n == other)
+                        {
+                            batch.size_log2[i] = *value;
+                        }
+                    }
+                }
+            }
+            noc_sim::obs::publish_batch_stats(&shared.metrics.registry, &batch);
+            if has_memo {
+                noc_sim::obs::publish_walk_memo_stats(&shared.metrics.registry, &memo);
+            }
         }
         if matches!(event.kind, "round" | "best" | "epoch") {
             // The worker holds no locks while executing, so taking the

@@ -33,8 +33,9 @@ use crate::params::SimParams;
 use noc_model::TileId;
 use noc_model::{
     Cdcg, Link, Mapping, Mesh, PacketId, RouteCache, RouteProvider, RouteSource, RoutingKind,
+    WalkMemo, WalkMemoStats,
 };
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 // The fast path packs each pending event into one `u128` key whose
@@ -106,7 +107,7 @@ pub struct ScheduleScratch {
     /// by `init_run` and `spans` index into it. Stays empty under a
     /// dense source, whose spans index the cache's own flat array.
     pub(crate) walks: Vec<u32>,
-    heap: BinaryHeap<std::cmp::Reverse<u128>>,
+    queue: crate::queue::EventQueue,
 }
 
 /// Cumulative run-loop telemetry of a [`ScheduleScratch`]: how many
@@ -155,7 +156,7 @@ impl ScheduleScratch {
             self.fifo.resize(n_links, FifoSlot::default());
         }
         self.epoch += 1;
-        self.heap.clear();
+        self.queue.clear();
     }
 
     #[inline]
@@ -218,18 +219,14 @@ impl ScheduleScratch {
         snap: &EngineSnapshot,
         heap_buf: &mut Vec<u128>,
     ) -> bool {
-        if self.heap.len() != snap.heap.len() {
+        if self.queue.len() != snap.heap.len() {
             return false;
         }
         // Every future request time is at least the next event's time
         // (the loop processes events in increasing key order). With an
-        // empty heap there is no future at all and timing residue is
+        // empty queue there is no future at all and timing residue is
         // vacuously irrelevant.
-        let horizon = self
-            .heap
-            .peek()
-            .map(|r| (r.0 >> 64) as u64)
-            .unwrap_or(u64::MAX);
+        let horizon = self.queue.peek_time().unwrap_or(u64::MAX);
         // Links: sparse snapshot (touched slots only, sorted by id);
         // live slots missing from it must be at the reset value.
         {
@@ -320,7 +317,7 @@ impl ScheduleScratch {
             }
         }
         heap_buf.clear();
-        heap_buf.extend(self.heap.iter().map(|r| r.0));
+        heap_buf.extend(self.queue.iter_keys());
         heap_buf.sort_unstable();
         heap_buf[..] == snap.heap[..]
     }
@@ -359,7 +356,7 @@ impl ScheduleScratch {
             .extend_from_slice(&self.delivered_mask[..n_packets.div_ceil(64)]);
         // Stored sorted so `converged_with` can compare heaps directly
         // (restore order is irrelevant to a binary heap's semantics).
-        snap.heap.extend(self.heap.iter().map(|r| r.0));
+        snap.heap.extend(self.queue.iter_keys());
         snap.heap.sort_unstable();
         snap.tail_texec = None;
     }
@@ -391,9 +388,9 @@ impl ScheduleScratch {
         self.pending[..snap.pending.len()].copy_from_slice(&snap.pending);
         self.ready[..snap.ready.len()].copy_from_slice(&snap.ready);
         self.delivered_mask[..snap.delivered_mask.len()].copy_from_slice(&snap.delivered_mask);
-        self.heap.clear();
+        self.queue.clear();
         for &key in &snap.heap {
-            self.heap.push(std::cmp::Reverse(key));
+            self.queue.push(key);
         }
     }
 
@@ -408,6 +405,39 @@ impl ScheduleScratch {
     /// incremental evaluator to patch rerouted packets in place).
     pub(crate) fn spans_mut(&mut self) -> &mut [(u32, u32)] {
         &mut self.spans
+    }
+
+    /// Primes the scratch for one run of an already-validated instance
+    /// from precomputed per-packet buffers — the batch evaluator's
+    /// replacement for the per-call workload pass of [`init_run`].
+    /// `seeds` are the packed start events.
+    pub(crate) fn prime_run(
+        &mut self,
+        n_links: usize,
+        n_packets: usize,
+        flits: &[u64],
+        pending: &[u32],
+        spans: &[(u32, u32)],
+        seeds: &[u128],
+    ) {
+        self.ensure(n_links, n_packets);
+        // noc-verify: allow(PANIC01) — ensure() has just grown every buffer to at least n_packets, and the batch packer hands slices of exactly n_packets entries
+        self.flits[..n_packets].copy_from_slice(flits);
+        // noc-verify: allow(PANIC01) — same invariant: buffers sized by ensure(), source slices exactly n_packets long
+        self.pending[..n_packets].copy_from_slice(pending);
+        // noc-verify: allow(PANIC01) — ready is resized alongside pending in ensure(), so the prefix is in bounds
+        self.ready[..n_packets].fill(0);
+        // noc-verify: allow(PANIC01) — same invariant: buffers sized by ensure(), source slices exactly n_packets long
+        self.spans[..n_packets].copy_from_slice(spans);
+        for &key in seeds {
+            self.queue.push(key);
+        }
+    }
+
+    /// Accounts one completed full run in [`RunStats`].
+    pub(crate) fn note_run(&mut self, events: u64) {
+        self.stats.runs += 1;
+        self.stats.events += events;
     }
 }
 
@@ -521,7 +551,48 @@ pub fn schedule_cost_with<S: RouteSource + ?Sized>(
     routes: &S,
     scratch: &mut ScheduleScratch,
 ) -> Result<u64, SimError> {
-    init_run(cdcg, mesh, mapping, params, routes, scratch)?;
+    schedule_cost_inner(cdcg, mesh, mapping, params, routes, None, scratch)
+}
+
+/// [`schedule_cost_with`] accelerated by a per-evaluator [`WalkMemo`]:
+/// route resolutions hit the memo's lock-free pair→span table instead of
+/// the provider's shared cache, turning repeat pairs into a single probe.
+/// Results are bit-identical to the unmemoized path — the memo replays
+/// the exact walks the provider produced.
+///
+/// `routes` must be a *buffering* source (one that appends walks to the
+/// caller's arena — any [`RouteProvider`] tier except dense; see
+/// [`RouteProvider::memo_compatible`]).
+///
+/// # Errors
+///
+/// Same as [`schedule_cost`].
+///
+/// # Panics
+///
+/// Panics if `routes` was built for a different mesh than `mesh`.
+pub fn schedule_cost_memoized<S: RouteSource + ?Sized>(
+    cdcg: &Cdcg,
+    mesh: &Mesh,
+    mapping: &Mapping,
+    params: &SimParams,
+    routes: &S,
+    memo: &mut WalkMemo,
+    scratch: &mut ScheduleScratch,
+) -> Result<u64, SimError> {
+    schedule_cost_inner(cdcg, mesh, mapping, params, routes, Some(memo), scratch)
+}
+
+fn schedule_cost_inner<S: RouteSource + ?Sized>(
+    cdcg: &Cdcg,
+    mesh: &Mesh,
+    mapping: &Mapping,
+    params: &SimParams,
+    routes: &S,
+    memo: Option<&mut WalkMemo>,
+    scratch: &mut ScheduleScratch,
+) -> Result<u64, SimError> {
+    init_run(cdcg, mesh, mapping, params, routes, memo, scratch)?;
     let walks = std::mem::take(&mut scratch.walks);
     let (texec, delivered, events_done) = run_loop(
         cdcg,
@@ -549,12 +620,18 @@ pub fn schedule_cost_with<S: RouteSource + ?Sized>(
 /// event loop. For buffering route sources the packet walks land in
 /// `scratch.walks` (cleared first); dense sources leave it empty and
 /// span their shared flat array.
+///
+/// With a `memo`, pair resolutions go through its lock-free table
+/// ([`WalkMemo::resolve_into`]) instead of the provider's shared cache;
+/// the memo's eviction checkpoint runs here, at the evaluation boundary.
+/// Only valid for buffering sources (the memo replays appended walks).
 pub(crate) fn init_run<S: RouteSource + ?Sized>(
     cdcg: &Cdcg,
     mesh: &Mesh,
     mapping: &Mapping,
     params: &SimParams,
     routes: &S,
+    mut memo: Option<&mut WalkMemo>,
     scratch: &mut ScheduleScratch,
 ) -> Result<(), SimError> {
     assert_eq!(
@@ -582,6 +659,9 @@ pub(crate) fn init_run<S: RouteSource + ?Sized>(
     );
     scratch.ensure(routes.dense_link_count(), n_packets);
     scratch.walks.clear();
+    if let Some(m) = memo.as_deref_mut() {
+        m.begin_eval();
+    }
 
     for id in cdcg.packet_ids() {
         let i = id.index();
@@ -591,7 +671,10 @@ pub(crate) fn init_run<S: RouteSource + ?Sized>(
         // `ModelError::MeshPartitioned` here instead of producing a
         // nonsense schedule over a degenerate walk.
         routes.validate_pair(src, dst)?;
-        let span = routes.walk_span(src, dst, &mut scratch.walks);
+        let span = match memo.as_deref_mut() {
+            Some(m) => m.resolve_into(routes, src, dst, &mut scratch.walks),
+            None => routes.walk_span(src, dst, &mut scratch.walks),
+        };
         scratch.spans[i] = span;
         scratch.flits[i] = params.flits(p.bits).max(1);
         scratch.pending[i] = cdcg.predecessors(id).len() as u32;
@@ -599,12 +682,9 @@ pub(crate) fn init_run<S: RouteSource + ?Sized>(
     }
 
     for id in cdcg.start_packets() {
-        scratch.heap.push(std::cmp::Reverse(pack(
-            cdcg.packet(id).comp_cycles,
-            id.index(),
-            INJECT,
-            0,
-        )));
+        scratch
+            .queue
+            .push(pack(cdcg.packet(id).comp_cycles, id.index(), INJECT, 0));
     }
     Ok(())
 }
@@ -630,7 +710,7 @@ pub(crate) fn run_loop<O: RunObserver>(
     let mut delivered = delivered0;
     let mut events_done = events_done0;
 
-    while let Some(std::cmp::Reverse(key)) = scratch.heap.pop() {
+    while let Some(key) = scratch.queue.pop() {
         let time = (key >> 64) as u64;
         let p = ((key >> 34) as usize) & (PACKET_LIMIT - 1);
         let variant = (key >> 32) as u32 & 3;
@@ -651,9 +731,7 @@ pub(crate) fn run_loop<O: RunObserver>(
                 };
                 slot.free = entry + n * tl;
                 slot.traversals += 1;
-                scratch
-                    .heap
-                    .push(std::cmp::Reverse(pack(entry + tl, p, ROUTER_ENTRY, 0)));
+                scratch.queue.push(pack(entry + tl, p, ROUTER_ENTRY, 0));
             }
             ROUTER_ENTRY => {
                 // The feeding link of router `hop` is `path[hop]`; the
@@ -661,9 +739,7 @@ pub(crate) fn run_loop<O: RunObserver>(
                 // injection links (see `schedule`'s `fifo_applies`).
                 let applies = hop > 0 || params.injection_serialization;
                 if !applies {
-                    scratch
-                        .heap
-                        .push(std::cmp::Reverse(pack(time, p, DECIDE, hop as u32)));
+                    scratch.queue.push(pack(time, p, DECIDE, hop as u32));
                 } else {
                     let slot = scratch.fifo(path[hop]);
                     if slot.busy {
@@ -671,9 +747,7 @@ pub(crate) fn run_loop<O: RunObserver>(
                     } else {
                         let eff = time.max(slot.clear);
                         slot.busy = true;
-                        scratch
-                            .heap
-                            .push(std::cmp::Reverse(pack(eff, p, DECIDE, hop as u32)));
+                        scratch.queue.push(pack(eff, p, DECIDE, hop as u32));
                     }
                 }
             }
@@ -707,21 +781,18 @@ pub(crate) fn run_loop<O: RunObserver>(
                         scratch.ready[s] = scratch.ready[s].max(delivery);
                         scratch.pending[s] -= 1;
                         if scratch.pending[s] == 0 {
-                            scratch.heap.push(std::cmp::Reverse(pack(
+                            scratch.queue.push(pack(
                                 scratch.ready[s] + cdcg.packet(succ).comp_cycles,
                                 s,
                                 INJECT,
                                 0,
-                            )));
+                            ));
                         }
                     }
                 } else {
-                    scratch.heap.push(std::cmp::Reverse(pack(
-                        time + tr,
-                        p,
-                        LINK_REQUEST,
-                        hop as u32,
-                    )));
+                    scratch
+                        .queue
+                        .push(pack(time + tr, p, LINK_REQUEST, hop as u32));
                 }
             }
             _ => {
@@ -740,12 +811,9 @@ pub(crate) fn run_loop<O: RunObserver>(
                     hop > 0 || params.injection_serialization,
                     entry + (n - 1) * tl + 1,
                 );
-                scratch.heap.push(std::cmp::Reverse(pack(
-                    entry + tl,
-                    p,
-                    ROUTER_ENTRY,
-                    hop as u32 + 1,
-                )));
+                scratch
+                    .queue
+                    .push(pack(entry + tl, p, ROUTER_ENTRY, hop as u32 + 1));
             }
         }
         events_done += 1;
@@ -767,9 +835,7 @@ fn release_fifo(scratch: &mut ScheduleScratch, link: u32, applies: bool, clear: 
     debug_assert!(slot.busy, "owner released a tracked FIFO");
     if let Some((q, qhop, arrival)) = slot.parked.pop_front() {
         let eff = arrival.max(clear);
-        scratch
-            .heap
-            .push(std::cmp::Reverse(pack(eff, q as usize, DECIDE, qhop)));
+        scratch.queue.push(pack(eff, q as usize, DECIDE, qhop));
         // `q` now owns the FIFO head; remaining arrivals stay parked.
     } else {
         slot.busy = false;
@@ -781,15 +847,20 @@ fn release_fifo(scratch: &mut ScheduleScratch, link: u32, applies: bool, clear: 
 /// provider plus a private scratch.
 ///
 /// Cloning an evaluator shares the (immutable) route provider via `Arc`
-/// but gives the clone its own scratch, so clones can evaluate
-/// concurrently on different threads — the layout parallel multi-start
-/// search uses.
+/// but gives the clone its own scratch **and its own walk memo**, so
+/// clones can evaluate concurrently on different threads — the layout
+/// parallel multi-start search uses. The memo is a per-evaluator,
+/// lock-free pair→span table ([`WalkMemo`]); it is on by default for the
+/// on-demand and fault-aware tiers, where resolving a pair means taking
+/// a shared-cache lock or walking the mesh
+/// ([`RouteProvider::local_memo_default`]).
 #[derive(Debug, Clone)]
 pub struct CostEvaluator<'a> {
     cdcg: &'a Cdcg,
     params: SimParams,
     routes: Arc<RouteProvider>,
     scratch: ScheduleScratch,
+    memo: Option<WalkMemo>,
 }
 
 impl<'a> CostEvaluator<'a> {
@@ -811,12 +882,36 @@ impl<'a> CostEvaluator<'a> {
 
     /// Builds an evaluator sharing an existing route provider (any tier).
     pub fn with_provider(cdcg: &'a Cdcg, params: &SimParams, routes: Arc<RouteProvider>) -> Self {
+        let memo = routes.local_memo_default().then(WalkMemo::new);
         Self {
             cdcg,
             params: *params,
             routes,
             scratch: ScheduleScratch::new(),
+            memo,
         }
+    }
+
+    /// Enables or disables the per-evaluator walk memo. Enabling is a
+    /// no-op under a dense provider (its spans index a shared flat array
+    /// the memo cannot replay — [`RouteProvider::memo_compatible`]);
+    /// disabling drops the table. Evaluation results are bit-identical
+    /// either way.
+    pub fn set_walk_memo(&mut self, enabled: bool) {
+        self.memo = (enabled && self.routes.memo_compatible())
+            .then(|| self.memo.take().unwrap_or_default());
+    }
+
+    /// Whether the walk memo is currently active.
+    pub fn walk_memo_enabled(&self) -> bool {
+        self.memo.is_some()
+    }
+
+    /// Cumulative hit/miss/eviction counters of the walk memo, or `None`
+    /// when the memo is disabled. The hit ratio doubles as the
+    /// route-dedup ratio the observability layer reports.
+    pub fn walk_memo_stats(&self) -> Option<WalkMemoStats> {
+        self.memo.as_ref().map(|m| m.stats())
     }
 
     /// The application being evaluated.
@@ -841,12 +936,13 @@ impl<'a> CostEvaluator<'a> {
     ///
     /// Same as [`schedule_cost`].
     pub fn texec_cycles(&mut self, mapping: &Mapping) -> Result<u64, SimError> {
-        schedule_cost_with(
+        schedule_cost_inner(
             self.cdcg,
             self.routes.mesh(),
             mapping,
             &self.params,
             self.routes.as_ref(),
+            self.memo.as_mut(),
             &mut self.scratch,
         )
     }

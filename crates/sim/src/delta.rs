@@ -101,12 +101,34 @@
 //! *re-baseline* when the queried mapping matches neither the baseline
 //! nor the pending candidate. [`DeltaStats`] exposes the counters so
 //! harnesses can assert the incremental path is actually taken.
+//!
+//! ## Auto-fallback on low prefix reuse
+//!
+//! On workloads where divergence frontiers sit near the start of the
+//! timeline (small dense instances, swaps that keep touching start
+//! packets), the incremental machinery replays almost every event
+//! *and* pays for taping, restores and the convergence watch — a net
+//! slowdown of a few percent over plain full evaluation. The engine
+//! tracks the realized skip of its incremental moves in an EWMA
+//! ([`SKIP_EWMA_ALPHA`]); once warmed up ([`FALLBACK_WARMUP`] moves)
+//! and below [`FALLBACK_SKIP_THRESHOLD`], swap queries are served by an
+//! ordinary untaped full evaluation of the swapped mapping instead
+//! ([`DeltaStats::full_path_moves`]). Every
+//! [`FALLBACK_PROBE_INTERVAL`]-th query still runs the incremental
+//! path, so the EWMA stays live and the engine switches back when
+//! prefix reuse becomes worthwhile again. Both paths are the same
+//! `schedule_cost` arithmetic, so results are bit-identical regardless
+//! of which one serves a move — only the counters (and the wall-clock)
+//! differ.
 
-use crate::cost::{init_run, pack, run_loop, EngineSnapshot, RunObserver, ScheduleScratch, INJECT};
+use crate::cost::{
+    init_run, pack, run_loop, EngineSnapshot, NoopObserver, RunObserver, ScheduleScratch, INJECT,
+};
 use crate::error::SimError;
 use crate::params::SimParams;
 use noc_model::{
     Cdcg, Mapping, Mesh, PacketId, RouteCache, RouteProvider, RouteSource, RoutingKind, TileId,
+    WalkMemo,
 };
 use std::sync::Arc;
 
@@ -132,6 +154,10 @@ pub struct DeltaStats {
     /// checkpoint tape (rate-limited to one per [`RETAPE_INTERVAL`]
     /// queries).
     pub tape_refreshes: u64,
+    /// Swap evaluations served by the auto-fallback full path because
+    /// realized prefix reuse was too small for the incremental
+    /// machinery to pay off (see the module docs).
+    pub full_path_moves: u64,
     /// Queries answered from the cached baseline (or promoted candidate)
     /// without touching the event loop.
     pub cache_hits: u64,
@@ -325,6 +351,21 @@ const MIN_TAPE_LEN: usize = 6;
 /// overhead to ≈3 % even when accepted moves (which truncate the tape at
 /// their restore point) come frequently.
 const RETAPE_INTERVAL: u64 = 32;
+/// Incremental moves observed before the auto-fallback heuristic may
+/// engage — the realized-skip EWMA needs samples to mean anything.
+const FALLBACK_WARMUP: u64 = 16;
+/// Realized-skip EWMA below which a swap is predicted to replay
+/// (almost) the whole timeline: the restore and convergence-watch
+/// overhead then outweighs the skipped prefix, and a plain full
+/// evaluation is faster.
+const FALLBACK_SKIP_THRESHOLD: f64 = 0.05;
+/// In fallback mode, every this-many swap queries still run the
+/// incremental path (re-taping first if needed) so the EWMA tracks the
+/// workload; bounds the probing overhead to ≈2 % of full-evaluation
+/// cost while keeping mode switches possible in both directions.
+const FALLBACK_PROBE_INTERVAL: u64 = 128;
+/// EWMA weight of the newest incremental move's realized skip.
+const SKIP_EWMA_ALPHA: f64 = 1.0 / 16.0;
 
 /// Incremental swap evaluation of the CDCM schedule cost. See the module
 /// docs for the algorithm and its invariants.
@@ -372,6 +413,20 @@ pub struct IncrementalScheduler<'a> {
     /// Set once any swap query arrives: from then on re-baselines are
     /// taped so the delta path stays warm.
     sticky_tape: bool,
+    /// EWMA of the realized skip fraction of incremental moves; drives
+    /// the auto-fallback to the full path (see the module docs).
+    skip_ewma: f64,
+    /// Consecutive queries served by the fallback full path since the
+    /// last incremental probe.
+    fallback_queries: u64,
+    /// Per-engine lock-free walk memo (on by default for the on-demand
+    /// and fault-aware tiers, like [`crate::CostEvaluator`]'s). Dirty
+    /// packets of a candidate and full re-baselines resolve through it,
+    /// skipping the provider's shared-cache lock on repeat pairs. Spans
+    /// still land in the scratch walk arena (`resolve_into`), so the
+    /// `walks_base` truncation lifecycle is untouched; eviction happens
+    /// only at re-baselines (inside `init_run`), never mid-move.
+    memo: Option<WalkMemo>,
     stats: DeltaStats,
 }
 
@@ -404,6 +459,7 @@ impl<'a> IncrementalScheduler<'a> {
                 touching[p.dst.index()].push(id.index() as u32);
             }
         }
+        let memo = routes.local_memo_default().then(WalkMemo::new);
         Self {
             cdcg,
             params: *params,
@@ -424,6 +480,9 @@ impl<'a> IncrementalScheduler<'a> {
             heap_buf: Vec::new(),
             tail_buf: Vec::new(),
             sticky_tape: false,
+            skip_ewma: 1.0,
+            fallback_queries: 0,
+            memo,
             stats: DeltaStats::default(),
         }
     }
@@ -446,6 +505,20 @@ impl<'a> IncrementalScheduler<'a> {
     /// Counters for the queries served so far.
     pub fn stats(&self) -> DeltaStats {
         self.stats
+    }
+
+    /// Enables or disables the per-engine walk memo (no-op under a dense
+    /// provider, whose shared flat array the memo cannot replay).
+    /// Results are bit-identical either way.
+    pub fn set_walk_memo(&mut self, enabled: bool) {
+        self.memo = (enabled && self.routes.memo_compatible())
+            .then(|| self.memo.take().unwrap_or_default());
+    }
+
+    /// Cumulative hit/miss/eviction counters of the walk memo, or `None`
+    /// when it is disabled.
+    pub fn walk_memo_stats(&self) -> Option<noc_model::WalkMemoStats> {
+        self.memo.as_ref().map(|m| m.stats())
     }
 
     /// Whether swapping tiles `a` and `b` of `mapping` changes any
@@ -513,6 +586,9 @@ impl<'a> IncrementalScheduler<'a> {
         if a == b {
             return self.texec_for(mapping);
         }
+        if self.use_full_path() {
+            return self.swap_texec_full(mapping, a, b);
+        }
         self.align_baseline(mapping)?;
         let n_packets = self.cdcg.packet_count();
         let base = self.baseline.mapping.as_ref().expect("baseline aligned"); // noc-verify: allow(PANIC01) — align_baseline() on the line above either set the mapping or returned an error
@@ -577,7 +653,12 @@ impl<'a> IncrementalScheduler<'a> {
                 let pkt = self.cdcg.packet(PacketId::new(p as usize));
                 let (src, dst) = (cand.tile_of(pkt.src), cand.tile_of(pkt.dst));
                 self.routes.validate_pair(src, dst)?;
-                let span = self.routes.walk_span(src, dst, &mut self.scratch.walks);
+                let span = match self.memo.as_mut() {
+                    Some(m) => {
+                        m.resolve_into(self.routes.as_ref(), src, dst, &mut self.scratch.walks)
+                    }
+                    None => self.routes.walk_span(src, dst, &mut self.scratch.walks),
+                };
                 self.candidate.spans[p as usize] = span;
             }
         }
@@ -644,12 +725,135 @@ impl<'a> IncrementalScheduler<'a> {
         }
         self.stats.events_replayed += events_done - events_done0;
         self.stats.events_total += cand_total_events;
+        let skip =
+            (1.0 - (events_done - events_done0) as f64 / cand_total_events.max(1) as f64).max(0.0);
+        self.skip_ewma = if self.stats.incremental_moves == 1 {
+            skip
+        } else {
+            (1.0 - SKIP_EWMA_ALPHA) * self.skip_ewma + SKIP_EWMA_ALPHA * skip
+        };
 
         self.candidate.texec = texec;
         self.candidate.taped = true;
         self.candidate.converged_at = converged.map(|(k, _)| k);
         self.candidate.identical = false;
         self.cand_restore_idx = idx;
+        Ok(texec)
+    }
+
+    /// Whether the next swap query should bypass the incremental
+    /// machinery: the realized-skip EWMA is warmed up and predicts that
+    /// a checkpoint restore would replay (almost) everything anyway.
+    /// Every [`FALLBACK_PROBE_INTERVAL`]-th query declines, so the EWMA
+    /// keeps tracking the workload.
+    fn use_full_path(&mut self) -> bool {
+        if self.stats.incremental_moves < FALLBACK_WARMUP
+            || self.skip_ewma >= FALLBACK_SKIP_THRESHOLD
+        {
+            self.fallback_queries = 0;
+            return false;
+        }
+        self.fallback_queries += 1;
+        if self.fallback_queries >= FALLBACK_PROBE_INTERVAL {
+            self.fallback_queries = 0;
+            return false;
+        }
+        true
+    }
+
+    /// The auto-fallback path: serves a swap by a plain untaped full
+    /// evaluation of the swapped mapping — bit-exact with the
+    /// incremental path (both are the `schedule_cost` arithmetic), but
+    /// without restore, taping or convergence-watch overhead. Keeps the
+    /// candidate record coherent so an accepted move still promotes in
+    /// `O(1)`.
+    fn swap_texec_full(
+        &mut self,
+        mapping: &Mapping,
+        a: TileId,
+        b: TileId,
+    ) -> Result<u64, SimError> {
+        if self.candidate_matches(mapping) {
+            self.promote();
+        }
+        if self.baseline_matches(mapping) && !self.swap_changes_routes(mapping, a, b) {
+            // The no-route-change shortcut stays `O(1)` in fallback
+            // mode; the schedule provably cannot move.
+            self.stats.route_unchanged_moves += 1;
+            match &mut self.candidate.mapping {
+                Some(m) => m.clone_from(mapping),
+                slot @ None => *slot = Some(mapping.clone()),
+            }
+            let cand = self.candidate.mapping.as_mut().expect("just set"); // noc-verify: allow(PANIC01) — the match directly above guarantees the slot is Some
+            cand.swap_tiles(a, b);
+            self.candidate.texec = self.baseline.texec;
+            self.candidate.inject.clone_from(&self.baseline.inject);
+            self.candidate.spans.clone_from(&self.baseline.spans);
+            self.candidate.taped = self.baseline.taped;
+            self.candidate.converged_at = None;
+            self.candidate.identical = true;
+            self.candidate.total_events = self.baseline_total_events;
+            self.cand_restore_idx = self.checkpoints.len().saturating_sub(1);
+            return Ok(self.baseline.texec);
+        }
+
+        // The full run below re-derives the scratch walk arena from
+        // scratch, so any recorded tape (whose restored spans index the
+        // old arena) is retired first; the next incremental probe
+        // re-tapes through `align_baseline`.
+        self.pool.append(&mut self.checkpoints);
+        self.baseline.taped = false;
+
+        let mut cand = match self.candidate.mapping.take() {
+            Some(mut m) => {
+                m.clone_from(mapping);
+                m
+            }
+            None => mapping.clone(),
+        };
+        cand.swap_tiles(a, b);
+        init_run(
+            self.cdcg,
+            self.routes.mesh(),
+            &cand,
+            &self.params,
+            self.routes.as_ref(),
+            self.memo.as_mut(),
+            &mut self.scratch,
+        )?;
+        self.candidate.mapping = Some(cand);
+        let n_packets = self.cdcg.packet_count();
+        self.candidate.spans.clear();
+        self.candidate
+            .spans
+            .extend_from_slice(&self.scratch.spans()[..n_packets]);
+        self.candidate.total_events = Self::total_events(&self.candidate.spans);
+        self.walks_base = self.scratch.walks.len();
+
+        let walks = std::mem::take(&mut self.scratch.walks);
+        let (texec, delivered, _) = run_loop(
+            self.cdcg,
+            &self.params,
+            self.routes.flat(&walks),
+            &mut self.scratch,
+            0,
+            0,
+            0,
+            &mut NoopObserver,
+        );
+        self.scratch.walks = walks;
+        debug_assert_eq!(delivered, n_packets, "run must deliver all packets");
+
+        // `candidate.inject` is stale (this path records no injection
+        // times); that is safe because injections are only read on the
+        // incremental path, which always re-tapes (and re-records them)
+        // behind the untaped baseline this promotion produces.
+        self.candidate.texec = texec;
+        self.candidate.taped = false;
+        self.candidate.converged_at = None;
+        self.candidate.identical = false;
+        self.cand_restore_idx = 0;
+        self.stats.full_path_moves += 1;
         Ok(texec)
     }
 
@@ -721,8 +925,10 @@ impl<'a> IncrementalScheduler<'a> {
         };
         self.tail_buf.clear();
         self.tail_buf.extend(self.checkpoints.drain(keep_from..));
-        self.pool
-            .extend(self.checkpoints.drain(self.cand_restore_idx + 1..));
+        // After a fallback full run the tape is empty and the restore
+        // index meaningless; the clamp keeps the drain in bounds.
+        let keep_prefix = (self.cand_restore_idx + 1).min(self.checkpoints.len());
+        self.pool.extend(self.checkpoints.drain(keep_prefix..));
         // Tail maxima recorded for the old baseline cover the perturbed
         // window for prefix snapshots — invalidate them. (Kept tail
         // snapshots keep theirs: deliveries after the convergence point
@@ -765,6 +971,7 @@ impl<'a> IncrementalScheduler<'a> {
             mapping,
             &self.params,
             self.routes.as_ref(),
+            self.memo.as_mut(),
             &mut self.scratch,
         )?;
         self.walks_base = self.scratch.walks.len();
@@ -1001,6 +1208,88 @@ mod tests {
                 engine.arena_budget()
             );
         }
+    }
+
+    #[test]
+    fn low_skip_workloads_fall_back_to_the_full_path() {
+        // On this tiny instance every swap's divergence frontier sits
+        // before the first checkpoint, so incremental moves replay the
+        // whole timeline (realized skip ≈ 0) while still paying for
+        // restores and taping. The engine must notice and stop using
+        // the incremental machinery — the no-silent-slowdown pin —
+        // while staying bit-exact on every single move.
+        let cdcg = figure1_cdcg();
+        let mesh = Mesh::new(2, 2).unwrap();
+        let params = SimParams::paper_example();
+        let mut engine = IncrementalScheduler::new(&cdcg, &mesh, &params);
+        let routes = Arc::clone(engine.provider());
+        let base = Mapping::from_tiles(&mesh, [1, 0, 3, 2].map(TileId::new)).unwrap();
+        let moves = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        for i in 0..120usize {
+            let (a, b) = moves[i % moves.len()];
+            let (a, b) = (TileId::new(a), TileId::new(b));
+            let got = engine.swap_texec(&base, a, b).unwrap();
+            let mut swapped = base.clone();
+            swapped.swap_tiles(a, b);
+            let want = reference(&cdcg, &mesh, &swapped, &params, &routes);
+            assert_eq!(got, want, "move #{i} ({a}-{b})");
+        }
+        let stats = engine.stats();
+        assert!(
+            stats.full_path_moves > 0,
+            "zero-skip workload never fell back: {stats:?}"
+        );
+        assert!(
+            stats.full_path_moves > stats.incremental_moves,
+            "fallback engaged but the incremental path still dominates: {stats:?}"
+        );
+        // The engine must stay fully usable on the incremental side
+        // afterwards (probe moves re-tape through `align_baseline`).
+        let t = engine.texec_for(&base).unwrap();
+        assert_eq!(t, reference(&cdcg, &mesh, &base, &params, &routes));
+    }
+
+    #[test]
+    fn high_skip_workloads_keep_the_incremental_path() {
+        // A long chain whose last two cores are the only ones swapped:
+        // the dirty injections sit at the end of the timeline, so the
+        // prefix skip is large and the fallback must never engage.
+        let mut g = Cdcg::new();
+        let cores: Vec<_> = (0..8).map(|i| g.add_core(format!("c{i}"))).collect();
+        let mut prev = None;
+        for w in cores.windows(2) {
+            let p = g.add_packet(w[0], w[1], 40, 64).unwrap();
+            if let Some(prev) = prev {
+                g.add_dependence(prev, p).unwrap();
+            }
+            prev = Some(p);
+        }
+        let mesh = Mesh::new(3, 3).unwrap();
+        let params = SimParams::paper_example();
+        let mut engine = IncrementalScheduler::new(&g, &mesh, &params);
+        let routes = Arc::clone(engine.provider());
+        let base = Mapping::identity(&mesh, 8).unwrap();
+        // The chain tail lives on tiles 6/7/8; swapping there keeps the
+        // frontier late.
+        let moves = [(6, 8), (7, 8), (6, 7)];
+        for i in 0..80usize {
+            let (a, b) = moves[i % moves.len()];
+            let (a, b) = (TileId::new(a), TileId::new(b));
+            let got = engine.swap_texec(&base, a, b).unwrap();
+            let mut swapped = base.clone();
+            swapped.swap_tiles(a, b);
+            assert_eq!(
+                got,
+                reference(&g, &mesh, &swapped, &params, &routes),
+                "move #{i}"
+            );
+        }
+        let stats = engine.stats();
+        assert_eq!(
+            stats.full_path_moves, 0,
+            "high-skip workload must stay incremental: {stats:?}"
+        );
+        assert!(stats.incremental_moves > 0);
     }
 
     #[test]

@@ -71,6 +71,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod batch;
 pub mod cost;
 pub mod delta;
 pub mod des;
@@ -80,11 +81,16 @@ pub mod gantt;
 pub mod interval;
 pub mod obs;
 pub mod params;
+mod queue;
 pub mod resource;
 pub mod schedule;
 pub mod wormhole;
 
-pub use cost::{schedule_cost, schedule_cost_with, CostEvaluator, RunStats, ScheduleScratch};
+pub use batch::{BatchEvaluator, BatchStats, BATCH_SIZE_BUCKETS};
+pub use cost::{
+    schedule_cost, schedule_cost_memoized, schedule_cost_with, CostEvaluator, RunStats,
+    ScheduleScratch,
+};
 pub use delta::{DeltaStats, IncrementalScheduler};
 pub use error::SimError;
 pub use interval::CycleInterval;

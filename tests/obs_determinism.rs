@@ -20,7 +20,7 @@ use noc::model::{Cdcg, Mesh};
 use noc_obs::metrics::HISTOGRAM_BUCKETS;
 use noc_obs::{MemorySink, MetricsRegistry};
 use noc_service::{
-    GaConfig, JobRequest, JobState, MappingService, Priority, SaConfig, SearchMethod,
+    CacheTier, GaConfig, JobRequest, JobState, MappingService, Priority, SaConfig, SearchMethod,
     ServiceConfig, SolveRequest, SolveResult, TabuConfig,
 };
 use std::sync::Arc;
@@ -157,6 +157,37 @@ fn tracing_on_and_off_are_bit_identical() {
             assert_eq!(dark_events, 0, "case {case}: dark run counted events");
         }
     }
+}
+
+/// A batching engine (the GA) on a memo-compatible tier must surface
+/// its batch and walk-memo counters in the service registry — the
+/// source the `metrics` socket op (and `noc-cli metrics`) renders.
+#[test]
+fn batch_and_memo_counters_reach_the_service_registry() {
+    let (app, mesh) = instance(0xBA7C);
+    let mut ga = GaConfig::new(3);
+    ga.budget = 300;
+    let mut request = SolveRequest::new(app, mesh, SearchMethod::Genetic(ga));
+    request.seed = 3;
+    request.route_cache = CacheTier::OnDemand;
+    let service = MappingService::start(ServiceConfig::new(1));
+    service.submit(JobRequest::Solve(Box::new(request)), Priority::Normal);
+    service.wait_all();
+    let registry = service.handle().metrics();
+    assert!(registry.counter("noc_batch_batches_total").get() > 0);
+    assert!(registry.counter("noc_batch_candidates_total").get() > 0);
+    let size = registry.histogram("noc_batch_size");
+    assert_eq!(
+        size.count(),
+        registry.counter("noc_batch_batches_total").get(),
+        "every batch contributes one size observation"
+    );
+    assert!(registry.counter("noc_walk_memo_hits_total").get() > 0);
+    let ratio = registry.gauge("noc_batch_dedup_ratio_permille").get();
+    assert!(
+        (1..=1000).contains(&ratio),
+        "dedup ratio gauge out of range: {ratio}"
+    );
 }
 
 /// Golden exposition: the Prometheus text format is byte-exact for a

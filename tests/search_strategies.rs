@@ -17,9 +17,9 @@
 use noc::apps::TgffConfig;
 use noc::energy::Technology;
 use noc::mapping::{
-    AdaptiveConfig, AdaptiveRestarts, CdcmObjective, CostFunction, Crossover, CwmObjective,
-    GaConfig, GeneticSearch, Portfolio, PortfolioConfig, SearchRun, SearchStrategy, SwapDeltaCost,
-    TabuConfig, TabuSearch,
+    AdaptiveConfig, AdaptiveRestarts, BatchCost, CdcmObjective, CostFunction, Crossover,
+    CwmObjective, GaConfig, GeneticSearch, Portfolio, PortfolioConfig, SearchRun, SearchStrategy,
+    SwapDeltaCost, TabuConfig, TabuSearch,
 };
 use noc::model::{Cdcg, Mesh};
 use noc::sim::SimParams;
@@ -58,7 +58,7 @@ fn instance(seed: u64) -> (Cdcg, Mesh) {
 }
 
 /// Runs every portfolio strategy at the same budget and seed.
-fn run_all<C: SwapDeltaCost + Clone + Send>(
+fn run_all<C: SwapDeltaCost + BatchCost + Clone + Send>(
     objective: &C,
     mesh: &Mesh,
     cores: usize,
